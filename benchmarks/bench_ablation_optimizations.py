@@ -1,0 +1,110 @@
+"""Ablation of the Sec. 6 implementation optimisations (DESIGN.md §5).
+
+Toggles each optimisation off in isolation and reports the simulated-time
+ratio to the full configuration:
+
+* sparse-dense switching (vs always-sparse extraction),
+* bidirectional relaxation (undirected graphs),
+* "larger neighbor sets" local-BFS fusion,
+* ρ-stepping's dense-round threshold shrink heuristic.
+
+Expected shapes: fusion is the road-graph optimisation (large win on GE/USA,
+small effect on scale-free); bidirectional relaxation cuts road redundancy;
+sparse-dense helps the dense mid-phase of scale-free graphs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import format_table, simulated_time
+from repro.core import (
+    DEFAULT_RHO,
+    SteppingOptions,
+    delta_star_stepping,
+    rho_stepping,
+    stepping_sssp,
+)
+from repro.core.policies import RhoPolicy
+
+GRAPHS = ["TW", "FT", "GE", "USA"]
+
+CONFIGS = {
+    "full": SteppingOptions(),
+    "no-fusion": SteppingOptions(fusion=False),
+    "no-bidirectional": SteppingOptions(bidirectional=False),
+    "always-sparse": SteppingOptions(dense_frac=1.0),
+}
+
+
+def run(graphs, pick_sources, machine, num_sources):
+    out = {}
+    for gname in GRAPHS:
+        g = graphs(gname)
+        sources = pick_sources(g, max(1, num_sources // 2))
+        per_cfg = {}
+        for cfg_name, opts in CONFIGS.items():
+            ts_rho, ts_delta = [], []
+            for s in sources:
+                r = rho_stepping(g, s, DEFAULT_RHO, options=opts, seed=0)
+                ts_rho.append(simulated_time(r, machine))
+                d = delta_star_stepping(g, s, float(2**14), options=opts, seed=0)
+                ts_delta.append(simulated_time(d, machine))
+            per_cfg[cfg_name] = (float(np.mean(ts_rho)), float(np.mean(ts_delta)))
+        # The rho threshold heuristic ablation (policy-level switch).
+        ts = []
+        for s in sources:
+            policy = RhoPolicy(DEFAULT_RHO, dense_shrink=1.0, dense_shrink_rounds=0)
+            r = stepping_sssp(g, s, policy, seed=0)
+            ts.append(simulated_time(r, machine))
+        per_cfg["no-threshold-heuristic"] = (float(np.mean(ts)), float("nan"))
+        out[gname] = per_cfg
+    return out
+
+
+def render(results) -> str:
+    lines = []
+    for algo, idx in (("rho-stepping", 0), ("delta*-stepping", 1)):
+        rows = []
+        for cfg in list(CONFIGS) + ["no-threshold-heuristic"]:
+            if cfg == "no-threshold-heuristic" and idx == 1:
+                continue
+            row = [cfg]
+            for g in GRAPHS:
+                full = results[g]["full"][idx]
+                row.append(results[g][cfg][idx] / full)
+            rows.append(row)
+        lines.append(format_table(
+            ["config"] + GRAPHS, rows, floatfmt=".3f",
+            title=f"Ablation [{algo}]: time relative to the full configuration",
+        ))
+        lines.append("")
+    return "\n".join(lines)
+
+
+def check_shapes(results) -> list[str]:
+    bad = []
+    for g in ("GE", "USA"):
+        ratio = results[g]["no-fusion"][1] / results[g]["full"][1]
+        if not ratio > 1.3:
+            bad.append(f"{g}: fusion not a road win for delta* (ratio {ratio:.2f})")
+    for g in ("GE", "USA"):
+        ratio = results[g]["no-bidirectional"][1] / results[g]["full"][1]
+        if not ratio > 1.0:
+            bad.append(f"{g}: bidirectional relaxation not helping ({ratio:.2f})")
+    return bad
+
+
+def test_ablation_optimizations(
+    benchmark, graphs, pick_sources, machine, num_sources, save_result
+):
+    results = benchmark.pedantic(
+        run, args=(graphs, pick_sources, machine, num_sources),
+        rounds=1, iterations=1,
+    )
+    text = render(results)
+    violations = check_shapes(results)
+    if violations:
+        text += "\nSHAPE VIOLATIONS:\n" + "\n".join(violations)
+    save_result("ablation_optimizations", text)
+    assert not violations, violations

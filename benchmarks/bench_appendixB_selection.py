@@ -1,0 +1,74 @@
+"""Appendix B: strategies for finding the ρ-th smallest frontier key.
+
+Compares the three selectors the paper discusses on the same key sets:
+
+* **sampling** (the production choice, c = 10) — tiny sequential cost,
+  approximate rank;
+* **exact selection** (``np.partition``) — linear work in the frontier;
+* **blocked list** — O(ρ) selection after paying per-update maintenance.
+
+Expected shapes: sampling's cost is orders of magnitude below exact
+selection while its returned rank stays within a constant factor of ρ; the
+blocked list's selection is rank-exact to within [ρ, 3ρ] by construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.pq import BlockedList, estimate_kth_key, exact_kth_key
+
+F = 1 << 18
+RHOS = [1 << 8, 1 << 11, 1 << 14]
+
+
+def run_selection():
+    rng = np.random.default_rng(3)
+    keys = rng.random(F) * 1e6
+    rows = []
+    for rho in RHOS:
+        sample = estimate_kth_key(keys, rho, rng=0)
+        sample_rank = int(np.sum(keys <= sample.threshold))
+        exact = exact_kth_key(keys, rho)
+        bl = BlockedList(rho)
+        bl.batch_insert(keys, np.arange(F))
+        blocked = bl.approx_kth_key()
+        blocked_rank = int(np.sum(keys <= blocked))
+        rows.append((rho, sample.num_samples, sample_rank, exact, blocked_rank))
+    return rows
+
+
+def render(rows) -> str:
+    table = [
+        [rho, s, f"{rank / rho:.2f}", f"{brank / rho:.2f}", F]
+        for rho, s, rank, _, brank in rows
+    ]
+    return format_table(
+        ["rho", "samples drawn", "sampling rank/rho", "blocked rank/rho",
+         "exact scan size"],
+        table,
+        title=f"Appendix B: rho-th key selection on a frontier of {F} keys",
+    )
+
+
+def check_shapes(rows) -> list[str]:
+    bad = []
+    for rho, s, rank, _, brank in rows:
+        if not s < F / 8:
+            bad.append(f"rho={rho}: sampling drew too many samples ({s})")
+        if not rho / 4 <= rank <= 4 * rho:
+            bad.append(f"rho={rho}: sampled rank {rank} outside constant factor")
+        if not 1 <= brank <= 3 * rho:
+            bad.append(f"rho={rho}: blocked-list rank {brank} outside [1, 3rho]")
+    return bad
+
+
+def test_appendixB_selection(benchmark, save_result):
+    rows = benchmark.pedantic(run_selection, rounds=1, iterations=1)
+    text = render(rows)
+    violations = check_shapes(rows)
+    if violations:
+        text += "\nSHAPE VIOLATIONS:\n" + "\n".join(violations)
+    save_result("appendixB_selection", text)
+    assert not violations, violations

@@ -1,0 +1,111 @@
+"""Tables 2 & 3: empirical validation of the step-count bound *shapes*.
+
+The theory bounds cannot be checked exactly (they are asymptotic), but their
+scaling shapes can:
+
+* ρ-stepping finishes in O(k_ρ n / ρ) steps (Thms. 5.2/5.7): steps should
+  fall roughly inversely with ρ.
+* Δ*-stepping uses O(k_n (Δ + L)/Δ) steps (Thm. 5.6): steps flatten to
+  ~k_n as Δ → L and grow as Δ shrinks.
+* Bellman-Ford uses O(k_n) steps (the SP-tree depth).
+* The extraction lemma (Lemma 5.1): no vertex is extracted more than k_n
+  times in any stepping algorithm.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.core import (
+    SteppingOptions,
+    bellman_ford,
+    delta_star_stepping,
+    rho_stepping,
+)
+from repro.graphs import sp_tree_depth
+
+NOFUSE = SteppingOptions(fusion=False)
+GRAPHS = ["TW", "GE"]
+
+
+def run(graphs, pick_sources):
+    out = {}
+    for gname in GRAPHS:
+        g = graphs(gname)
+        s = pick_sources(g, 1)[0]
+        k_n = sp_tree_depth(g, s)
+        bf_steps = bellman_ford(g, s, options=NOFUSE, seed=0).stats.num_steps
+        rho_rows = []
+        # The smallest rho must undercut even a road graph's slim frontier
+        # for the O(k_rho n / rho) step scaling to be visible.
+        for rho in [max(16, g.n // 1024), max(32, g.n // 64), g.n // 8, g.n]:
+            r = rho_stepping(g, s, rho, options=NOFUSE, seed=0, record_visits=True)
+            rho_rows.append((rho, r.stats.num_steps, int(r.stats.vertex_visits.max())))
+        delta_rows = []
+        L = g.max_weight
+        for frac in [64, 16, 4, 1]:
+            delta = max(1.0, L / frac)
+            r = delta_star_stepping(g, s, delta, options=NOFUSE, seed=0,
+                                    record_visits=True)
+            delta_rows.append((frac, r.stats.num_steps, int(r.stats.vertex_visits.max())))
+        out[gname] = dict(k_n=k_n, bf=bf_steps, rho=rho_rows, delta=delta_rows, n=g.n)
+    return out
+
+
+def render(results) -> str:
+    lines = []
+    for gname, r in results.items():
+        lines.append(f"== {gname}: k_n={r['k_n']}, BF steps={r['bf']}, n={r['n']} ==")
+        lines.append(format_table(
+            ["rho", "steps", "max extractions/vertex"],
+            [list(row) for row in r["rho"]],
+            title="rho-stepping: steps ~ O(k_rho n / rho)",
+        ))
+        lines.append(format_table(
+            ["L/delta", "steps", "max extractions/vertex"],
+            [list(row) for row in r["delta"]],
+            title="delta*-stepping: steps ~ O(k_n (delta+L)/delta)",
+        ))
+        lines.append("")
+    return "\n".join(lines)
+
+
+def check_shapes(results) -> list[str]:
+    bad = []
+    for gname, r in results.items():
+        k_n = r["k_n"]
+        # Bellman-Ford: steps within a small constant of k_n.
+        if not r["bf"] <= 2 * k_n + 2:
+            bad.append(f"{gname}: BF steps {r['bf']} >> k_n={k_n}")
+        # Extraction lemma: no vertex extracted more than k_n times.
+        for rho, steps, max_ex in r["rho"]:
+            if not max_ex <= k_n:
+                bad.append(f"{gname}: rho={rho} max extractions {max_ex} > k_n={k_n}")
+        for frac, steps, max_ex in r["delta"]:
+            if not max_ex <= k_n:
+                bad.append(f"{gname}: L/delta={frac} max extractions {max_ex} > k_n")
+        # rho-stepping steps decrease (weakly) as rho grows, and the smallest
+        # rho uses at least 4x the steps of the largest.
+        rho_steps = [s for _, s, _ in r["rho"]]
+        if not all(b <= a for a, b in zip(rho_steps, rho_steps[1:])):
+            bad.append(f"{gname}: rho step counts not decreasing: {rho_steps}")
+        if not rho_steps[0] >= 2 * rho_steps[-1]:
+            bad.append(f"{gname}: rho step scaling too weak: {rho_steps}")
+        # delta* steps decrease as delta grows toward L.
+        d_steps = [s for _, s, _ in r["delta"]]
+        if not d_steps[0] >= d_steps[-1]:
+            bad.append(f"{gname}: delta* step counts not decreasing: {d_steps}")
+    return bad
+
+
+def test_bounds_validation(benchmark, graphs, pick_sources, save_result):
+    results = benchmark.pedantic(
+        run, args=(graphs, pick_sources), rounds=1, iterations=1
+    )
+    text = render(results)
+    violations = check_shapes(results)
+    if violations:
+        text += "\nSHAPE VIOLATIONS:\n" + "\n".join(violations)
+    save_result("bounds_validation", text)
+    assert not violations, violations

@@ -1,0 +1,88 @@
+"""Fig. 10 (Appendix F): Extract cost, tournament tree vs flat array, vs ρ.
+
+The paper initialises a LAB-PQ with 10^8 records and times 10 Extracts of
+the ρ cheapest records for varying ρ: the array's cost is flat (O(n) scan);
+the tree's grows with ρ (O(ρ log(n/ρ)) node touches) and crosses the array
+around ρ = 2^19.  At our scaled-down n the same crossover appears at a
+proportionally smaller ρ.
+
+We report both *counted work* (slots/nodes touched — scale-free ground
+truth) and the machine-model time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.pq import FlatPQ, TournamentPQ
+from repro.runtime import DEFAULT_PROFILE
+
+N = 1 << 20
+RHOS = [1 << e for e in range(6, 20, 2)]
+
+
+def _extract_cost(PQ, rho: int) -> int:
+    dist = np.random.default_rng(0).random(N)
+    # dense_frac ~ 0 forces the flat PQ onto its O(n)-scan (array) path.
+    q = PQ(dist) if PQ is TournamentPQ else PQ(dist, dense_frac=1e-9, seed=0)
+    q.update(np.arange(N))
+    if PQ is TournamentPQ:
+        q.min_key()  # flush construction sync; not part of Extract cost
+    theta = float(np.partition(dist, rho - 1)[rho - 1])
+    q.extract(theta)
+    return q.last_extract_scanned
+
+
+def run_extracts():
+    rows = []
+    for rho in RHOS:
+        tree = _extract_cost(TournamentPQ, rho)
+        flat = _extract_cost(FlatPQ, rho)
+        rows.append((rho, tree, flat))
+    return rows
+
+
+def render(rows) -> str:
+    c = DEFAULT_PROFILE
+    table = [
+        [int(np.log2(rho)), tree, flat,
+         tree * c.pq_touch * 1e-6, flat * c.vertex_scan * 1e-6,
+         "tree" if tree * c.pq_touch < flat * c.vertex_scan else "array"]
+        for rho, tree, flat in rows
+    ]
+    return format_table(
+        ["log2(rho)", "tree touches", "array scans", "tree ms(model)",
+         "array ms(model)", "cheaper"],
+        table, floatfmt=".3g",
+        title=f"Fig. 10: Extract cost vs rho on n=2^20 records",
+    )
+
+
+def check_shapes(rows) -> list[str]:
+    bad = []
+    c = DEFAULT_PROFILE
+    tree_t = [t * c.pq_touch for _, t, _ in rows]
+    flat_t = [f * c.vertex_scan for _, _, f in rows]
+    # Array cost is flat in rho (within 2x across the sweep).
+    if not max(flat_t) < 2 * min(flat_t):
+        bad.append("array extract cost is not flat in rho")
+    # Tree cost grows with rho.
+    if not tree_t[-1] > 4 * tree_t[0]:
+        bad.append("tree extract cost does not grow with rho")
+    # Crossover: tree cheaper at the smallest rho, array cheaper at the largest.
+    if not tree_t[0] < flat_t[0]:
+        bad.append("tree not cheaper at small rho")
+    if not flat_t[-1] < tree_t[-1]:
+        bad.append("array not cheaper at large rho")
+    return bad
+
+
+def test_fig10_labpq(benchmark, save_result):
+    rows = benchmark.pedantic(run_extracts, rounds=1, iterations=1)
+    text = render(rows)
+    violations = check_shapes(rows)
+    if violations:
+        text += "\nSHAPE VIOLATIONS:\n" + "\n".join(violations)
+    save_result("fig10_labpq", text)
+    assert not violations, violations

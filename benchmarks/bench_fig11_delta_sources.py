@@ -1,0 +1,86 @@
+"""Fig. 11: Δ-sweep stability across source vertices.
+
+For each Δ-stepping implementation, sweep a window of Δ values around the
+best, once per source, normalising each source's curve to its own best.
+
+Expected shape (paper): the best Δ is relatively stable across sources —
+the best Δ for one source costs at most tens of percent on another.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import (
+    IMPLEMENTATIONS,
+    best_param,
+    format_table,
+    pow2_range,
+    simulated_time,
+    sweep_param,
+)
+
+DELTA_IMPLS = ["GAPBS", "Julienne", "Galois", "PQ-delta"]
+GRAPHS = ["FT", "WB"]  # the Fig. 11 pair (one undirected, one directed)
+NUM_SOURCES = 4
+
+
+def run(graphs, pick_sources, machine):
+    out = {}
+    for gname in GRAPHS:
+        g = graphs(gname)
+        sources = pick_sources(g, NUM_SOURCES)
+        for key in DELTA_IMPLS:
+            impl = IMPLEMENTATIONS[key]
+            centre = best_param(impl, g, pow2_range(6, 18), sources[0], machine)
+            exp = int(np.log2(centre))
+            window = [float(2**e) for e in range(max(4, exp - 3), exp + 4)]
+            per_source = [
+                sweep_param(impl, g, window, [s], machine, seed=0)
+                for s in sources
+            ]
+            out[(key, gname)] = (window, per_source)
+    return out
+
+
+def render(results) -> str:
+    lines = []
+    for (key, gname), (window, per_source) in results.items():
+        headers = ["log2(delta)"] + [f"src{j}" for j in range(len(per_source))]
+        rows = []
+        for i, p in enumerate(window):
+            rows.append([int(np.log2(p))] + [sw.relative()[i] for sw in per_source])
+        lines.append(format_table(
+            headers, rows, floatfmt=".3f",
+            title=f"Fig. 11 [{key} / {gname}]: per-source time relative to "
+                  "that source's best delta",
+        ))
+        lines.append("")
+    return "\n".join(lines)
+
+
+def check_shapes(results) -> list[str]:
+    bad = []
+    for (key, gname), (window, per_source) in results.items():
+        # Best delta of source 0, evaluated on every other source, costs less
+        # than 60% extra (paper: ~20%; wider tolerance at stand-in scale).
+        best0 = per_source[0].best_index
+        for j, sw in enumerate(per_source[1:], start=1):
+            rel = sw.relative()[best0]
+            if not rel < 1.6:
+                bad.append(
+                    f"{key}/{gname}: src0's best delta costs {rel:.2f}x on src{j}"
+                )
+    return bad
+
+
+def test_fig11_delta_sources(benchmark, graphs, pick_sources, machine, save_result):
+    results = benchmark.pedantic(
+        run, args=(graphs, pick_sources, machine), rounds=1, iterations=1
+    )
+    text = render(results)
+    violations = check_shapes(results)
+    if violations:
+        text += "\nSHAPE VIOLATIONS:\n" + "\n".join(violations)
+    save_result("fig11_delta_sources", text)
+    assert not violations, violations

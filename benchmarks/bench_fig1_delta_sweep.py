@@ -1,0 +1,91 @@
+"""Figs. 1 & 12: Δ-sweep sensitivity of every Δ-stepping implementation.
+
+For each Δ-stepping system and each graph, sweep Δ over powers of two and
+report time relative to that system's best Δ (the red-star protocol).
+
+Expected shapes (paper Sec. 7): the curves are U-shaped; the best Δ differs
+across implementations on the same graph and across graphs for the same
+implementation; being 4-8x off the best Δ costs tens of percent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import (
+    IMPLEMENTATIONS,
+    format_series,
+    format_table,
+    pow2_range,
+    sweep_param,
+)
+from repro.datasets import road_names, scale_free_names
+
+DELTA_IMPLS = ["GAPBS", "Julienne", "Galois", "PQ-delta"]
+GRID = pow2_range(6, 18)
+GRAPHS = ["TW", "FT", "WB", "GE", "USA"]  # the Fig. 1 selection + extras
+
+
+def run_sweeps(graphs, pick_sources, machine, num_sources):
+    out = {}
+    for gname in GRAPHS:
+        g = graphs(gname)
+        sources = pick_sources(g, max(1, num_sources // 2))
+        for key in DELTA_IMPLS:
+            out[(key, gname)] = sweep_param(
+                IMPLEMENTATIONS[key], g, GRID, sources, machine, seed=0
+            )
+    return out
+
+
+def render(sweeps) -> str:
+    lines = []
+    for gname in GRAPHS:
+        headers = ["log2(delta)"] + DELTA_IMPLS
+        rows = []
+        for i, p in enumerate(GRID):
+            rows.append(
+                [int(np.log2(p))]
+                + [sweeps[(key, gname)].relative()[i] for key in DELTA_IMPLS]
+            )
+        lines.append(format_table(
+            headers, rows, floatfmt=".3f",
+            title=f"Fig. 1 [{gname}]: time relative to each impl's best delta",
+        ))
+        best = [f"{key}: 2^{int(np.log2(sweeps[(key, gname)].best_param))}"
+                for key in DELTA_IMPLS]
+        lines.append("best delta (red stars): " + ", ".join(best) + "\n")
+    return "\n".join(lines)
+
+
+def check_shapes(sweeps) -> list[str]:
+    bad = []
+    best_exps = {}
+    for (key, gname), sw in sweeps.items():
+        rel = sw.relative()
+        best_exps[(key, gname)] = int(np.log2(sw.best_param))
+        # A badly-chosen delta hurts: the worst grid point costs >= 25% extra.
+        if not max(rel) > 1.25:
+            bad.append(f"{key}/{gname}: sweep too flat (max rel {max(rel):.2f})")
+    # The best delta is inconsistent across implementations on some graph.
+    spread = [
+        max(best_exps[(k, g)] for k in DELTA_IMPLS)
+        - min(best_exps[(k, g)] for k in DELTA_IMPLS)
+        for g in GRAPHS
+    ]
+    if not max(spread) >= 2:
+        bad.append(f"best-delta spread across impls too small: {spread}")
+    return bad
+
+
+def test_fig1_delta_sweep(benchmark, graphs, pick_sources, machine, num_sources, save_result):
+    sweeps = benchmark.pedantic(
+        run_sweeps, args=(graphs, pick_sources, machine, num_sources),
+        rounds=1, iterations=1,
+    )
+    text = render(sweeps)
+    violations = check_shapes(sweeps)
+    if violations:
+        text += "\nSHAPE VIOLATIONS:\n" + "\n".join(violations)
+    save_result("fig1_delta_sweep", text)
+    assert not violations, violations

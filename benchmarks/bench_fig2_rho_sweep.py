@@ -1,0 +1,82 @@
+"""Fig. 2: ρ-sweep sensitivity of ρ-stepping across all seven graphs.
+
+Expected shapes (paper): trends are consistent across graphs; small ρ is
+expensive (lost parallelism); for large ρ the curve is flat (within ~20% of
+best); the best ρ is confined to a narrow band even though graph sizes vary
+by orders of magnitude; one fixed ρ is near-best everywhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import IMPLEMENTATIONS, format_table, pow2_range, sweep_param
+from repro.core import DEFAULT_RHO
+from repro.datasets import road_names, scale_free_names
+
+GRID = pow2_range(4, 15)
+GRAPHS = scale_free_names() + road_names()
+
+
+def run_sweeps(graphs, pick_sources, machine, num_sources):
+    impl = IMPLEMENTATIONS["PQ-rho"]
+    out = {}
+    for gname in GRAPHS:
+        g = graphs(gname)
+        sources = pick_sources(g, max(1, num_sources // 2))
+        out[gname] = sweep_param(impl, g, GRID, sources, machine, seed=0)
+    return out
+
+
+def render(sweeps) -> str:
+    headers = ["log2(rho)"] + GRAPHS
+    rows = []
+    for i, p in enumerate(GRID):
+        rows.append([int(np.log2(p))] + [sweeps[g].relative()[i] for g in GRAPHS])
+    out = format_table(
+        headers, rows, floatfmt=".3f",
+        title="Fig. 2: rho-stepping time relative to best rho, per graph",
+    )
+    best = ", ".join(f"{g}: 2^{int(np.log2(sweeps[g].best_param))}" for g in GRAPHS)
+    fixed = [sweeps[g].time_at(float(DEFAULT_RHO)) / sweeps[g].best_time for g in GRAPHS]
+    out += f"\nbest rho per graph: {best}"
+    out += (f"\nfixed rho = 2^{int(np.log2(DEFAULT_RHO))} is within "
+            f"{max(fixed):.2f}x of best (per graph: "
+            + ", ".join(f"{g}={x:.2f}" for g, x in zip(GRAPHS, fixed)) + ")")
+    return out
+
+
+def check_shapes(sweeps) -> list[str]:
+    bad = []
+    sf = scale_free_names()
+    # On scale-free graphs the fixed rho stays close to the best (paper: ~5%;
+    # accept 35% at stand-in scale).
+    for g in sf:
+        ratio = sweeps[g].time_at(float(DEFAULT_RHO)) / sweeps[g].best_time
+        if not ratio < 1.35:
+            bad.append(f"{g}: fixed rho is {ratio:.2f}x best (want < 1.35)")
+    # Small rho loses parallelism: the smallest grid point is clearly worse
+    # than the best on scale-free graphs.
+    for g in sf:
+        rel = sweeps[g].relative()
+        if not rel[0] > 1.3:
+            bad.append(f"{g}: tiny rho not penalised (rel {rel[0]:.2f})")
+    # Best-rho band is narrow across scale-free graphs (paper: 2^19-2^22,
+    # a 3-octave band).
+    exps = [int(np.log2(sweeps[g].best_param)) for g in sf]
+    if not max(exps) - min(exps) <= 4:
+        bad.append(f"best-rho band too wide on scale-free graphs: {exps}")
+    return bad
+
+
+def test_fig2_rho_sweep(benchmark, graphs, pick_sources, machine, num_sources, save_result):
+    sweeps = benchmark.pedantic(
+        run_sweeps, args=(graphs, pick_sources, machine, num_sources),
+        rounds=1, iterations=1,
+    )
+    text = render(sweeps)
+    violations = check_shapes(sweeps)
+    if violations:
+        text += "\nSHAPE VIOLATIONS:\n" + "\n".join(violations)
+    save_result("fig2_rho_sweep", text)
+    assert not violations, violations

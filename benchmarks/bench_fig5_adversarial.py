@@ -1,0 +1,67 @@
+"""Fig. 5: the comb gadget separating Δ-stepping from Δ*-stepping.
+
+The gadget has Θ(Δ) shortest-path-tree depth per block.  Classic Δ-stepping
+(FinishCheck) must settle each block's unit chain with Δ Bellman-Ford
+substeps before advancing — Θ(n/Δ · Δ) = Θ(n) substeps total.  Δ*-stepping
+advances the window every step and pipelines the chains: O(n/Δ + Δ) steps.
+
+Expected shape: Δ's step count grows like blocks x delta; Δ*'s like
+blocks + delta; the ratio grows linearly with the gadget size.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.core import SteppingOptions, delta_star_stepping, delta_stepping
+from repro.graphs import delta_adversarial
+
+CASES = [(16, 16), (32, 32), (64, 64), (128, 64)]
+NOFUSE = SteppingOptions(fusion=False)
+
+
+def run_gadgets():
+    rows = []
+    for blocks, delta in CASES:
+        g = delta_adversarial(blocks, delta)
+        d = delta_stepping(g, 0, float(delta), options=NOFUSE, seed=0)
+        ds = delta_star_stepping(g, 0, float(delta), options=NOFUSE, seed=0)
+        assert (d.dist == ds.dist).all()
+        rows.append((blocks, delta, g.n, d.stats.num_steps, ds.stats.num_steps))
+    return rows
+
+
+def render(rows) -> str:
+    table = [
+        [b, d, n, sd, sds, sd / sds, b * d, b + d]
+        for b, d, n, sd, sds in rows
+    ]
+    return format_table(
+        ["blocks", "delta", "n", "delta-steps", "delta*-steps", "ratio",
+         "~blocks*delta", "~blocks+delta"],
+        table,
+        floatfmt=".3g",
+        title="Fig. 5 gadget: substep counts, delta-stepping vs delta*-stepping",
+    )
+
+
+def check_shapes(rows) -> list[str]:
+    bad = []
+    for b, d, n, sd, sds in rows:
+        if not sd >= 0.5 * b * d:
+            bad.append(f"({b},{d}): delta-stepping too few substeps ({sd})")
+        if not sds <= 3 * (b + d):
+            bad.append(f"({b},{d}): delta*-stepping too many steps ({sds})")
+    ratios = [sd / sds for _, _, _, sd, sds in rows]
+    if not ratios[-1] > 2 * ratios[0]:
+        bad.append(f"separation does not grow with gadget size: {ratios}")
+    return bad
+
+
+def test_fig5_adversarial(benchmark, save_result):
+    rows = benchmark.pedantic(run_gadgets, rounds=1, iterations=1)
+    text = render(rows)
+    violations = check_shapes(rows)
+    if violations:
+        text += "\nSHAPE VIOLATIONS:\n" + "\n".join(violations)
+    save_result("fig5_adversarial", text)
+    assert not violations, violations

@@ -1,0 +1,89 @@
+"""Figs. 7 & 13: vertices (and edges) visited in each step for PQ-ρ, PQ-Δ, PQ-BF.
+
+One source per graph, as in the paper ("unclear meaning to average per-step
+curves over sources").  Fig. 7 shows four representative graphs; Fig. 13 is
+the full set including the road graphs — both come out of this bench.
+
+Expected shapes (paper Sec. 7): on scale-free graphs PQ-BF ramps to a huge
+dense peak in few steps, PQ-Δ uses more steps with a higher peak than PQ-ρ,
+and PQ-ρ spreads a moderate frontier evenly across steps.  On road graphs
+all three run long, thin frontiers, with PQ-BF paying many more visits in
+total than the windowed algorithms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import best_param, format_series, pow2_range
+from repro.core import DEFAULT_RHO, bellman_ford, delta_star_stepping, rho_stepping
+from repro.datasets import scale_free_names
+
+SCALE_FREE = ["TW", "FT", "WB", "OK"]
+ROAD = ["GE", "USA"]
+GRAPHS = SCALE_FREE + ROAD
+
+
+def run_profiles(graphs, pick_sources, machine):
+    out = {}
+    for gname in GRAPHS:
+        g = graphs(gname)
+        s = pick_sources(g, 1)[0]
+        from repro.analysis import IMPLEMENTATIONS
+
+        delta = best_param(IMPLEMENTATIONS["PQ-delta"], g, pow2_range(8, 18), s, machine)
+        out[gname] = {
+            "PQ-rho": rho_stepping(g, s, DEFAULT_RHO, seed=0).stats,
+            "PQ-delta": delta_star_stepping(g, s, delta, seed=0).stats,
+            "PQ-BF": bellman_ford(g, s, seed=0).stats,
+        }
+    return out
+
+
+def render(profiles) -> str:
+    lines = []
+    for gname, stats in profiles.items():
+        lines.append(f"== Fig. 7 [{gname}]: vertices visited per step ==")
+        for key, st in stats.items():
+            sizes = st.frontier_sizes()
+            lines.append(
+                f"-- {key}: steps={st.num_steps} peak={sizes.max()} "
+                f"total={sizes.sum()}"
+            )
+            lines.append(format_series(range(len(sizes)), sizes,
+                                       x_label="step", y_label="frontier"))
+        lines.append("")
+    return "\n".join(lines)
+
+
+def check_shapes(profiles) -> list[str]:
+    bad = []
+    for gname in SCALE_FREE:
+        stats = profiles[gname]
+        peak = {k: st.frontier_sizes().max() for k, st in stats.items()}
+        total = {k: st.frontier_sizes().sum() for k, st in stats.items()}
+        steps = {k: st.num_steps for k, st in stats.items()}
+        if not peak["PQ-rho"] <= peak["PQ-BF"]:
+            bad.append(f"{gname}: rho peak {peak['PQ-rho']} > BF peak {peak['PQ-BF']}")
+        if not steps["PQ-BF"] <= steps["PQ-rho"]:
+            bad.append(f"{gname}: BF should use the fewest steps")
+        if not total["PQ-rho"] <= total["PQ-BF"]:
+            bad.append(f"{gname}: rho total visits should not exceed BF")
+    for gname in ROAD:
+        stats = profiles[gname]
+        total = {k: st.frontier_sizes().sum() for k, st in stats.items()}
+        if not total["PQ-delta"] < total["PQ-BF"]:
+            bad.append(f"{gname}: road delta* visits should undercut BF")
+    return bad
+
+
+def test_fig7_frontier_steps(benchmark, graphs, pick_sources, machine, save_result):
+    profiles = benchmark.pedantic(
+        run_profiles, args=(graphs, pick_sources, machine), rounds=1, iterations=1
+    )
+    text = render(profiles)
+    violations = check_shapes(profiles)
+    if violations:
+        text += "\nSHAPE VIOLATIONS:\n" + "\n".join(violations)
+    save_result("fig7_frontier_steps", text)
+    assert not violations, violations

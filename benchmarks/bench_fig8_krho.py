@@ -1,0 +1,77 @@
+"""Fig. 8: k_ρ vs ρ curves for every graph (sampled, as in the paper).
+
+Expected shapes (paper): on scale-free graphs, k at ρ = sqrt(n) stays around
+log n (they are (log n, sqrt n)-graphs); on road graphs, reaching sqrt(n)
+nearest vertices takes far more hops, and k_n is on the order of sqrt(n) —
+orders of magnitude deeper than the scale-free k_n ~ 2 log n.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.datasets import road_names, scale_free_names
+from repro.graphs import estimate_k_rho
+
+GRAPHS = scale_free_names() + road_names()
+
+
+def run_krho(graphs):
+    out = {}
+    for gname in GRAPHS:
+        g = graphs(gname)
+        n = g.n
+        logn = max(2, int(np.log2(n + 1)))
+        rhos = sorted({logn, int(np.sqrt(n)), n // logn, n // 10, n})
+        out[gname] = (n, estimate_k_rho(g, rhos=rhos, num_samples=20, seed=7))
+    return out
+
+
+def render(results) -> str:
+    rows = []
+    for gname, (n, est) in results.items():
+        d = est.as_dict()
+        logn = max(2, int(np.log2(n + 1)))
+        rows.append([
+            gname, n,
+            d.get(logn, "-"), d.get(int(np.sqrt(n)), "-"),
+            d.get(n // logn, "-"), d.get(n // 10, "-"), d.get(n, "-"),
+        ])
+    return format_table(
+        ["graph", "n", "k(log n)", "k(sqrt n)", "k(n/log n)", "k(n/10)", "k(n)"],
+        rows,
+        title="Fig. 8: estimated k_rho at the paper's rho grid (20 samples)",
+    )
+
+
+def check_shapes(results) -> list[str]:
+    bad = []
+    for gname in scale_free_names():
+        n, est = results[gname]
+        k_sqrt = est.as_dict()[int(np.sqrt(n))]
+        if not k_sqrt <= 3 * np.log2(n):
+            bad.append(f"{gname}: k(sqrt n)={k_sqrt} exceeds ~3 log n")
+    for gname in road_names():
+        n, est = results[gname]
+        k_n = est.as_dict()[n]
+        if not k_n >= np.sqrt(n) / 4:
+            bad.append(f"{gname}: road k_n={k_n} too shallow (n={n})")
+    # The road/scale-free separation itself:
+    sf_kn = max(est.as_dict()[n] for g, (n, est) in results.items()
+                if g in scale_free_names())
+    rd_kn = min(est.as_dict()[n] for g, (n, est) in results.items()
+                if g in road_names())
+    if not rd_kn > 3 * sf_kn:
+        bad.append(f"road k_n ({rd_kn}) not >> scale-free k_n ({sf_kn})")
+    return bad
+
+
+def test_fig8_krho(benchmark, graphs, save_result):
+    results = benchmark.pedantic(run_krho, args=(graphs,), rounds=1, iterations=1)
+    text = render(results)
+    violations = check_shapes(results)
+    if violations:
+        text += "\nSHAPE VIOLATIONS:\n" + "\n".join(violations)
+    save_result("fig8_krho", text)
+    assert not violations, violations

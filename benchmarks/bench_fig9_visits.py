@@ -1,0 +1,84 @@
+"""Fig. 9: average number of visits per vertex and per edge (PQ-ρ, PQ-Δ, PQ-BF).
+
+Expected shapes (paper): on the larger scale-free graphs PQ-ρ triggers the
+fewest visits of the three; PQ-BF the most; on road graphs PQ-Δ visits the
+least and PQ-BF substantially more.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import IMPLEMENTATIONS, best_param, format_table, pow2_range
+from repro.core import DEFAULT_RHO, bellman_ford, delta_star_stepping, rho_stepping
+from repro.datasets import road_names, scale_free_names
+
+GRAPHS = scale_free_names() + road_names()
+
+
+def run_visits(graphs, pick_sources, machine, num_sources):
+    out = {}
+    for gname in GRAPHS:
+        g = graphs(gname)
+        sources = pick_sources(g, num_sources)
+        delta = best_param(
+            IMPLEMENTATIONS["PQ-delta"], g, pow2_range(8, 18), sources[0], machine
+        )
+        rho_best = best_param(
+            IMPLEMENTATIONS["PQ-rho"], g, pow2_range(6, 15), sources[0], machine
+        )
+        acc = {k: [0.0, 0.0] for k in ("PQ-rho", "PQ-delta", "PQ-BF")}
+        for s in sources:
+            runs = {
+                "PQ-rho": rho_stepping(g, s, int(rho_best), seed=0),
+                "PQ-delta": delta_star_stepping(g, s, delta, seed=0),
+                "PQ-BF": bellman_ford(g, s, seed=0),
+            }
+            for k, r in runs.items():
+                acc[k][0] += r.stats.visits_per_vertex(g.n)
+                acc[k][1] += r.stats.visits_per_edge(g.m)
+        out[gname] = {k: (v[0] / len(sources), v[1] / len(sources)) for k, v in acc.items()}
+    return out
+
+
+def render(results) -> str:
+    rows_v = [[k] + [results[g][k][0] for g in GRAPHS] for k in ("PQ-rho", "PQ-delta", "PQ-BF")]
+    rows_e = [[k] + [results[g][k][1] for g in GRAPHS] for k in ("PQ-rho", "PQ-delta", "PQ-BF")]
+    t1 = format_table(["impl"] + GRAPHS, rows_v, floatfmt=".2f",
+                      title="Fig. 9a: average visits per vertex")
+    t2 = format_table(["impl"] + GRAPHS, rows_e, floatfmt=".2f",
+                      title="\nFig. 9b: average visits per edge")
+    return t1 + "\n" + t2
+
+
+def check_shapes(results) -> list[str]:
+    bad = []
+    # Large scale-free graphs: rho visits fewest vertices, BF most.
+    for g in ("TW", "FT", "WB"):
+        r = results[g]
+        if not r["PQ-rho"][0] <= r["PQ-BF"][0]:
+            bad.append(f"{g}: rho vertex visits exceed BF")
+        if not r["PQ-rho"][1] <= r["PQ-BF"][1]:
+            bad.append(f"{g}: rho edge visits exceed BF")
+    # Road graphs: delta* stays lean (within noise of rho at stand-in scale)
+    # and BF pays substantially more redundant work.
+    for g in road_names():
+        r = results[g]
+        if not r["PQ-delta"][0] <= 1.6 * r["PQ-rho"][0]:
+            bad.append(f"{g}: delta* vertex visits far exceed rho")
+        if not r["PQ-BF"][0] > 1.5 * r["PQ-delta"][0]:
+            bad.append(f"{g}: BF road visits not >> delta*")
+    return bad
+
+
+def test_fig9_visits(benchmark, graphs, pick_sources, machine, num_sources, save_result):
+    results = benchmark.pedantic(
+        run_visits, args=(graphs, pick_sources, machine, num_sources),
+        rounds=1, iterations=1,
+    )
+    text = render(results)
+    violations = check_shapes(results)
+    if violations:
+        text += "\nSHAPE VIOLATIONS:\n" + "\n".join(violations)
+    save_result("fig9_visits", text)
+    assert not violations, violations

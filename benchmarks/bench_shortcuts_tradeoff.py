@@ -1,0 +1,88 @@
+"""Sec. 1's hopset argument: shortcuts trade work (and memory) for span.
+
+Augments a road graph with ρ-nearest shortcuts (Shi–Spencer / Radius-
+stepping preprocessing) and compares rounds vs edge work against the
+preprocessing-free algorithms.
+
+Expected shapes: rounds drop sharply with ρ while total edge relaxations
+and graph memory grow — and ρ-stepping/Δ*-stepping reach competitive step
+counts *without* the Ω(nρ) edge blow-up, which is the paper's motivation
+for avoiding shortcuts altogether.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.core import (
+    SteppingOptions,
+    add_shortcuts,
+    bellman_ford,
+    delta_star_stepping,
+    shi_spencer_sssp,
+)
+from repro.graphs import road_grid
+
+NOFUSE = SteppingOptions(fusion=False, bidirectional=False)
+RHOS = [4, 16, 64]
+
+
+def run_tradeoff():
+    g = road_grid(48, max_weight=float(2**12), seed=11)
+    s = 0
+    base = bellman_ford(g, s, options=NOFUSE, seed=0)
+    rows = [("BF (no shortcuts)", g.m, base.stats.num_steps,
+             base.stats.total_edge_visits)]
+    ds = delta_star_stepping(g, s, float(2**10), options=NOFUSE, seed=0)
+    rows.append(("delta* (no shortcuts)", g.m, ds.stats.num_steps,
+                 ds.stats.total_edge_visits))
+    for rho in RHOS:
+        sc = add_shortcuts(g, rho)
+        res = shi_spencer_sssp(sc, s, options=NOFUSE, seed=0)
+        assert np.allclose(res.dist, base.dist, equal_nan=True)
+        rows.append((f"shi-spencer rho={rho}", sc.graph.m,
+                     res.stats.num_steps, res.stats.total_edge_visits))
+    return rows
+
+
+def render(rows) -> str:
+    base_m = rows[0][1]
+    table = [
+        [name, m, f"{m / base_m:.2f}x", steps, edges]
+        for name, m, steps, edges in rows
+    ]
+    return format_table(
+        ["algorithm", "edges stored", "memory blow-up", "rounds", "edge relaxations"],
+        table,
+        title="Shortcut (hopset) work-span trade-off on a road graph",
+    )
+
+
+def check_shapes(rows) -> list[str]:
+    bad = []
+    base = rows[0]
+    shortcut_rows = rows[2:]
+    # Rounds drop monotonically with rho and beat plain BF.
+    steps = [r[2] for r in shortcut_rows]
+    if not all(b <= a for a, b in zip(steps, steps[1:])):
+        bad.append(f"shortcut rounds not decreasing in rho: {steps}")
+    if not steps[-1] * 4 < base[2]:
+        bad.append(f"largest rho does not cut rounds 4x: {steps[-1]} vs {base[2]}")
+    # ... but memory and work grow with rho.
+    mems = [r[1] for r in shortcut_rows]
+    if not all(b > a for a, b in zip(mems, mems[1:])):
+        bad.append(f"shortcut memory not increasing in rho: {mems}")
+    if not mems[-1] > 2 * base[1]:
+        bad.append(f"largest rho lacks the edge blow-up: {mems[-1]} vs {base[1]}")
+    return bad
+
+
+def test_shortcuts_tradeoff(benchmark, save_result):
+    rows = benchmark.pedantic(run_tradeoff, rounds=1, iterations=1)
+    text = render(rows)
+    violations = check_shapes(rows)
+    if violations:
+        text += "\nSHAPE VIOLATIONS:\n" + "\n".join(violations)
+    save_result("shortcuts_tradeoff", text)
+    assert not violations, violations

@@ -1,0 +1,142 @@
+"""Table 4 + Fig. 3: overall performance of all eight implementations.
+
+Reproduces the paper's protocol exactly:
+
+* Δ-stepping systems report their best time over a Δ sweep, with the best Δ
+  chosen on one tuning source and reused for the other sources (Sec. 7).
+* ρ-stepping reports both the fixed-ρ time (``PQ-ρ-fix``) and the best over
+  a ρ sweep (``PQ-ρ-best``).
+* Table 4 rows: simulated parallel time, simulated sequential time, and
+  self-speedup (SU).  Fig. 3: the relative-time heat map (1.00 = fastest on
+  each graph).
+
+Expected shape (paper): PQ-ρ fastest on all five scale-free graphs
+(1.3-2.5x over prior systems); PQ-Δ fastest on the road graphs; Julienne
+collapses on road graphs; Ligra is the slowest BF on road graphs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import (
+    IMPLEMENTATIONS,
+    best_param,
+    format_heatmap_row,
+    format_table,
+    pow2_range,
+    simulated_time,
+)
+from repro.core import DEFAULT_RHO
+from repro.datasets import road_names, scale_free_names
+from repro.runtime import MachineModel
+
+GRAPH_ORDER = scale_free_names() + road_names()
+DELTA_GRID = pow2_range(6, 18)
+RHO_GRID = pow2_range(6, 15)
+
+
+def _measure(impl, graph, sources, machine, param):
+    par, seq, su = [], [], []
+    seq_machine = MachineModel(P=1, smt_yield=1.0)
+    for s in sources:
+        res = impl.run(graph, s, param, seed=0)
+        par.append(simulated_time(res, machine, impl.profile))
+        seq.append(seq_machine.time_seconds(res.stats, impl.profile))
+    return float(np.mean(par)), float(np.mean(seq))
+
+
+def run_table4(graphs, pick_sources, machine, num_sources):
+    table = {}  # (impl, graph) -> (par, seq, param)
+    for gname in GRAPH_ORDER:
+        g = graphs(gname)
+        sources = pick_sources(g, num_sources)
+        for key, impl in IMPLEMENTATIONS.items():
+            if impl.family == "delta":
+                p = best_param(impl, g, DELTA_GRID, sources[0], machine)
+                table[(key, gname)] = (*_measure(impl, g, sources, machine, p), p)
+            elif impl.family == "rho":
+                fix = _measure(impl, g, sources, machine, DEFAULT_RHO)
+                table[("PQ-rho-fix", gname)] = (*fix, DEFAULT_RHO)
+                best_rho = best_param(impl, g, RHO_GRID, sources[0], machine)
+                best = _measure(impl, g, sources, machine, best_rho)
+                if best[0] > fix[0]:
+                    best, best_rho = fix, DEFAULT_RHO
+                table[("PQ-rho-best", gname)] = (*best, best_rho)
+            else:
+                table[(key, gname)] = (*_measure(impl, g, sources, machine, None), None)
+    return table
+
+
+ROWS = ["GAPBS", "Julienne", "Galois", "PQ-delta", "Ligra", "PQ-BF", "PQ-rho-fix", "PQ-rho-best"]
+
+
+def render(table) -> str:
+    lines = []
+    # Table 4: parallel / sequential / speedup
+    headers = ["impl"] + [f"{g}(ms)" for g in GRAPH_ORDER]
+    rows = []
+    for key in ROWS:
+        rows.append([key] + [table[(key, g)][0] * 1e3 for g in GRAPH_ORDER])
+    lines.append(format_table(headers, rows, floatfmt=".4g",
+                              title="Table 4a: simulated parallel time (96 cores, ms)"))
+    rows = [[key] + [table[(key, g)][1] * 1e3 for g in GRAPH_ORDER] for key in ROWS]
+    lines.append(format_table(headers, rows, floatfmt=".4g",
+                              title="\nTable 4b: simulated sequential time (1 core, ms)"))
+    rows = [
+        [key] + [table[(key, g)][1] / table[(key, g)][0] for g in GRAPH_ORDER]
+        for key in ROWS
+    ]
+    lines.append(format_table(headers, rows, floatfmt=".3g",
+                              title="\nTable 4c: self-speedup (SU)"))
+    rows = [[key] + [table[(key, g)][2] for g in GRAPH_ORDER] for key in ROWS]
+    lines.append(format_table(headers, rows, floatfmt=".6g",
+                              title="\nTable 4d: parameter used (best delta / rho)"))
+
+    # Fig. 3 heat map: relative to the fastest per graph + family averages.
+    lines.append("\nFig. 3: relative parallel running time (1.00 = fastest per graph)")
+    lines.append("            " + "".join(g.rjust(7) for g in GRAPH_ORDER)
+                 + "sfAvg".rjust(7) + "rdAvg".rjust(7))
+    best_per_graph = {
+        g: min(table[(k, g)][0] for k in ROWS) for g in GRAPH_ORDER
+    }
+    for key in ROWS:
+        rel = [table[(key, g)][0] / best_per_graph[g] for g in GRAPH_ORDER]
+        sf = float(np.mean(rel[: len(scale_free_names())]))
+        rd = float(np.mean(rel[len(scale_free_names()):]))
+        lines.append(format_heatmap_row(key, rel + [sf, rd]))
+    return "\n".join(lines)
+
+
+def check_shapes(table) -> list[str]:
+    """The paper's headline claims; returns a list of violations."""
+    bad = []
+    for g in scale_free_names():
+        rho = table[("PQ-rho-best", g)][0]
+        for key in ("GAPBS", "Julienne", "Galois", "Ligra"):
+            if not rho <= table[(key, g)][0]:
+                bad.append(f"{g}: PQ-rho-best not faster than {key}")
+    for g in road_names():
+        pqd = table[("PQ-delta", g)][0]
+        for key in ("Julienne", "Galois", "Ligra"):
+            if not pqd < table[(key, g)][0]:
+                bad.append(f"{g}: PQ-delta not faster than {key}")
+        if not pqd <= table[("GAPBS", g)][0] * 1.15:
+            bad.append(f"{g}: PQ-delta not competitive with GAPBS")
+        # Julienne's road collapse (paper: ~36x; require >3x).
+        if not table[("Julienne", g)][0] > 3 * pqd:
+            bad.append(f"{g}: Julienne road collapse not reproduced")
+    return bad
+
+
+def test_table4_overall(benchmark, graphs, pick_sources, machine, num_sources, save_result):
+    table = benchmark.pedantic(
+        run_table4, args=(graphs, pick_sources, machine, num_sources),
+        rounds=1, iterations=1,
+    )
+    text = render(table)
+    violations = check_shapes(table)
+    if violations:
+        text += "\n\nSHAPE VIOLATIONS:\n" + "\n".join(violations)
+    save_result("table4_overall", text)
+    assert not violations, violations

@@ -1,0 +1,76 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates one of the paper's tables or figures (DESIGN.md §4).
+Results are printed and also written to ``benchmarks/results/<bench>.txt`` so
+EXPERIMENTS.md can quote them.
+
+Environment knobs:
+
+* ``REPRO_SCALE``   — tiny / small / default dataset scale (default: small).
+* ``REPRO_SOURCES`` — number of source vertices to average over (default: 3;
+  the paper uses 10).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset
+from repro.runtime import MachineModel
+from repro.utils import spawn_generators
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def machine() -> MachineModel:
+    """The simulated 96-core (192-HT) machine from the paper's testbed."""
+    return MachineModel(P=96)
+
+
+@pytest.fixture(scope="session")
+def num_sources() -> int:
+    return int(os.environ.get("REPRO_SOURCES", "3"))
+
+
+@pytest.fixture(scope="session")
+def graphs():
+    """Memoised dataset loader (shared across benches in one session)."""
+    cache: dict = {}
+
+    def _load(name: str):
+        if name not in cache:
+            cache[name] = load_dataset(name)
+        return cache[name]
+
+    return _load
+
+
+@pytest.fixture(scope="session")
+def pick_sources():
+    """Deterministic random sources for a graph (excluding isolated ones)."""
+
+    def _pick(graph, count: int, seed: int = 1234) -> list[int]:
+        rng = spawn_generators(seed, 1)[0]
+        degs = graph.out_degree()
+        candidates = np.flatnonzero(degs > 0)
+        take = min(count, len(candidates))
+        return [int(v) for v in rng.choice(candidates, size=take, replace=False)]
+
+    return _pick
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    """Print a result block and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        print(f"\n===== {name} =====\n{text}\n")
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _save

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Parameter tuning: the Fig. 1 vs Fig. 2 story on your own graph.
+
+Sweeps Δ for Δ*-stepping and ρ for ρ-stepping on a graph of your choice and
+prints both curves side by side — showing the paper's point that Δ needs
+per-graph tuning while ρ is robust.
+
+Run:  python examples/parameter_tuning.py [rmat|road]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import MachineModel, delta_star_stepping, rho_stepping, rmat, road_grid
+from repro.analysis import format_series
+
+
+def main() -> None:
+    kind = sys.argv[1] if len(sys.argv) > 1 else "rmat"
+    if kind == "road":
+        graph = road_grid(70, max_weight=float(2**16), seed=5)
+    elif kind == "rmat":
+        graph = rmat(12, 12, seed=5)
+    else:
+        raise SystemExit(f"unknown graph kind {kind!r}; use rmat or road")
+    print(f"graph: {graph}")
+    machine = MachineModel(P=96)
+    source = 0
+
+    exps = range(6, 19, 2)
+    deltas = [2.0**e for e in exps]
+    d_times = []
+    for d in deltas:
+        res = delta_star_stepping(graph, source, d, seed=0)
+        d_times.append(machine.time_seconds(res.stats))
+    print("\ndelta sweep (delta*-stepping, simulated seconds):")
+    print(format_series([f"2^{e}" for e in exps], d_times,
+                        x_label="delta", y_label="time(s)"))
+    best_d = deltas[int(np.argmin(d_times))]
+    print(f"best delta = 2^{int(np.log2(best_d))}; "
+          f"worst/best = {max(d_times) / min(d_times):.2f}x")
+
+    rhos = [2**e for e in range(5, 14)]
+    r_times = []
+    for r in rhos:
+        res = rho_stepping(graph, source, r, seed=0)
+        r_times.append(machine.time_seconds(res.stats))
+    print("\nrho sweep (rho-stepping, simulated seconds):")
+    print(format_series([f"2^{int(np.log2(r))}" for r in rhos], r_times,
+                        x_label="rho", y_label="time(s)"))
+    best_r = rhos[int(np.argmin(r_times))]
+    print(f"best rho = 2^{int(np.log2(best_r))}; "
+          f"worst/best = {max(r_times) / min(r_times):.2f}x")
+
+    print("\npaper's takeaway: the delta curve is sharp and graph-dependent; "
+          "the rho curve is flat for any large rho — rho-stepping needs no "
+          "per-graph parameter search.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Quickstart: run ρ-stepping on a synthetic social network.
+
+Builds a power-law graph, computes single-source shortest paths with the
+paper's ρ-stepping algorithm, verifies against the sequential gold Dijkstra,
+and prints the run's work-span statistics plus the simulated time on the
+paper's 96-core machine.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import MachineModel, dijkstra_reference, rho_stepping, rmat
+
+
+def main() -> None:
+    # A scale-free graph in the style of the paper's social networks:
+    # 2^12 target vertices, average degree 16, weights uniform in [1, 2^18).
+    graph = rmat(scale=12, avg_degree=16, seed=42)
+    print(f"graph: {graph}")
+
+    source = 0
+    result = rho_stepping(graph, source, rho=2048, seed=0)
+
+    # Verify against the sequential oracle.
+    expected = dijkstra_reference(graph, source)
+    assert np.allclose(result.dist, expected, equal_nan=True)
+    print(f"distances verified against Dijkstra ({result.reached} reachable)")
+
+    # What did the run do?
+    s = result.stats
+    print(f"steps:             {s.num_steps}")
+    print(f"vertex visits:     {s.total_vertex_visits} "
+          f"({s.visits_per_vertex(graph.n):.2f} per vertex)")
+    print(f"edge relaxations:  {s.total_edge_visits} "
+          f"({s.visits_per_edge(graph.m):.2f} per edge)")
+
+    # Simulated time on the paper's machine (96 cores / 192 hyperthreads).
+    machine = MachineModel(P=96)
+    print(f"simulated parallel time: {machine.time_seconds(s) * 1e3:.3f} ms")
+    print(f"simulated self-speedup:  {machine.self_speedup(s):.1f}x")
+    print(f"single-core wall time:   {result.wall_seconds * 1e3:.1f} ms (this host)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""A miniature Table 4: all eight implementations on two stand-in graphs.
+
+Runs the full experiment harness end-to-end at a size that finishes in
+seconds — the same code path as `benchmarks/bench_table4_overall.py`, which
+reproduces the complete table.
+
+Run:  REPRO_SCALE=tiny python examples/reproduce_table4_mini.py
+"""
+
+import os
+
+os.environ.setdefault("REPRO_SCALE", "tiny")
+
+import numpy as np
+
+from repro.analysis import (
+    IMPLEMENTATIONS,
+    best_param,
+    compare_runs,
+    format_heatmap_row,
+    pow2_range,
+    simulated_time,
+)
+from repro.baselines import dijkstra_reference
+from repro.datasets import load_dataset
+from repro.runtime import MachineModel
+
+
+def main() -> None:
+    machine = MachineModel(P=96)
+    delta_grid = pow2_range(4, 16)
+    rho_grid = pow2_range(4, 12)
+
+    for gname in ("TW", "GE"):
+        g = load_dataset(gname)
+        expected = dijkstra_reference(g, 0)
+        print(f"\n=== {gname}: {g} ===")
+        runs, profiles, times = {}, {}, {}
+        for key, impl in IMPLEMENTATIONS.items():
+            grid = delta_grid if impl.family == "delta" else rho_grid
+            param = (
+                best_param(impl, g, grid, 0, machine)
+                if impl.family in ("delta", "rho") else None
+            )
+            res = impl.run(g, 0, param, seed=0)
+            assert np.allclose(res.dist, expected, equal_nan=True), key
+            runs[key] = res
+            profiles[key] = impl.profile
+            times[key] = simulated_time(res, machine, impl.profile)
+        print(compare_runs(runs, g.n, g.m, machine=machine, profiles=profiles))
+        best = min(times.values())
+        print("\nrelative (Fig. 3 row):")
+        print(format_heatmap_row(gname, [times[k] / best for k in IMPLEMENTATIONS]))
+        print("            " + "".join(k.rjust(7)[:7] for k in IMPLEMENTATIONS))
+    print("\n(every implementation verified against sequential Dijkstra)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Scale-free network analysis: why ρ-stepping wins on social graphs.
+
+Reproduces the paper's Sec. 7 narrative on one synthetic social network:
+
+1. measure the (k, ρ) signature — social networks are (log n, sqrt n)-graphs;
+2. compare how PQ-ρ / PQ-Δ / PQ-BF spread the frontier over steps (Fig. 7);
+3. show ρ-stepping's parameter robustness (Fig. 2's flat curve);
+4. report the Table 4-style simulated-time comparison on this graph.
+
+Run:  python examples/social_network_analysis.py
+"""
+
+import numpy as np
+
+from repro import (
+    MachineModel,
+    bellman_ford,
+    delta_star_stepping,
+    estimate_k_rho,
+    rho_stepping,
+    rmat,
+)
+
+
+def main() -> None:
+    graph = rmat(scale=13, avg_degree=12, seed=3)
+    n = graph.n
+    machine = MachineModel(P=96)
+    print(f"social network stand-in: {graph}")
+
+    # 1. The (k, rho) signature (Fig. 8).
+    logn = int(np.log2(n))
+    est = estimate_k_rho(graph, rhos=[logn, int(np.sqrt(n)), n // 10, n],
+                         num_samples=10, seed=0)
+    print("\n(k, rho) signature (sampled):")
+    for rho, k in est.as_dict().items():
+        print(f"  reach {rho:>6d} nearest vertices within {k:>3d} hops")
+    k_sqrt = est.as_dict()[int(np.sqrt(n))]
+    print(f"  -> a ({k_sqrt}, sqrt n)-graph with log2 n = {logn}: "
+          "hubs make everything close (the paper's scale-free signature)")
+
+    # 2. Frontier-per-step profiles (Fig. 7).
+    source = 0
+    runs = {
+        "PQ-rho": rho_stepping(graph, source, rho=n // 8, seed=0),
+        "PQ-delta": delta_star_stepping(graph, source, float(2**15), seed=0),
+        "PQ-BF": bellman_ford(graph, source, seed=0),
+    }
+    print("\nfrontier size per step (Fig. 7 shape):")
+    for name, res in runs.items():
+        sizes = res.stats.frontier_sizes()
+        profile = " ".join(str(int(x)) for x in sizes[:12])
+        print(f"  {name:9s} steps={len(sizes):3d} peak={sizes.max():6d}  [{profile} ...]")
+    print("  -> BF spikes to a huge dense peak; rho spreads moderate, even work")
+
+    # 3. Parameter robustness (Fig. 2 vs Fig. 1).
+    print("\nrho sweep (time relative to best):")
+    times = {}
+    for rho in [n // 64, n // 16, n // 8, n // 4, n // 2]:
+        res = rho_stepping(graph, source, rho, seed=0)
+        times[rho] = machine.time_seconds(res.stats)
+    best = min(times.values())
+    for rho, t in times.items():
+        print(f"  rho={rho:6d}: {t / best:5.2f}x")
+    print("  -> flat for any reasonably large rho: no per-graph tuning needed")
+
+    # 4. Simulated-time comparison.
+    print("\nsimulated 96-core time on this graph:")
+    for name, res in runs.items():
+        print(f"  {name:9s} {machine.time_seconds(res.stats) * 1e3:7.3f} ms "
+              f"(visits/vertex {res.stats.visits_per_vertex(n):.2f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""repro — a reproduction of *Efficient Stepping Algorithms and
+Implementations for Parallel Shortest Paths* (Dong, Gu, Sun, Zhang; SPAA 2021).
+
+Layers (see DESIGN.md for the full inventory):
+
+* :mod:`repro.graphs` — CSR graphs, generators, I/O, (k, ρ) analysis.
+* :mod:`repro.runtime` — deterministic batched atomics, work–span
+  accounting, and the simulated 96-core machine model.
+* :mod:`repro.pq` — the LAB-PQ ADT with flat-array and tournament-tree
+  implementations plus the scatter hash table and ρ-th-element sampling.
+* :mod:`repro.core` — the stepping framework (Algorithm 1) and the six
+  Table 2 algorithms; :func:`rho_stepping` and :func:`delta_star_stepping`
+  are the paper's new algorithms.
+* :mod:`repro.baselines` — GAPBS/Julienne/Galois/Ligra re-implementations
+  and the gold sequential Dijkstra.
+* :mod:`repro.datasets` / :mod:`repro.analysis` — stand-in benchmark graphs
+  and the sweep/report harness driving every table and figure.
+
+Quickstart::
+
+    from repro import rmat, rho_stepping
+    g = rmat(14, 16, seed=1)
+    result = rho_stepping(g, source=0)
+    print(result.dist[:10], result.stats.num_steps)
+"""
+
+from repro.baselines import dijkstra_reference
+from repro.core import (
+    DEFAULT_RHO,
+    SSSPResult,
+    SteppingOptions,
+    bellman_ford,
+    delta_star_stepping,
+    delta_stepping,
+    dijkstra_stepping,
+    radius_stepping,
+    rho_stepping,
+    stepping_sssp,
+)
+from repro.graphs import Graph, estimate_k_rho, rmat, road_geometric, road_grid
+from repro.pq import FlatPQ, LabPQ, TournamentPQ
+from repro.runtime import CostProfile, MachineModel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT_RHO",
+    "CostProfile",
+    "FlatPQ",
+    "Graph",
+    "LabPQ",
+    "MachineModel",
+    "SSSPResult",
+    "SteppingOptions",
+    "TournamentPQ",
+    "bellman_ford",
+    "delta_star_stepping",
+    "delta_stepping",
+    "dijkstra_reference",
+    "dijkstra_stepping",
+    "estimate_k_rho",
+    "radius_stepping",
+    "rho_stepping",
+    "rmat",
+    "road_geometric",
+    "road_grid",
+    "stepping_sssp",
+]

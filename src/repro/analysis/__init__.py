@@ -1,0 +1,40 @@
+"""Experiment harness: implementation registry, sweeps, reporting."""
+
+from repro.analysis.instrumentation import (
+    compare_runs,
+    run_to_json,
+    step_table,
+    steps_to_csv,
+)
+from repro.analysis.scaling import DEFAULT_CORE_GRID, scaling_curve, speedup_curve
+from repro.analysis.report import format_heatmap_row, format_series, format_table
+from repro.analysis.runners import (
+    IMPLEMENTATIONS,
+    Implementation,
+    average_simulated_time,
+    get_implementation,
+    simulated_time,
+)
+from repro.analysis.sweeps import SweepResult, best_param, pow2_range, sweep_param
+
+__all__ = [
+    "IMPLEMENTATIONS",
+    "Implementation",
+    "SweepResult",
+    "average_simulated_time",
+    "DEFAULT_CORE_GRID",
+    "best_param",
+    "compare_runs",
+    "format_heatmap_row",
+    "format_series",
+    "format_table",
+    "get_implementation",
+    "pow2_range",
+    "run_to_json",
+    "scaling_curve",
+    "simulated_time",
+    "speedup_curve",
+    "step_table",
+    "steps_to_csv",
+    "sweep_param",
+]

@@ -1,0 +1,116 @@
+"""Run inspection and export: step tables, run comparison, CSV/JSON dumps.
+
+The figures in the paper are all views over per-step instrumentation; this
+module turns an :class:`~repro.core.result.SSSPResult` into those views
+programmatically so users can build their own plots from the same data the
+benches print.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.core.result import SSSPResult
+from repro.runtime.machine import DEFAULT_PROFILE, CostProfile, MachineModel
+
+__all__ = [
+    "compare_runs",
+    "run_to_json",
+    "step_table",
+    "steps_to_csv",
+]
+
+_STEP_FIELDS = (
+    "index", "theta", "mode", "frontier", "edges", "relax_success",
+    "extract_scanned", "pq_touches", "sample_work", "waves", "max_task",
+)
+
+
+def step_table(result: SSSPResult, *, limit: int = 0) -> str:
+    """Render the per-step instrumentation as an aligned text table."""
+    steps = result.stats.steps[: limit or None]
+    rows = [[getattr(s, f) for f in _STEP_FIELDS] for s in steps]
+    title = f"{result.algorithm} from source {result.source}: {len(result.stats.steps)} steps"
+    if limit and len(result.stats.steps) > limit:
+        title += f" (showing first {limit})"
+    return format_table(list(_STEP_FIELDS), rows, floatfmt=".6g", title=title)
+
+
+def steps_to_csv(result: SSSPResult) -> str:
+    """Per-step records as CSV text (one row per step/substep)."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(_STEP_FIELDS)
+    for s in result.stats.steps:
+        writer.writerow([getattr(s, f) for f in _STEP_FIELDS])
+    return buf.getvalue()
+
+
+def run_to_json(
+    result: SSSPResult,
+    *,
+    machine: "MachineModel | None" = None,
+    profile: CostProfile = DEFAULT_PROFILE,
+    include_steps: bool = False,
+) -> str:
+    """A run summary (and optionally its steps) as a JSON document."""
+    machine = machine or MachineModel(P=96)
+    doc = {
+        "algorithm": result.algorithm,
+        "source": result.source,
+        "reached": result.reached,
+        "params": {
+            k: (v if isinstance(v, (int, float, str, bool)) else str(v))
+            for k, v in result.params.items()
+        },
+        "summary": result.stats.summary(),
+        "simulated_seconds": machine.time_seconds(result.stats, profile),
+        "simulated_self_speedup": machine.self_speedup(result.stats, profile),
+        "wall_seconds": result.wall_seconds,
+    }
+    if include_steps:
+        doc["steps"] = [
+            {f: getattr(s, f) for f in _STEP_FIELDS} for s in result.stats.steps
+        ]
+    return json.dumps(doc, indent=2, default=float)
+
+
+def compare_runs(
+    results: "dict[str, SSSPResult]",
+    n: int,
+    m: int,
+    *,
+    machine: "MachineModel | None" = None,
+    profiles: "dict[str, CostProfile] | None" = None,
+) -> str:
+    """Side-by-side comparison table of several runs on one graph.
+
+    ``results`` maps display labels to runs; ``profiles`` optionally maps the
+    same labels to cost personalities (defaults to ``DEFAULT_PROFILE``).
+    """
+    machine = machine or MachineModel(P=96)
+    profiles = profiles or {}
+    rows = []
+    for label, res in results.items():
+        prof = profiles.get(label, DEFAULT_PROFILE)
+        s = res.stats
+        rows.append([
+            label,
+            s.num_steps,
+            s.num_waves,
+            round(s.visits_per_vertex(n), 3),
+            round(s.visits_per_edge(m), 3),
+            machine.time_seconds(s, prof) * 1e3,
+            round(machine.self_speedup(s, prof), 1),
+        ])
+    rows.sort(key=lambda r: r[5])
+    return format_table(
+        ["impl", "steps", "waves", "v-visits", "e-visits", "sim ms", "SU"],
+        rows,
+        floatfmt=".4g",
+    )

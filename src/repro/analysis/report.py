@@ -1,0 +1,69 @@
+"""Plain-text rendering of tables, heat maps and series.
+
+The benchmark harness prints the same rows/series the paper's tables and
+figures report; these helpers keep that output aligned and diff-friendly so
+EXPERIMENTS.md can quote it directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["format_heatmap_row", "format_series", "format_table"]
+
+
+def _fmt(value, floatfmt: str) -> str:
+    if isinstance(value, float) or isinstance(value, np.floating):
+        if not np.isfinite(value):
+            return "-"
+        return format(value, floatfmt)
+    return str(value)
+
+
+def format_table(headers, rows, *, floatfmt: str = ".3g", title: str = "") -> str:
+    """Render an aligned fixed-width table."""
+    str_rows = [[_fmt(c, floatfmt) for c in row] for row in rows]
+    cols = [list(col) for col in zip(*([list(map(str, headers))] + str_rows))] if rows else [[str(h)] for h in headers]
+    widths = [max(len(c) for c in col) for col in cols]
+    def line(cells):
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(list(map(str, headers))))
+    out.append(line(["-" * w for w in widths]))
+    out.extend(line(r) for r in str_rows)
+    return "\n".join(out)
+
+
+def format_heatmap_row(label: str, values, *, width: int = 7) -> str:
+    """One row of a Fig. 3-style relative-time heat map (1.00 = fastest)."""
+    cells = []
+    for v in values:
+        if v is None or (isinstance(v, float) and not np.isfinite(v)):
+            cells.append("-".rjust(width))
+        else:
+            cells.append(f"{v:.2f}".rjust(width))
+    return label.ljust(12) + "".join(cells)
+
+
+def format_series(xs, ys, *, x_label: str = "x", y_label: str = "y", bar: bool = True,
+                  max_width: int = 48) -> str:
+    """Render an (x, y) series as rows with an optional log-scale bar chart.
+
+    Used to print figure data (frontier sizes per step, sweep curves) in a
+    form whose *shape* is readable in a terminal.
+    """
+    ys = np.asarray(list(ys), dtype=np.float64)
+    xs = list(xs)
+    finite = ys[np.isfinite(ys) & (ys > 0)]
+    lo = finite.min() if finite.size else 1.0
+    hi = finite.max() if finite.size else 1.0
+    lines = [f"{x_label:>12}  {y_label:>12}"]
+    for x, y in zip(xs, ys):
+        row = f"{str(x):>12}  {y:12.4g}"
+        if bar and np.isfinite(y) and y > 0 and hi > lo:
+            frac = (np.log(y) - np.log(lo)) / (np.log(hi) - np.log(lo))
+            row += "  " + "#" * max(1, int(round(frac * max_width)))
+        lines.append(row)
+    return "\n".join(lines)

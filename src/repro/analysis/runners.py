@@ -1,0 +1,128 @@
+"""Unified registry of SSSP implementations for the experiment harness.
+
+The paper's experiments compare eight implementations (Table 4 rows):
+GAPBS / Julienne / Galois / PQ-Δ in the Δ-stepping family, Ligra / PQ-BF in
+the Bellman-Ford family, and PQ-ρ (fixed and best ρ).  This module wraps
+them behind one callable signature and attaches each system's cost profile,
+so every benchmark drives every system identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.baselines import (
+    BASELINE_PROFILES,
+    galois_delta_stepping,
+    gapbs_delta_stepping,
+    julienne_delta_stepping,
+    ligra_bellman_ford,
+)
+from repro.core import (
+    DEFAULT_RHO,
+    bellman_ford,
+    delta_star_stepping,
+    rho_stepping,
+)
+from repro.core.result import SSSPResult
+from repro.graphs.csr import Graph
+from repro.runtime.machine import DEFAULT_PROFILE, CostProfile, MachineModel
+from repro.utils.errors import ParameterError
+
+__all__ = [
+    "IMPLEMENTATIONS",
+    "Implementation",
+    "average_simulated_time",
+    "get_implementation",
+    "simulated_time",
+]
+
+
+@dataclass(frozen=True)
+class Implementation:
+    """One comparable SSSP system.
+
+    ``family`` is ``"delta"`` (parameterised by Δ), ``"rho"`` (by ρ) or
+    ``"bf"`` (parameter-free); ``run(graph, source, param, seed)`` returns an
+    :class:`SSSPResult`; ``profile`` is the system's cost personality; and
+    ``ours`` marks the paper's own implementations (starred in Table 4).
+    """
+
+    key: str
+    family: str
+    run: Callable
+    profile: CostProfile
+    ours: bool = False
+
+
+def _pq_delta(graph, source, param, seed=None, **kw):
+    return delta_star_stepping(graph, source, param, seed=seed, **kw)
+
+
+def _pq_rho(graph, source, param, seed=None, **kw):
+    return rho_stepping(graph, source, int(param) if param else DEFAULT_RHO, seed=seed, **kw)
+
+
+def _pq_bf(graph, source, param=None, seed=None, **kw):
+    return bellman_ford(graph, source, seed=seed, **kw)
+
+
+def _gapbs(graph, source, param, seed=None, **kw):
+    return gapbs_delta_stepping(graph, source, param, **kw)
+
+
+def _julienne(graph, source, param, seed=None, **kw):
+    return julienne_delta_stepping(graph, source, param, **kw)
+
+
+def _galois(graph, source, param, seed=None, **kw):
+    return galois_delta_stepping(graph, source, param, **kw)
+
+
+def _ligra(graph, source, param=None, seed=None, **kw):
+    return ligra_bellman_ford(graph, source, **kw)
+
+
+IMPLEMENTATIONS: dict[str, Implementation] = {
+    "GAPBS": Implementation("GAPBS", "delta", _gapbs, BASELINE_PROFILES["gapbs-delta"]),
+    "Julienne": Implementation("Julienne", "delta", _julienne, BASELINE_PROFILES["julienne-delta"]),
+    "Galois": Implementation("Galois", "delta", _galois, BASELINE_PROFILES["galois-delta"]),
+    "PQ-delta": Implementation("PQ-delta", "delta", _pq_delta, DEFAULT_PROFILE, ours=True),
+    "Ligra": Implementation("Ligra", "bf", _ligra, BASELINE_PROFILES["ligra-bf"]),
+    "PQ-BF": Implementation("PQ-BF", "bf", _pq_bf, DEFAULT_PROFILE, ours=True),
+    "PQ-rho": Implementation("PQ-rho", "rho", _pq_rho, DEFAULT_PROFILE, ours=True),
+}
+
+
+def get_implementation(key: str) -> Implementation:
+    """Look up an implementation by Table 4 row label."""
+    if key not in IMPLEMENTATIONS:
+        raise ParameterError(f"unknown implementation {key!r}; choose from {sorted(IMPLEMENTATIONS)}")
+    return IMPLEMENTATIONS[key]
+
+
+def simulated_time(
+    result: SSSPResult, machine: MachineModel, profile: CostProfile = DEFAULT_PROFILE
+) -> float:
+    """Simulated seconds of a run on ``machine`` under ``profile``."""
+    return machine.time_seconds(result.stats, profile)
+
+
+def average_simulated_time(
+    impl: Implementation,
+    graph: Graph,
+    sources,
+    machine: MachineModel,
+    param=None,
+    *,
+    seed=0,
+) -> float:
+    """Mean simulated time of ``impl`` over ``sources`` (paper averages 10)."""
+    times = []
+    for s in sources:
+        res = impl.run(graph, int(s), param, seed=seed)
+        times.append(simulated_time(res, machine, impl.profile))
+    return float(np.mean(times))

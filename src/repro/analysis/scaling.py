@@ -1,0 +1,50 @@
+"""Strong-scaling curves on the simulated machine.
+
+Table 4's "SU" column and the paper's scalability discussion compress a
+whole curve into one number; this helper exposes the curve: simulated time
+of a *fixed run* (its measured per-step work–span counts) as the core count
+varies.  Because the counts are fixed, the curve isolates the scheduling
+behaviour — step-count-heavy runs flatten early (barrier-bound), work-heavy
+runs keep scaling — which is exactly the work/parallelism trade-off the
+stepping parameters control.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.runtime.machine import DEFAULT_PROFILE, CostProfile, MachineModel
+from repro.runtime.workspan import RunStats
+from repro.utils.errors import ParameterError
+
+__all__ = ["DEFAULT_CORE_GRID", "scaling_curve", "speedup_curve"]
+
+DEFAULT_CORE_GRID = (1, 2, 4, 8, 16, 32, 64, 96)
+
+
+def scaling_curve(
+    stats: RunStats,
+    profile: CostProfile = DEFAULT_PROFILE,
+    cores=DEFAULT_CORE_GRID,
+) -> list[float]:
+    """Simulated seconds of the run at each core count in ``cores``."""
+    if not cores:
+        raise ParameterError("cores grid must be non-empty")
+    out = []
+    for p in cores:
+        if p < 1:
+            raise ParameterError(f"core counts must be >= 1, got {p}")
+        machine = MachineModel(P=int(p), smt_yield=1.0 if p == 1 else 1.3)
+        out.append(machine.time_seconds(stats, profile))
+    return out
+
+
+def speedup_curve(
+    stats: RunStats,
+    profile: CostProfile = DEFAULT_PROFILE,
+    cores=DEFAULT_CORE_GRID,
+) -> list[float]:
+    """Self-speedup T(1)/T(P) at each core count (Table 4's SU, as a curve)."""
+    times = scaling_curve(stats, profile, cores)
+    t1 = scaling_curve(stats, profile, [1])[0]
+    return [t1 / t if t > 0 else float("nan") for t in times]

@@ -1,0 +1,103 @@
+"""Parameter-sweep harness (Figs. 1, 2, 11, 12 and Table 4's "best Δ/ρ").
+
+The paper's methodology, reproduced exactly:
+
+* For Δ-stepping systems, the best Δ is found per graph-implementation pair
+  by sweeping powers of two and taking the fastest; when averaging over
+  sources, the best Δ is chosen on *one* source and reused (Sec. 7).
+* For ρ-stepping, one fixed ρ is used everywhere (``PQ-ρ-fix``) and a sweep
+  gives ``PQ-ρ-best``.
+* Sweep plots report time *relative to the best parameter value*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.runners import Implementation, simulated_time
+from repro.graphs.csr import Graph
+from repro.runtime.machine import MachineModel
+from repro.utils.errors import ParameterError
+
+__all__ = ["SweepResult", "best_param", "pow2_range", "sweep_param"]
+
+
+def pow2_range(lo_exp: int, hi_exp: int, step: int = 1) -> list[float]:
+    """``[2**lo_exp, ..., 2**hi_exp]`` — the paper's sweep grids."""
+    if hi_exp < lo_exp:
+        raise ParameterError(f"need lo_exp <= hi_exp, got {lo_exp}..{hi_exp}")
+    return [float(2**e) for e in range(lo_exp, hi_exp + 1, step)]
+
+
+@dataclass
+class SweepResult:
+    """Times for one implementation across one parameter grid.
+
+    ``times[i]`` is the (mean over sources) simulated seconds at
+    ``params[i]``.
+    """
+
+    impl: str
+    graph: str
+    params: list[float]
+    times: list[float]
+
+    @property
+    def best_index(self) -> int:
+        return int(np.argmin(self.times))
+
+    @property
+    def best_param(self) -> float:
+        return self.params[self.best_index]
+
+    @property
+    def best_time(self) -> float:
+        return self.times[self.best_index]
+
+    def relative(self) -> list[float]:
+        """Times normalised to the best — what Figs. 1/2/12 plot."""
+        best = self.best_time
+        return [t / best if best > 0 else float("nan") for t in self.times]
+
+    def time_at(self, param: float) -> float:
+        """Time at a specific grid value (e.g. the fixed ρ)."""
+        for p, t in zip(self.params, self.times):
+            if p == param:
+                return t
+        raise ParameterError(f"param {param} not in sweep grid")
+
+
+def sweep_param(
+    impl: Implementation,
+    graph: Graph,
+    params,
+    sources,
+    machine: MachineModel,
+    *,
+    seed=0,
+) -> SweepResult:
+    """Run ``impl`` at every parameter value, averaging over ``sources``."""
+    times = []
+    for p in params:
+        per_source = []
+        for s in sources:
+            res = impl.run(graph, int(s), p, seed=seed)
+            per_source.append(simulated_time(res, machine, impl.profile))
+        times.append(float(np.mean(per_source)))
+    return SweepResult(impl.key, graph.name, [float(p) for p in params], times)
+
+
+def best_param(
+    impl: Implementation,
+    graph: Graph,
+    params,
+    tuning_source: int,
+    machine: MachineModel,
+    *,
+    seed=0,
+) -> float:
+    """The paper's tuning protocol: pick the best parameter on one source."""
+    sweep = sweep_param(impl, graph, params, [tuning_source], machine, seed=seed)
+    return sweep.best_param

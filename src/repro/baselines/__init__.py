@@ -1,0 +1,36 @@
+"""Re-implementations of the systems the paper compares against (Table 4).
+
+Each baseline is an independent algorithmic implementation over the shared
+substrate, paired with a :class:`~repro.runtime.machine.CostProfile`
+"personality" encoding that system's documented constant factors (DESIGN.md
+§2).  :data:`BASELINE_PROFILES` maps algorithm labels to profiles for the
+benchmark harness.
+"""
+
+from repro.baselines.galois import galois_delta_stepping
+from repro.baselines.gapbs import gapbs_delta_stepping
+from repro.baselines.julienne import julienne_delta_stepping
+from repro.baselines.ligra import ligra_bellman_ford
+from repro.baselines.reference import dijkstra_reference
+
+from repro.baselines import galois as _galois
+from repro.baselines import gapbs as _gapbs
+from repro.baselines import julienne as _julienne
+from repro.baselines import ligra as _ligra
+
+#: Cost-model personalities keyed by the result ``algorithm`` labels.
+BASELINE_PROFILES = {
+    "gapbs-delta": _gapbs.PROFILE,
+    "julienne-delta": _julienne.PROFILE,
+    "galois-delta": _galois.PROFILE,
+    "ligra-bf": _ligra.PROFILE,
+}
+
+__all__ = [
+    "BASELINE_PROFILES",
+    "dijkstra_reference",
+    "galois_delta_stepping",
+    "gapbs_delta_stepping",
+    "julienne_delta_stepping",
+    "ligra_bellman_ford",
+]

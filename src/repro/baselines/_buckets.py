@@ -1,0 +1,54 @@
+"""Shared bucket-array machinery for the Δ-stepping baseline re-implementations.
+
+GAPBS, Julienne, and Galois all organise the frontier into distance buckets
+``⌊dist/Δ⌋`` but differ in how they fill and drain them; this module holds
+only the common container. Entries are *lazy*: a vertex is appended when
+relaxed and may appear multiple times or in stale (too-late) buckets; callers
+filter at pop time, like the real systems do.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["BucketStore"]
+
+
+class BucketStore:
+    """Append-only per-bucket vertex lists with a moving minimum index."""
+
+    def __init__(self) -> None:
+        self._bins: dict[int, list[np.ndarray]] = {}
+        self.cur = 0  # buckets below this index are closed
+
+    def insert(self, ids: np.ndarray, buckets: np.ndarray) -> None:
+        """Append ``ids[i]`` to bucket ``buckets[i]`` (vectorised group-by)."""
+        if ids.size == 0:
+            return
+        order = np.argsort(buckets, kind="stable")
+        ids = ids[order]
+        buckets = buckets[order]
+        cut = np.flatnonzero(np.r_[True, buckets[1:] != buckets[:-1]])
+        for i, start in enumerate(cut):
+            end = cut[i + 1] if i + 1 < len(cut) else len(ids)
+            b = int(buckets[start])
+            self._bins.setdefault(b, []).append(ids[start:end])
+
+    def pop(self, b: int) -> np.ndarray:
+        """Remove and return the raw contents of bucket ``b`` (may be stale)."""
+        chunks = self._bins.pop(b, None)
+        if not chunks:
+            return np.zeros(0, dtype=np.int64)
+        return np.concatenate(chunks) if len(chunks) > 1 else chunks[0]
+
+    def peek_size(self, b: int) -> int:
+        return sum(len(c) for c in self._bins.get(b, ()))
+
+    def min_nonempty(self) -> "int | None":
+        """Smallest bucket index holding entries (``None`` when drained)."""
+        if not self._bins:
+            return None
+        return min(self._bins)
+
+    def __bool__(self) -> bool:
+        return bool(self._bins)

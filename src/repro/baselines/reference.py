@@ -1,0 +1,39 @@
+"""Sequential gold-standard Dijkstra (binary heap).
+
+Every parallel algorithm in the package is tested against this: positive
+weights make Dijkstra's output the ground truth.  Not instrumented — it is
+the oracle, not a competitor.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.graphs.csr import Graph
+from repro.utils.errors import ParameterError
+
+__all__ = ["dijkstra_reference"]
+
+
+def dijkstra_reference(graph: Graph, source: int) -> np.ndarray:
+    """Exact shortest distances from ``source`` (``inf`` if unreachable)."""
+    n = graph.n
+    if not 0 <= source < n:
+        raise ParameterError(f"source {source} out of range [0, {n})")
+    dist = np.full(n, np.inf)
+    dist[source] = 0.0
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    indptr, indices, weights = graph.indptr, graph.indices, graph.weights
+    while heap:
+        d, u = heapq.heappop(heap)
+        if d > dist[u]:
+            continue
+        for e in range(indptr[u], indptr[u + 1]):
+            v = indices[e]
+            nd = d + weights[e]
+            if nd < dist[v]:
+                dist[v] = nd
+                heapq.heappush(heap, (nd, int(v)))
+    return dist

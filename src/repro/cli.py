@@ -1,0 +1,204 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``info``      graph statistics and the (k, ρ) signature of a dataset or file.
+``run``       run one SSSP algorithm and report work-span stats + simulated time.
+``sweep``     sweep Δ or ρ over powers of two and print the relative-time curve.
+``generate``  write a synthetic graph (rmat / road-grid / road-geo) to .npz.
+
+Datasets are the seven paper stand-ins (OK LJ TW FT WB GE USA, sized by
+``REPRO_SCALE``) or any ``.npz`` / ``.gr`` / edge-list file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.analysis import format_series, format_table, get_implementation, simulated_time
+from repro.baselines import dijkstra_reference
+from repro.core import (
+    DEFAULT_RHO,
+    bellman_ford,
+    delta_star_stepping,
+    delta_stepping,
+    dijkstra_stepping,
+    rho_stepping,
+)
+from repro.datasets import DATASETS, load_dataset
+from repro.graphs import (
+    Graph,
+    estimate_k_rho,
+    load_dimacs,
+    load_edgelist,
+    load_npz,
+    rmat,
+    road_geometric,
+    road_grid,
+    save_npz,
+)
+from repro.runtime import MachineModel
+from repro.utils.errors import ReproError
+
+__all__ = ["main"]
+
+_ALGOS = {
+    "rho": lambda g, s, p, seed: rho_stepping(g, s, int(p or DEFAULT_RHO), seed=seed),
+    "delta-star": lambda g, s, p, seed: delta_star_stepping(g, s, float(p or 2**14), seed=seed),
+    "delta": lambda g, s, p, seed: delta_stepping(g, s, float(p or 2**14), seed=seed),
+    "bf": lambda g, s, p, seed: bellman_ford(g, s, seed=seed),
+    "dijkstra": lambda g, s, p, seed: dijkstra_stepping(g, s, seed=seed),
+}
+
+
+def _load_graph(spec: str) -> Graph:
+    if spec in DATASETS:
+        return load_dataset(spec)
+    if spec.endswith(".npz"):
+        return load_npz(spec)
+    if spec.endswith(".gr"):
+        return load_dimacs(spec)
+    return load_edgelist(spec)
+
+
+def _cmd_info(args) -> int:
+    g = _load_graph(args.graph)
+    degs = g.out_degree()
+    rows = [
+        ["vertices", g.n],
+        ["edges", g.m],
+        ["directed", g.directed],
+        ["min weight", g.min_weight],
+        ["max weight", g.max_weight],
+        ["avg degree", float(degs.mean())],
+        ["max degree", int(degs.max()) if g.n else 0],
+    ]
+    print(format_table(["property", "value"], rows, title=f"graph {args.graph}"))
+    if args.krho:
+        est = estimate_k_rho(g, num_samples=args.samples, seed=0)
+        print(format_table(
+            ["rho", "k_rho"], [[r, k] for r, k in est.as_dict().items()],
+            title=f"\n(k, rho) signature ({est.num_samples} samples)",
+        ))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    g = _load_graph(args.graph)
+    run = _ALGOS[args.algorithm]
+    res = run(g, args.source, args.param, args.seed)
+    if args.verify:
+        res.check_against(dijkstra_reference(g, args.source))
+        print("verified against sequential Dijkstra")
+    machine = MachineModel(P=args.cores)
+    s = res.stats
+    rows = [
+        ["reached", res.reached],
+        ["steps", s.num_steps],
+        ["waves", s.num_waves],
+        ["visits/vertex", s.visits_per_vertex(g.n)],
+        ["visits/edge", s.visits_per_edge(g.m)],
+        [f"simulated time (P={args.cores})", f"{machine.time_seconds(s) * 1e3:.3f} ms"],
+        ["simulated self-speedup", f"{machine.self_speedup(s):.1f}x"],
+        ["wall time (this host)", f"{res.wall_seconds * 1e3:.1f} ms"],
+    ]
+    print(format_table(["metric", "value"], rows,
+                       title=f"{res.algorithm} on {args.graph} from source {args.source}"))
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    g = _load_graph(args.graph)
+    machine = MachineModel(P=args.cores)
+    impl = get_implementation(args.implementation)
+    params = [2.0**e for e in range(args.lo, args.hi + 1)]
+    times = []
+    for p in params:
+        res = impl.run(g, args.source, p, seed=args.seed)
+        times.append(simulated_time(res, machine, impl.profile))
+    best = min(times)
+    print(format_series(
+        [f"2^{int(np.log2(p))}" for p in params],
+        [t / best for t in times],
+        x_label="param", y_label="rel time",
+    ))
+    print(f"best param: 2^{int(np.log2(params[int(np.argmin(times))]))} "
+          f"({best * 1e3:.3f} ms simulated)")
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    if args.kind == "rmat":
+        g = rmat(args.scale, args.degree, seed=args.seed, directed=args.directed)
+    elif args.kind == "road-grid":
+        g = road_grid(args.side, seed=args.seed)
+    elif args.kind == "road-geo":
+        g = road_geometric(args.n, seed=args.seed)
+    else:  # pragma: no cover - argparse restricts choices
+        raise ReproError(f"unknown kind {args.kind}")
+    save_npz(g, args.out)
+    print(f"wrote {g} to {args.out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Stepping algorithms for parallel SSSP (SPAA 2021 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("info", help="graph statistics")
+    p.add_argument("graph", help="dataset name (OK..USA) or graph file")
+    p.add_argument("--krho", action="store_true", help="estimate the (k, rho) curve")
+    p.add_argument("--samples", type=int, default=10)
+    p.set_defaults(fn=_cmd_info)
+
+    p = sub.add_parser("run", help="run one SSSP algorithm")
+    p.add_argument("algorithm", choices=sorted(_ALGOS))
+    p.add_argument("graph")
+    p.add_argument("--source", type=int, default=0)
+    p.add_argument("--param", type=float, default=None, help="rho or delta")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--cores", type=int, default=96)
+    p.add_argument("--verify", action="store_true")
+    p.set_defaults(fn=_cmd_run)
+
+    p = sub.add_parser("sweep", help="parameter sweep for one implementation")
+    p.add_argument("implementation", help="Table 4 row label, e.g. PQ-rho, GAPBS")
+    p.add_argument("graph")
+    p.add_argument("--lo", type=int, default=6, help="low exponent (2^lo)")
+    p.add_argument("--hi", type=int, default=16, help="high exponent (2^hi)")
+    p.add_argument("--source", type=int, default=0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--cores", type=int, default=96)
+    p.set_defaults(fn=_cmd_sweep)
+
+    p = sub.add_parser("generate", help="write a synthetic graph to .npz")
+    p.add_argument("kind", choices=["rmat", "road-grid", "road-geo"])
+    p.add_argument("--out", required=True)
+    p.add_argument("--scale", type=int, default=12, help="rmat: log2 target vertices")
+    p.add_argument("--degree", type=int, default=8, help="rmat: average degree")
+    p.add_argument("--directed", action="store_true", help="rmat: directed output")
+    p.add_argument("--side", type=int, default=64, help="road-grid: lattice side")
+    p.add_argument("--n", type=int, default=4096, help="road-geo: vertex count")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_generate)
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

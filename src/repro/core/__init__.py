@@ -1,0 +1,53 @@
+"""The paper's primary contribution: the stepping framework and algorithms."""
+
+from repro.core.algorithms import (
+    DEFAULT_RHO,
+    bellman_ford,
+    compute_radii,
+    delta_star_stepping,
+    delta_stepping,
+    dijkstra_stepping,
+    radius_stepping,
+    rho_stepping,
+)
+from repro.core.framework import SteppingOptions, stepping_sssp
+from repro.core.policies import (
+    BellmanFordPolicy,
+    DeltaPolicy,
+    DeltaStarPolicy,
+    DijkstraPolicy,
+    RadiusPolicy,
+    RhoPolicy,
+    SteppingPolicy,
+    ThetaDecision,
+)
+from repro.core.result import SSSPResult
+from repro.core.shortcuts import ShortcutGraph, add_shortcuts, shi_spencer_sssp
+from repro.core.widest_path import widest_path_reference, widest_path_stepping
+
+__all__ = [
+    "DEFAULT_RHO",
+    "BellmanFordPolicy",
+    "DeltaPolicy",
+    "DeltaStarPolicy",
+    "DijkstraPolicy",
+    "RadiusPolicy",
+    "RhoPolicy",
+    "SSSPResult",
+    "ShortcutGraph",
+    "SteppingOptions",
+    "SteppingPolicy",
+    "ThetaDecision",
+    "add_shortcuts",
+    "bellman_ford",
+    "compute_radii",
+    "delta_star_stepping",
+    "delta_stepping",
+    "dijkstra_stepping",
+    "radius_stepping",
+    "rho_stepping",
+    "shi_spencer_sssp",
+    "stepping_sssp",
+    "widest_path_reference",
+    "widest_path_stepping",
+]

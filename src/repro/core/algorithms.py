@@ -1,0 +1,204 @@
+"""Public SSSP entry points — one function per Table 2 algorithm.
+
+All six share the framework of Algorithm 1 and the array LAB-PQ, differing
+only in their ExtDist/FinishCheck policy, exactly as the paper's unified
+implementation does.  Each returns an :class:`~repro.core.result.SSSPResult`.
+
+The paper's three production implementations map to:
+
+* ``PQ-ρ``  → :func:`rho_stepping`
+* ``PQ-Δ``  → :func:`delta_star_stepping`
+* ``PQ-BF`` → :func:`bellman_ford`
+
+plus :func:`delta_stepping` (the classic algorithm with FinishCheck, for the
+Fig. 5 separation), :func:`dijkstra_stepping` (batch-Dijkstra), and
+:func:`radius_stepping` (the augmented-LAB-PQ algorithm the paper analyses;
+it needs :func:`compute_radii` preprocessing).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.framework import SteppingOptions, stepping_sssp
+from repro.core.policies import (
+    BellmanFordPolicy,
+    DeltaPolicy,
+    DeltaStarPolicy,
+    DijkstraPolicy,
+    RadiusPolicy,
+    RhoPolicy,
+)
+from repro.core.result import SSSPResult
+from repro.graphs.csr import Graph
+from repro.graphs.properties import truncated_dijkstra_hops
+from repro.utils.errors import ParameterError
+
+__all__ = [
+    "DEFAULT_RHO",
+    "bellman_ford",
+    "compute_radii",
+    "delta_star_stepping",
+    "delta_stepping",
+    "dijkstra_stepping",
+    "radius_stepping",
+    "rho_stepping",
+]
+
+#: The paper's fixed production choice is ρ = 2**21, i.e. ~5-15% of n on its
+#: 3M-89M-vertex graphs; at this package's default stand-in scale (~2**15-2**16
+#: vertices after compaction) the same fraction lands at 2**13.
+DEFAULT_RHO = 1 << 13
+
+
+def rho_stepping(
+    graph: Graph,
+    source: int,
+    rho: int = DEFAULT_RHO,
+    *,
+    exact_threshold: bool = False,
+    options: SteppingOptions | None = None,
+    seed=None,
+    record_visits: bool = False,
+) -> SSSPResult:
+    """ρ-stepping (paper Sec. 3): extract the ρ nearest frontier vertices per step.
+
+    Work ``O(k_n m log(n²/mρ))``, span ``O(k_ρ n log n / ρ)`` on undirected
+    graphs (Theorem 3.1).  Preprocessing-free; the paper's headline
+    algorithm on scale-free graphs.
+    """
+    policy = RhoPolicy(rho, exact=exact_threshold)
+    res = stepping_sssp(
+        graph, source, policy, options=options, seed=seed, record_visits=record_visits
+    )
+    res.params.update(rho=rho, exact_threshold=exact_threshold)
+    return res
+
+
+def delta_star_stepping(
+    graph: Graph,
+    source: int,
+    delta: float,
+    *,
+    options: SteppingOptions | None = None,
+    seed=None,
+    record_visits: bool = False,
+) -> SSSPResult:
+    """Δ*-stepping (paper Sec. 3): Δ-stepping without FinishCheck.
+
+    ``O(k_n(Δ+L)/Δ)`` steps (Theorem 5.6); the paper's fastest algorithm on
+    road graphs.
+    """
+    policy = DeltaStarPolicy(delta)
+    res = stepping_sssp(
+        graph, source, policy, options=options, seed=seed, record_visits=record_visits
+    )
+    res.params.update(delta=delta)
+    return res
+
+
+def delta_stepping(
+    graph: Graph,
+    source: int,
+    delta: float,
+    *,
+    options: SteppingOptions | None = None,
+    seed=None,
+    record_visits: bool = False,
+) -> SSSPResult:
+    """Classic Δ-stepping [Meyer & Sanders 2003] with FinishCheck substeps."""
+    policy = DeltaPolicy(delta)
+    res = stepping_sssp(
+        graph, source, policy, options=options, seed=seed, record_visits=record_visits
+    )
+    res.params.update(delta=delta)
+    return res
+
+
+def bellman_ford(
+    graph: Graph,
+    source: int,
+    *,
+    options: SteppingOptions | None = None,
+    seed=None,
+    record_visits: bool = False,
+) -> SSSPResult:
+    """Frontier-based parallel Bellman-Ford (θ = ∞ in the framework)."""
+    return stepping_sssp(
+        graph, source, BellmanFordPolicy(), options=options, seed=seed,
+        record_visits=record_visits,
+    )
+
+
+def dijkstra_stepping(
+    graph: Graph,
+    source: int,
+    *,
+    options: SteppingOptions | None = None,
+    seed=None,
+    record_visits: bool = False,
+) -> SSSPResult:
+    """Batch Dijkstra: θ = min key, settling one distance class per step.
+
+    Work-efficient but with Θ(n)-ish span; included as the framework's
+    sequential extreme (Table 2 row 1).  Fusion is disabled — extracting
+    *only* settled vertices is the algorithm's defining property.
+    """
+    options = options or SteppingOptions(fusion=False)
+    if options.fusion:
+        options = SteppingOptions(
+            pq=options.pq, dense_frac=options.dense_frac,
+            bidirectional=options.bidirectional, fusion=False,
+            max_steps=options.max_steps,
+        )
+    return stepping_sssp(
+        graph, source, DijkstraPolicy(), options=options, seed=seed,
+        record_visits=record_visits,
+    )
+
+
+def compute_radii(graph: Graph, rho: int) -> np.ndarray:
+    """Radius-stepping preprocessing: ``r_ρ(v)`` for every vertex.
+
+    ``r_ρ(v)`` is the distance from ``v`` to its ρ-th nearest vertex,
+    computed by a truncated Dijkstra per vertex.  This is the expensive
+    preprocessing that (as the paper notes) makes Radius-stepping
+    impractical; it is provided for completeness and for the bounds bench.
+    Cost: O(n · ρ log ρ)-ish — keep ``rho`` modest.
+    """
+    if rho < 1 or rho > graph.n:
+        raise ParameterError(f"rho must be in [1, {graph.n}], got {rho}")
+    radii = np.zeros(graph.n)
+    for v in range(graph.n):
+        _, dists, _ = truncated_dijkstra_hops(graph, v, limit=rho)
+        # If fewer than rho vertices are reachable, r_rho(v) is the farthest.
+        radii[v] = dists[-1] if len(dists) else 0.0
+    return radii
+
+
+def radius_stepping(
+    graph: Graph,
+    source: int,
+    rho: int,
+    *,
+    radii: "np.ndarray | None" = None,
+    options: SteppingOptions | None = None,
+    seed=None,
+    record_visits: bool = False,
+) -> SSSPResult:
+    """Radius-stepping [Blelloch et al. 2016] via the augmented LAB-PQ.
+
+    θ = min over Q of ``δ[v] + r_ρ(v)`` with Bellman-Ford substeps
+    (FinishCheck).  Pass precomputed ``radii`` (from :func:`compute_radii`)
+    to amortise preprocessing across sources.
+    """
+    if radii is None:
+        radii = compute_radii(graph, rho)
+    if len(radii) != graph.n:
+        raise ParameterError(f"radii has length {len(radii)}, expected n={graph.n}")
+    res = stepping_sssp(
+        graph, source, RadiusPolicy(), options=options, aug=radii, seed=seed,
+        record_visits=record_visits,
+    )
+    res.params.update(rho=rho)
+    return res

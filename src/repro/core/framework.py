@@ -1,0 +1,300 @@
+"""The stepping-algorithm framework (paper Algorithm 1) plus the Sec. 6
+implementation optimisations.
+
+The main loop is a faithful rendering of Algorithm 1::
+
+    δ[·] ← +∞; δ[s] ← 0; Q.Update(s)
+    while |Q| > 0:
+        for u in Q.Extract(ExtDist()):            # in parallel
+            for v in N(u):                        # in parallel
+                if WriteMin(δ[v], δ[u] + w(u,v)): Q.Update(v)
+        execute FinishCheck
+
+with ``ExtDist``/``FinishCheck`` supplied by a
+:class:`~repro.core.policies.SteppingPolicy` and the queue by a LAB-PQ
+(:class:`~repro.pq.flat.FlatPQ` or :class:`~repro.pq.tournament.TournamentPQ`).
+The inner parallel-for pair executes as one vectorised batch with identical
+semantics (:mod:`repro.runtime.atomics`); all work is metered into
+:class:`~repro.runtime.workspan.StepRecord` entries.
+
+Sec. 6 optimisations, each individually switchable for the ablation bench:
+
+* **sparse–dense** frontier representation — lives inside ``FlatPQ``.
+* **bidirectional relaxation** (undirected only) — before ``u`` relaxes its
+  neighbours, it first lowers its own distance from them, reusing the same
+  cache lines.
+* **larger neighbor sets** ("bucket fusion"): when the frontier is tiny, run
+  a local BFS of extra relaxation *waves* inside the step (budget 4096
+  processed vertices) instead of paying a global barrier per hop — the
+  optimisation that makes deep road graphs feasible.
+* **threshold estimation** with the dense-round shrink heuristic — lives in
+  :class:`~repro.core.policies.RhoPolicy`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.policies import SteppingPolicy
+from repro.core.result import SSSPResult
+from repro.pq.base import LabPQ
+from repro.pq.flat import FlatPQ
+from repro.pq.tournament import TournamentPQ
+from repro.runtime.atomics import write_min
+from repro.runtime.workspan import RunStats, StepRecord
+from repro.utils.errors import ParameterError
+from repro.utils.rng import as_generator
+
+__all__ = ["SteppingOptions", "stepping_sssp"]
+
+
+@dataclass(frozen=True)
+class SteppingOptions:
+    """Implementation switches (Sec. 6), shared by all stepping algorithms.
+
+    Attributes
+    ----------
+    pq:
+        ``"flat"`` (array LAB-PQ, the paper's production choice) or
+        ``"tournament"`` (tree LAB-PQ, the theoretical structure).
+    dense_frac:
+        Sparse→dense switch point as a fraction of ``n``.
+    bidirectional:
+        Relax each extracted vertex from its neighbours before it relaxes
+        them.  Only applied on undirected graphs.
+    fusion:
+        Enable the local-BFS "larger neighbor sets" optimisation.
+    fusion_limit:
+        Per-step budget of vertices processed by fusion waves (paper: 4096).
+    fusion_frontier_max:
+        Fusion engages only when the extracted frontier is smaller than this.
+    max_steps:
+        Safety valve against configuration errors (0 = no limit).
+    """
+
+    pq: str = "flat"
+    dense_frac: float = 0.05
+    bidirectional: bool = True
+    fusion: bool = True
+    fusion_limit: int = 4096
+    fusion_frontier_max: int = 1024
+    max_steps: int = 0
+
+    def __post_init__(self) -> None:
+        if self.pq not in ("flat", "tournament"):
+            raise ParameterError(f"pq must be 'flat' or 'tournament', got {self.pq!r}")
+        if not 0 < self.dense_frac <= 1:
+            raise ParameterError(f"dense_frac must be in (0,1], got {self.dense_frac}")
+        if self.fusion_limit < 1 or self.fusion_frontier_max < 0:
+            raise ParameterError("fusion parameters must be positive")
+
+
+class _Ctx:
+    """Framework state handed to policies (the ``ctx`` in their docstrings)."""
+
+    def __init__(self, graph, dist, pq: LabPQ, rng, dense_frac: float) -> None:
+        self.graph = graph
+        self.dist = dist
+        self.pq = pq
+        self.rng = rng
+        self.n = graph.n
+        self.L = graph.max_weight
+        self.dense_frac = dense_frac
+        self.step_index = 0
+
+    def pq_live_keys(self) -> tuple[np.ndarray, int]:
+        """Keys of all queued ids plus the scan cost (for sampled ExtDist)."""
+        pq = self.pq
+        if isinstance(pq, FlatPQ) and len(pq) <= pq.dense_frac * pq.n:
+            ids, scanned = pq._pool.contents()
+            live = ids[pq.in_q[ids]]
+            return self.dist[live], scanned
+        live = pq.live_ids()
+        return self.dist[live], self.n
+
+
+def _gather_edges(graph, frontier: np.ndarray):
+    """Flatten the CSR rows of ``frontier`` into parallel edge arrays.
+
+    Returns ``(targets, cand_base, weights, seg_starts, degs)`` where
+    ``cand_base`` repeats ``dist[u]`` per out-edge of each ``u`` — the
+    vectorised form of the doubly-nested parallel-for of Algorithm 1.
+    """
+    indptr = graph.indptr
+    starts = indptr[frontier]
+    degs = indptr[frontier + 1] - starts
+    total = int(degs.sum())
+    if total == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, np.zeros(0), np.zeros(0), np.zeros(len(frontier), dtype=np.int64), degs
+    seg_starts = np.zeros(len(frontier), dtype=np.int64)
+    np.cumsum(degs[:-1], out=seg_starts[1:])
+    pos = np.arange(total, dtype=np.int64) - np.repeat(seg_starts, degs) + np.repeat(starts, degs)
+    return graph.indices[pos], pos, graph.weights[pos], seg_starts, degs
+
+
+def _relax_wave(graph, dist, frontier, *, bidirectional: bool):
+    """One relaxation wave: frontier relaxes all its out-neighbours.
+
+    Returns ``(updated_ids, edges, successes, max_task, bidir_edges)``.
+    """
+    targets, _, w, seg_starts, degs = _gather_edges(graph, frontier)
+    edges = len(targets)
+    if edges == 0:
+        return np.zeros(0, dtype=np.int64), 0, 0, 0, 0
+
+    bidir_edges = 0
+    if bidirectional:
+        # Relax u *from* its neighbours first (undirected graphs only): the
+        # same CSR row supplies the incoming edges.
+        nonempty = degs > 0
+        if np.any(nonempty):
+            incoming = dist[targets] + w
+            mins = np.minimum.reduceat(incoming, seg_starts[nonempty])
+            f = frontier[nonempty]
+            np.minimum.at(dist, f, mins)
+            bidir_edges = edges
+
+    cand = np.repeat(dist[frontier], degs) + w
+    success = write_min(dist, targets, cand)
+    updated = np.unique(targets[success])
+    max_task = int(degs.max()) if len(degs) else 0
+    return updated, edges, int(success.sum()), max_task, bidir_edges
+
+
+def stepping_sssp(
+    graph,
+    source: int,
+    policy: SteppingPolicy,
+    *,
+    options: SteppingOptions | None = None,
+    aug: "np.ndarray | None" = None,
+    seed=None,
+    record_visits: bool = False,
+) -> SSSPResult:
+    """Run Algorithm 1 with the given policy and return distances + stats.
+
+    Parameters
+    ----------
+    graph:
+        A :class:`repro.graphs.Graph`.
+    source:
+        Source vertex id.
+    policy:
+        The ExtDist/FinishCheck policy (one of :mod:`repro.core.policies`).
+    options:
+        Implementation switches; defaults to :class:`SteppingOptions`.
+    aug:
+        Per-vertex augmentation values for policies with ``needs_aug``
+        (Radius-stepping's ``r_ρ``).
+    seed:
+        Seed for sampling and hash scattering.
+    record_visits:
+        Also record per-vertex extraction counts in ``stats.vertex_visits``.
+    """
+    options = options or SteppingOptions()
+    n = graph.n
+    if not 0 <= source < n:
+        raise ParameterError(f"source {source} out of range [0, {n})")
+    if policy.needs_aug and aug is None:
+        raise ParameterError(f"policy {policy.name} requires an aug array")
+
+    rng = as_generator(seed)
+    dist = np.full(n, np.inf)
+    dist[source] = 0.0
+    if options.pq == "flat":
+        pq: LabPQ = FlatPQ(dist, aug, dense_frac=options.dense_frac, seed=rng)
+    else:
+        pq = TournamentPQ(dist, aug)
+    pq.update(np.array([source], dtype=np.int64))
+
+    ctx = _Ctx(graph, dist, pq, rng, options.dense_frac)
+    policy.reset(ctx)
+    bidirectional = options.bidirectional and not graph.directed
+
+    stats = RunStats()
+    visits = np.zeros(n, dtype=np.int64) if record_visits else None
+    t0 = time.perf_counter()
+    guard = 0
+
+    while len(pq) > 0:
+        guard += 1
+        if options.max_steps and guard > options.max_steps:
+            raise RuntimeError(
+                f"{policy.name}: exceeded max_steps={options.max_steps}; "
+                "likely a policy that fails to advance its threshold"
+            )
+        decision = policy.decide(ctx)
+        pq_touches = decision.collect_work
+        frontier = pq.extract(decision.theta)
+        mode = pq.last_extract_mode
+        extract_scanned = pq.last_extract_scanned
+        if frontier.size == 0:
+            # A policy whose θ comes from the queue minimum can never extract
+            # empty; reaching here means the policy failed to advance.
+            raise RuntimeError(
+                f"{policy.name}: empty extract at theta={decision.theta} with |Q|={len(pq)}"
+            )
+
+        rec = StepRecord(
+            index=ctx.step_index,
+            theta=float(decision.theta),
+            mode=mode,
+            extract_scanned=extract_scanned,
+            sample_work=decision.sample_work,
+        )
+        if decision.substep and stats.steps:
+            rec.index = stats.steps[-1].index  # substeps share the step index
+
+        wave = frontier
+        processed = 0
+        while wave.size:
+            if visits is not None:
+                np.add.at(visits, wave, 1)
+            updated, edges, successes, max_task, bidir = _relax_wave(
+                graph, dist, wave, bidirectional=bidirectional
+            )
+            pq.update(updated)
+            pq_touches += pq.last_update_touches
+            rec.frontier += len(wave)
+            rec.edges += edges
+            rec.relax_success += successes
+            rec.max_task = max(rec.max_task, max_task)
+            processed += len(wave)
+
+            # "Larger neighbor sets" fusion: keep expanding locally while the
+            # step is tiny and the budget allows (Sec. 6).  Expansion stays
+            # inside the current threshold window — beyond it the tentative
+            # distances are too immature and relaxing them is pure redundancy
+            # (with θ = ∞, i.e. Bellman-Ford, the local BFS is unrestricted).
+            if not (
+                options.fusion
+                and len(frontier) < options.fusion_frontier_max
+                and processed < options.fusion_limit
+                and updated.size
+            ):
+                break
+            if np.isfinite(decision.theta):
+                updated = updated[dist[updated] <= decision.theta]
+                if updated.size == 0:
+                    break
+            pq.remove(updated)
+            wave = updated
+            rec.waves += 1
+
+        rec.pq_touches = pq_touches
+        stats.add(rec)
+        ctx.step_index += 1
+
+    stats.vertex_visits = visits
+    return SSSPResult(
+        dist=dist,
+        source=source,
+        algorithm=policy.name,
+        params={"options": options},
+        stats=stats,
+        wall_seconds=time.perf_counter() - t0,
+    )

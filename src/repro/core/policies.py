@@ -1,0 +1,226 @@
+"""ExtDist / FinishCheck policies — the rows of the paper's Table 2.
+
+The stepping framework (Algorithm 1) is parameterised by how the extraction
+threshold θ is chosen each step (``ExtDist``) and whether a step re-extracts
+with the *same* θ (``FinishCheck`` failing → a *substep*).  Each policy below
+packages one row of Table 2:
+
+====================  ==========================================  ===========
+Algorithm             ExtDist                                      FinishCheck
+====================  ==========================================  ===========
+Dijkstra              θ ← min key in Q                             —
+Bellman-Ford          θ ← +∞                                       —
+Δ-stepping            θ ← iΔ                                       substep while some key < iΔ
+Δ*-stepping (new)     θ ← iΔ, i always advances                    —
+Radius-stepping       θ ← min (δ[v] + r_ρ(v))  (Collect)           substep while some key < θ
+ρ-stepping (new)      θ ← ρ-th smallest key in Q (sampled)         —
+====================  ==========================================  ===========
+
+A policy returns a :class:`ThetaDecision` carrying θ, whether this is a
+substep, and the sampling / Collect work the machine model must charge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.pq.sampling import estimate_kth_key, exact_kth_key
+from repro.utils.errors import ParameterError
+
+__all__ = [
+    "BellmanFordPolicy",
+    "DeltaPolicy",
+    "DeltaStarPolicy",
+    "DijkstraPolicy",
+    "RadiusPolicy",
+    "RhoPolicy",
+    "SteppingPolicy",
+    "ThetaDecision",
+]
+
+
+@dataclass
+class ThetaDecision:
+    """One ExtDist evaluation.
+
+    ``substep=True`` means FinishCheck failed and θ was *not* recomputed —
+    the framework records the next extract as a substep of the current step.
+    ``sample_work`` is sequential sampling work; ``collect_work`` is LAB-PQ
+    min/Collect work (both priced by the machine model).
+    """
+
+    theta: float
+    substep: bool = False
+    sample_work: int = 0
+    collect_work: int = 0
+
+
+class SteppingPolicy:
+    """Base policy; subclasses implement :meth:`decide`."""
+
+    name = "abstract"
+    #: Policy requires the LAB-PQ to be augmented with per-vertex values.
+    needs_aug = False
+
+    def reset(self, ctx) -> None:
+        """Called once before the main loop (ctx is the framework state)."""
+
+    def decide(self, ctx) -> ThetaDecision:
+        """Choose the extraction threshold for the next step."""
+        raise NotImplementedError
+
+
+class DijkstraPolicy(SteppingPolicy):
+    """θ = smallest key in Q: settles one distance class per step.
+
+    Matches Dijkstra's algorithm except that distance ties are processed
+    together (which the paper notes affects neither correctness nor cost).
+    """
+
+    name = "dijkstra"
+
+    def decide(self, ctx) -> ThetaDecision:
+        theta = ctx.pq.min_key()
+        return ThetaDecision(theta, collect_work=ctx.pq.last_collect_scanned)
+
+
+class BellmanFordPolicy(SteppingPolicy):
+    """θ = +∞: relax the whole frontier every step (parallel Bellman-Ford)."""
+
+    name = "bellman-ford"
+
+    def decide(self, ctx) -> ThetaDecision:
+        return ThetaDecision(float("inf"))
+
+
+class DeltaPolicy(SteppingPolicy):
+    """Classic Δ-stepping [Meyer & Sanders]: window [0, (i+1)Δ) with substeps.
+
+    FinishCheck: while any queued key is still below the window bound, run
+    another Bellman-Ford substep at the same θ; otherwise advance ``i``
+    (jumping empty windows directly to the window containing the minimum
+    key — a step-count optimisation every real implementation applies).
+    """
+
+    name = "delta-stepping"
+
+    def __init__(self, delta: float) -> None:
+        if delta <= 0:
+            raise ParameterError(f"delta must be positive, got {delta}")
+        self.delta = float(delta)
+
+    def reset(self, ctx) -> None:
+        self.i = -1  # advanced to the source's window on the first decide
+
+    def decide(self, ctx) -> ThetaDecision:
+        min_key = ctx.pq.min_key()
+        collect = ctx.pq.last_collect_scanned
+        theta = (self.i + 1) * self.delta
+        if self.i >= 0 and min_key <= theta:
+            # FinishCheck failed: a relaxed vertex fell back inside the
+            # current window — substep with the same θ.
+            return ThetaDecision(theta, substep=True, collect_work=collect)
+        self.i = max(self.i + 1, int(min_key // self.delta))
+        return ThetaDecision((self.i + 1) * self.delta, collect_work=collect)
+
+
+class DeltaStarPolicy(SteppingPolicy):
+    """Δ*-stepping (paper Sec. 3, new): Δ-stepping *without* FinishCheck.
+
+    The window always advances, so a long unit-weight chain inside one window
+    pipelines across steps instead of serialising into substeps (Fig. 5);
+    Theorem 5.6 gives O(k_n(Δ+L)/Δ) steps.  Empty windows are jumped.
+    """
+
+    name = "delta-star-stepping"
+
+    def __init__(self, delta: float) -> None:
+        if delta <= 0:
+            raise ParameterError(f"delta must be positive, got {delta}")
+        self.delta = float(delta)
+
+    def reset(self, ctx) -> None:
+        self.i = -1
+
+    def decide(self, ctx) -> ThetaDecision:
+        min_key = ctx.pq.min_key()
+        collect = ctx.pq.last_collect_scanned
+        self.i = max(self.i + 1, int(min_key // self.delta))
+        return ThetaDecision((self.i + 1) * self.delta, collect_work=collect)
+
+
+class RhoPolicy(SteppingPolicy):
+    """ρ-stepping (paper Sec. 3, new): extract the ρ nearest frontier vertices.
+
+    θ = the ρ-th smallest key in Q, found by the paper's sequential sampling
+    scheme (Appendix B; ``exact=True`` switches to exact selection).  The
+    Sec. 6 heuristic shrinks the effective ρ for the first two *dense*
+    rounds, where the estimate is systematically loose because relaxation
+    pulls many more vertices under the threshold.
+    """
+
+    name = "rho-stepping"
+
+    def __init__(
+        self,
+        rho: int,
+        *,
+        exact: bool = False,
+        c: float = 10.0,
+        dense_shrink: float = 4.0,
+        dense_shrink_rounds: int = 2,
+    ) -> None:
+        if rho < 1:
+            raise ParameterError(f"rho must be >= 1, got {rho}")
+        self.rho = int(rho)
+        self.exact = exact
+        self.c = c
+        self.dense_shrink = dense_shrink
+        self.dense_shrink_rounds = dense_shrink_rounds
+
+    def reset(self, ctx) -> None:
+        self._dense_rounds_seen = 0
+
+    def decide(self, ctx) -> ThetaDecision:
+        size = len(ctx.pq)
+        rho = self.rho
+        if (
+            self.dense_shrink > 1
+            and self._dense_rounds_seen < self.dense_shrink_rounds
+            and size > ctx.dense_frac * ctx.n
+        ):
+            self._dense_rounds_seen += 1
+            rho = max(1, int(rho / self.dense_shrink))
+        if size <= rho:
+            return ThetaDecision(float("inf"))
+        keys, scanned = ctx.pq_live_keys()
+        if self.exact:
+            return ThetaDecision(exact_kth_key(keys, rho), collect_work=scanned)
+        res = estimate_kth_key(keys, rho, c=self.c, n_hint=ctx.n, rng=ctx.rng)
+        return ThetaDecision(res.threshold, sample_work=res.num_samples)
+
+
+class RadiusPolicy(SteppingPolicy):
+    """Radius-stepping [Blelloch et al. 2016] on the augmented LAB-PQ.
+
+    Preprocessing supplies ``r_ρ(v)`` (distance to the ρ-th nearest vertex);
+    θ = min over Q of ``δ[v] + r_ρ(v)`` via the augmented Collect, and
+    FinishCheck runs Bellman-Ford substeps until no queued key is below θ.
+    """
+
+    name = "radius-stepping"
+    needs_aug = True
+
+    def reset(self, ctx) -> None:
+        self._theta = -np.inf
+
+    def decide(self, ctx) -> ThetaDecision:
+        min_key = ctx.pq.min_key()
+        collect = ctx.pq.last_collect_scanned
+        if min_key <= self._theta:
+            return ThetaDecision(self._theta, substep=True, collect_work=collect)
+        self._theta = ctx.pq.collect_min()
+        collect += ctx.pq.last_collect_scanned
+        return ThetaDecision(self._theta, collect_work=collect)

@@ -1,0 +1,19 @@
+"""Benchmark dataset registry (stand-ins for the paper's seven graphs)."""
+
+from repro.datasets.registry import (
+    DATASETS,
+    DatasetSpec,
+    current_scale,
+    load_dataset,
+    road_names,
+    scale_free_names,
+)
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "current_scale",
+    "load_dataset",
+    "road_names",
+    "scale_free_names",
+]

@@ -1,0 +1,148 @@
+"""The seven benchmark graphs, as scaled-down synthetic stand-ins.
+
+The paper evaluates on four social networks (com-orkut OK, LiveJournal LJ,
+Twitter TW, Friendster FT), one web graph (WebGraph WB) and two road
+networks (Germany GE, RoadUSA USA).  The real inputs reach 3.6B edges and
+need a 1.5TB machine; this package substitutes generators matched on the
+properties the paper's findings depend on (DESIGN.md §2):
+
+* scale-free stand-ins: R-MAT with Graph500 skew, uniform integer weights in
+  ``[1, 2**18)`` (the paper's weighting), directedness matching the original
+  (LJ, TW, WB are directed).
+* road stand-ins: perturbed grids / geometric graphs, near-planar with
+  wide-range weights.
+
+Three scales are provided; select with the ``REPRO_SCALE`` environment
+variable (``tiny`` for CI, ``small``, ``default`` for the benchmark runs).
+Graphs are cached on disk under ``.graphcache/`` next to the repo (delete to
+regenerate).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+from repro.graphs.csr import Graph
+from repro.graphs.generators import rmat, road_geometric, road_grid
+from repro.graphs.io import load_npz, save_npz
+from repro.utils.errors import ParameterError
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "current_scale",
+    "load_dataset",
+    "road_names",
+    "scale_free_names",
+]
+
+_CACHE_DIR = Path(os.environ.get("REPRO_GRAPH_CACHE", Path(__file__).resolve().parents[3] / ".graphcache"))
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One stand-in graph: which paper input it replaces and how it is built."""
+
+    name: str
+    stands_in_for: str
+    kind: str  # "scale-free" or "road"
+    directed: bool
+    builders: dict  # scale -> zero-arg callable returning a Graph
+
+
+def _sf(scale: int, deg: int, directed: bool, seed: int) -> Callable[[], Graph]:
+    return lambda: rmat(scale, deg, directed=directed, seed=seed)
+
+
+def _grid(side: int, seed: int) -> Callable[[], Graph]:
+    return lambda: road_grid(side, max_weight=float(2**16), seed=seed)
+
+
+def _geo(n: int, seed: int) -> Callable[[], Graph]:
+    return lambda: road_geometric(n, max_weight=float(2**16), seed=seed)
+
+
+DATASETS: dict[str, DatasetSpec] = {
+    "OK": DatasetSpec(
+        "OK", "com-orkut (3M v, 234M e, undirected)", "scale-free", False,
+        {"tiny": _sf(9, 8, False, 101), "small": _sf(12, 10, False, 101),
+         "default": _sf(14, 16, False, 101)},
+    ),
+    "LJ": DatasetSpec(
+        "LJ", "LiveJournal (4M v, 68M e, directed)", "scale-free", True,
+        {"tiny": _sf(9, 6, True, 102), "small": _sf(12, 8, True, 102),
+         "default": _sf(15, 8, True, 102)},
+    ),
+    "TW": DatasetSpec(
+        "TW", "Twitter (42M v, 1.47B e, directed)", "scale-free", True,
+        {"tiny": _sf(10, 8, True, 103), "small": _sf(13, 10, True, 103),
+         "default": _sf(16, 12, True, 103)},
+    ),
+    "FT": DatasetSpec(
+        "FT", "Friendster (65M v, 3.61B e, undirected)", "scale-free", False,
+        {"tiny": _sf(10, 8, False, 104), "small": _sf(13, 12, False, 104),
+         "default": _sf(16, 16, False, 104)},
+    ),
+    "WB": DatasetSpec(
+        "WB", "WebGraph / Hyperlink (89M v, 2.04B e, directed)", "scale-free", True,
+        {"tiny": _sf(10, 6, True, 105), "small": _sf(13, 8, True, 105),
+         "default": _sf(16, 10, True, 105)},
+    ),
+    "GE": DatasetSpec(
+        "GE", "Germany road network (12M v, 32M e)", "road", False,
+        {"tiny": _grid(24, 106), "small": _grid(80, 106), "default": _grid(180, 106)},
+    ),
+    "USA": DatasetSpec(
+        "USA", "RoadUSA (24M v, 58M e)", "road", False,
+        {"tiny": _geo(640, 107), "small": _geo(8192, 107), "default": _geo(50000, 107)},
+    ),
+}
+
+
+def scale_free_names() -> list[str]:
+    """The five social/web stand-ins, in the paper's column order."""
+    return ["OK", "LJ", "TW", "FT", "WB"]
+
+
+def road_names() -> list[str]:
+    """The two road stand-ins, in the paper's column order."""
+    return ["GE", "USA"]
+
+
+def current_scale() -> str:
+    """The active dataset scale (``REPRO_SCALE`` env var, default ``small``)."""
+    scale = os.environ.get("REPRO_SCALE", "small")
+    if scale not in ("tiny", "small", "default"):
+        raise ParameterError(f"REPRO_SCALE must be tiny/small/default, got {scale!r}")
+    return scale
+
+
+def load_dataset(name: str, scale: "str | None" = None, *, cache: bool = True) -> Graph:
+    """Build (or load from cache) one of the seven stand-in graphs.
+
+    Parameters
+    ----------
+    name:
+        One of ``OK LJ TW FT WB GE USA``.
+    scale:
+        ``tiny`` / ``small`` / ``default``; defaults to :func:`current_scale`.
+    cache:
+        Use the on-disk ``.npz`` cache.
+    """
+    if name not in DATASETS:
+        raise ParameterError(f"unknown dataset {name!r}; choose from {sorted(DATASETS)}")
+    scale = scale or current_scale()
+    spec = DATASETS[name]
+    if scale not in spec.builders:
+        raise ParameterError(f"dataset {name} has no scale {scale!r}")
+    cache_file = _CACHE_DIR / f"{name}-{scale}.npz"
+    if cache and cache_file.exists():
+        return load_npz(cache_file).with_name(name)
+    g = spec.builders[scale]().with_name(name)
+    if cache:
+        _CACHE_DIR.mkdir(parents=True, exist_ok=True)
+        save_npz(g, cache_file)
+    return g

@@ -1,0 +1,85 @@
+"""Graph substrate: CSR representation, generators, I/O, transforms, properties."""
+
+from repro.graphs.csr import Graph
+from repro.graphs.generators import (
+    complete,
+    cycle,
+    delta_adversarial,
+    erdos_renyi,
+    path,
+    rmat,
+    road_geometric,
+    road_grid,
+    star,
+)
+from repro.graphs.interop import (
+    from_networkx,
+    from_scipy_sparse,
+    to_networkx,
+    to_scipy_sparse,
+)
+from repro.graphs.paths import (
+    extract_path,
+    predecessors,
+    shortest_path_tree,
+    verify_sssp,
+)
+from repro.graphs.io import (
+    load_dimacs,
+    load_edgelist,
+    load_npz,
+    save_dimacs,
+    save_edgelist,
+    save_npz,
+)
+from repro.graphs.properties import (
+    KRhoEstimate,
+    estimate_k_rho,
+    hop_distances,
+    sp_tree_depth,
+    truncated_dijkstra_hops,
+)
+from repro.graphs.transforms import (
+    assign_uniform_weights,
+    largest_connected_component,
+    permute_vertices,
+    reverse,
+    symmetrize,
+)
+
+__all__ = [
+    "Graph",
+    "KRhoEstimate",
+    "assign_uniform_weights",
+    "complete",
+    "cycle",
+    "delta_adversarial",
+    "erdos_renyi",
+    "estimate_k_rho",
+    "extract_path",
+    "from_networkx",
+    "from_scipy_sparse",
+    "hop_distances",
+    "largest_connected_component",
+    "load_dimacs",
+    "load_edgelist",
+    "load_npz",
+    "path",
+    "permute_vertices",
+    "predecessors",
+    "reverse",
+    "rmat",
+    "road_geometric",
+    "road_grid",
+    "save_dimacs",
+    "save_edgelist",
+    "save_npz",
+    "shortest_path_tree",
+    "sp_tree_depth",
+    "star",
+    "symmetrize",
+    "to_networkx",
+    "to_scipy_sparse",
+    "truncated_dijkstra_hops",
+    "verify_sssp",
+]

@@ -1,0 +1,221 @@
+"""Compressed-sparse-row graph representation.
+
+This is the substrate every algorithm in the package runs on.  The layout is
+the standard CSR triple ``(indptr, indices, weights)`` used by GAPBS, Ligra,
+and the paper's own implementation: ``indices[indptr[v]:indptr[v+1]]`` are the
+out-neighbours of ``v`` and ``weights`` holds the parallel edge weights.
+
+Weights follow the paper's convention: positive, with minimum weight intended
+to be ~1 (the paper normalises ``min w(e) = 1``; we do not force it but
+:meth:`Graph.validate` rejects non-positive weights).  We store weights as
+``float64`` — the paper's integer weights (up to 2**25) are exactly
+representable, and float keeps the API open to arbitrary positive weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.errors import GraphFormatError
+
+__all__ = ["Graph"]
+
+_INDEX_DTYPE = np.int64
+_WEIGHT_DTYPE = np.float64
+
+
+@dataclass(frozen=True, eq=False)
+class Graph:
+    """A weighted graph in CSR form.
+
+    Attributes
+    ----------
+    indptr:
+        ``int64`` array of length ``n + 1``; monotone, ``indptr[0] == 0``,
+        ``indptr[n] == m``.
+    indices:
+        ``int64`` array of length ``m`` with the target vertex of each edge.
+    weights:
+        ``float64`` array of length ``m`` with positive edge weights.
+    directed:
+        If ``False`` the CSR is expected to contain both orientations of each
+        undirected edge (i.e. it is *symmetric*); algorithms use this flag to
+        enable undirected-only optimisations (bidirectional relaxation) and
+        undirected-only theory (ρ-stepping's tighter span bound).
+    name:
+        Optional label used by benchmark reports.
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    weights: np.ndarray
+    directed: bool = True
+    name: str = ""
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def from_edges(
+        n: int,
+        src: np.ndarray,
+        dst: np.ndarray,
+        weight: np.ndarray,
+        *,
+        directed: bool = True,
+        symmetrize: bool = False,
+        dedup: bool = True,
+        name: str = "",
+    ) -> "Graph":
+        """Build a CSR graph from an edge list.
+
+        Parameters
+        ----------
+        n:
+            Number of vertices; every endpoint must be in ``[0, n)``.
+        src, dst, weight:
+            Parallel edge arrays.
+        directed:
+            Interpretation of the input edges.
+        symmetrize:
+            If ``True``, add the reverse of every edge (making the result an
+            undirected graph stored symmetrically).  Implies
+            ``directed=False`` on the result.
+        dedup:
+            Drop self loops and keep the *minimum-weight* copy of parallel
+            edges, matching the paper's simple-graph assumption.
+        """
+        src = np.asarray(src, dtype=_INDEX_DTYPE)
+        dst = np.asarray(dst, dtype=_INDEX_DTYPE)
+        weight = np.asarray(weight, dtype=_WEIGHT_DTYPE)
+        if not (src.shape == dst.shape == weight.shape):
+            raise GraphFormatError(
+                f"edge arrays must have equal shapes, got {src.shape}, {dst.shape}, {weight.shape}"
+            )
+        if src.size and (src.min() < 0 or src.max() >= n or dst.min() < 0 or dst.max() >= n):
+            raise GraphFormatError(f"edge endpoints out of range [0, {n})")
+
+        if symmetrize:
+            src, dst = np.concatenate([src, dst]), np.concatenate([dst, src])
+            weight = np.concatenate([weight, weight])
+            directed = False
+
+        if dedup and src.size:
+            keep = src != dst  # drop self loops
+            src, dst, weight = src[keep], dst[keep], weight[keep]
+            # Keep the lightest copy of each parallel edge: sort by (src, dst,
+            # weight) and take the first of each (src, dst) run.
+            order = np.lexsort((weight, dst, src))
+            src, dst, weight = src[order], dst[order], weight[order]
+            if src.size:
+                first = np.r_[True, (src[1:] != src[:-1]) | (dst[1:] != dst[:-1])]
+                src, dst, weight = src[first], dst[first], weight[first]
+        else:
+            order = np.lexsort((dst, src))
+            src, dst, weight = src[order], dst[order], weight[order]
+
+        counts = np.bincount(src, minlength=n).astype(_INDEX_DTYPE)
+        indptr = np.zeros(n + 1, dtype=_INDEX_DTYPE)
+        np.cumsum(counts, out=indptr[1:])
+        return Graph(indptr=indptr, indices=dst, weights=weight, directed=directed, name=name)
+
+    # ------------------------------------------------------------------ #
+    # Basic accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n(self) -> int:
+        """Number of vertices."""
+        return len(self.indptr) - 1
+
+    @property
+    def m(self) -> int:
+        """Number of (directed) edges stored in the CSR."""
+        return len(self.indices)
+
+    @property
+    def max_weight(self) -> float:
+        """The paper's ``L`` — the heaviest edge weight (0.0 if no edges)."""
+        return float(self.weights.max()) if self.m else 0.0
+
+    @property
+    def min_weight(self) -> float:
+        """The lightest edge weight (0.0 if no edges)."""
+        return float(self.weights.min()) if self.m else 0.0
+
+    def out_degree(self, v: int | np.ndarray | None = None) -> np.ndarray | int:
+        """Out-degree of ``v``, or of all vertices when ``v is None``."""
+        degrees = np.diff(self.indptr)
+        if v is None:
+            return degrees
+        return degrees[v]
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Out-neighbour ids of vertex ``v`` (a CSR view, do not mutate)."""
+        return self.indices[self.indptr[v] : self.indptr[v + 1]]
+
+    def neighbor_weights(self, v: int) -> np.ndarray:
+        """Weights parallel to :meth:`neighbors` (a CSR view)."""
+        return self.weights[self.indptr[v] : self.indptr[v + 1]]
+
+    def edges(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return the edge list ``(src, dst, weight)`` of this CSR."""
+        src = np.repeat(np.arange(self.n, dtype=_INDEX_DTYPE), np.diff(self.indptr))
+        return src, self.indices.copy(), self.weights.copy()
+
+    # ------------------------------------------------------------------ #
+    # Validation
+    # ------------------------------------------------------------------ #
+
+    def validate(self) -> None:
+        """Check all structural invariants; raise :class:`GraphFormatError`.
+
+        Checks: indptr monotone and consistent with ``indices``; endpoints in
+        range; weights positive and finite; if ``directed=False``, the CSR is
+        symmetric (every edge has a same-weight reverse edge).
+        """
+        if self.indptr.ndim != 1 or len(self.indptr) < 1:
+            raise GraphFormatError("indptr must be a 1-D array of length n+1 >= 1")
+        if self.indptr[0] != 0:
+            raise GraphFormatError("indptr[0] must be 0")
+        if np.any(np.diff(self.indptr) < 0):
+            raise GraphFormatError("indptr must be non-decreasing")
+        if self.indptr[-1] != len(self.indices):
+            raise GraphFormatError(
+                f"indptr[-1]={self.indptr[-1]} does not match len(indices)={len(self.indices)}"
+            )
+        if len(self.weights) != len(self.indices):
+            raise GraphFormatError("weights and indices must have equal length")
+        if self.m:
+            if self.indices.min() < 0 or self.indices.max() >= self.n:
+                raise GraphFormatError("edge target out of range")
+            if not np.all(np.isfinite(self.weights)) or self.weights.min() <= 0:
+                raise GraphFormatError("edge weights must be positive and finite")
+        if not self.directed and not self._is_symmetric():
+            raise GraphFormatError("directed=False but the CSR is not symmetric")
+
+    def _is_symmetric(self) -> bool:
+        src, dst, w = self.edges()
+        fwd = np.lexsort((w, dst, src))
+        rev = np.lexsort((w, src, dst))
+        return (
+            np.array_equal(src[fwd], dst[rev])
+            and np.array_equal(dst[fwd], src[rev])
+            and np.allclose(w[fwd], w[rev])
+        )
+
+    # ------------------------------------------------------------------ #
+    # Misc
+    # ------------------------------------------------------------------ #
+
+    def with_name(self, name: str) -> "Graph":
+        """Return the same graph relabelled as ``name`` (arrays shared)."""
+        return Graph(self.indptr, self.indices, self.weights, self.directed, name)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "directed" if self.directed else "undirected"
+        label = f" {self.name!r}" if self.name else ""
+        return f"<Graph{label} {kind} n={self.n} m={self.m}>"

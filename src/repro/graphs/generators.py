@@ -1,0 +1,291 @@
+"""Synthetic graph generators.
+
+These produce the scaled-down stand-ins for the paper's inputs (DESIGN.md §2):
+
+* :func:`rmat` — power-law graphs with the degree skew of the paper's social
+  and web graphs (com-orkut, LiveJournal, Twitter, Friendster, WebGraph).
+* :func:`road_grid` / :func:`road_geometric` — near-planar graphs with
+  Euclidean-style weights, standing in for RoadUSA / Germany.
+* :func:`delta_adversarial` — the Fig. 5 comb gadget on which Δ-stepping needs
+  Θ(n) substeps but Δ*-stepping needs only ``O(n/Δ + Δ)`` steps.
+* Small deterministic shapes (:func:`path`, :func:`cycle`, :func:`star`,
+  :func:`complete`) used heavily by the test suite.
+* :func:`erdos_renyi` — plain G(n, m) used by randomized property tests.
+
+All generators return connected graphs (random generators restrict to the
+largest component and then compact ids) with positive weights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.csr import Graph
+from repro.graphs.transforms import (
+    assign_uniform_weights,
+    largest_connected_component,
+)
+from repro.utils.errors import ParameterError
+from repro.utils.rng import as_generator
+
+__all__ = [
+    "complete",
+    "cycle",
+    "delta_adversarial",
+    "erdos_renyi",
+    "path",
+    "rmat",
+    "road_geometric",
+    "road_grid",
+    "star",
+]
+
+
+# --------------------------------------------------------------------------- #
+# Deterministic shapes
+# --------------------------------------------------------------------------- #
+
+
+def path(n: int, weight: float = 1.0, *, directed: bool = False, name: str = "path") -> Graph:
+    """A path ``0 - 1 - ... - n-1`` with uniform edge weight."""
+    if n < 1:
+        raise ParameterError("path needs n >= 1")
+    src = np.arange(n - 1)
+    dst = src + 1
+    w = np.full(n - 1, weight)
+    return Graph.from_edges(n, src, dst, w, directed=directed, symmetrize=not directed, name=name)
+
+
+def cycle(n: int, weight: float = 1.0, *, directed: bool = False, name: str = "cycle") -> Graph:
+    """A cycle on ``n >= 3`` vertices with uniform edge weight."""
+    if n < 3:
+        raise ParameterError("cycle needs n >= 3")
+    src = np.arange(n)
+    dst = (src + 1) % n
+    w = np.full(n, weight)
+    return Graph.from_edges(n, src, dst, w, directed=directed, symmetrize=not directed, name=name)
+
+
+def star(n: int, weight: float = 1.0, *, name: str = "star") -> Graph:
+    """A star: vertex 0 joined to all others (undirected)."""
+    if n < 2:
+        raise ParameterError("star needs n >= 2")
+    src = np.zeros(n - 1, dtype=np.int64)
+    dst = np.arange(1, n)
+    w = np.full(n - 1, weight)
+    return Graph.from_edges(n, src, dst, w, symmetrize=True, name=name)
+
+
+def complete(n: int, weight: float = 1.0, *, name: str = "complete") -> Graph:
+    """The complete undirected graph K_n with uniform weights."""
+    if n < 2:
+        raise ParameterError("complete needs n >= 2")
+    src, dst = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+    mask = src < dst
+    w = np.full(int(mask.sum()), weight)
+    return Graph.from_edges(n, src[mask], dst[mask], w, symmetrize=True, name=name)
+
+
+# --------------------------------------------------------------------------- #
+# Random graphs
+# --------------------------------------------------------------------------- #
+
+
+def erdos_renyi(
+    n: int,
+    avg_degree: float,
+    *,
+    directed: bool = False,
+    max_weight: float = 16.0,
+    seed=None,
+    name: str = "gnm",
+) -> Graph:
+    """G(n, m) with ``m ≈ n * avg_degree`` edges and integer weights in [1, max_weight].
+
+    The result is restricted to its largest component and re-compacted, so it
+    is always connected (``n`` may therefore shrink slightly).
+    """
+    if n < 2 or avg_degree <= 0:
+        raise ParameterError(f"invalid erdos_renyi parameters n={n} avg_degree={avg_degree}")
+    rng = as_generator(seed)
+    m = int(n * avg_degree)
+    src = rng.integers(0, n, size=m)
+    dst = rng.integers(0, n, size=m)
+    w = rng.integers(1, max(2, int(max_weight) + 1), size=m).astype(np.float64)
+    g = Graph.from_edges(n, src, dst, w, directed=directed, symmetrize=not directed, name=name)
+    g, _ = largest_connected_component(g)
+    return g.with_name(name)
+
+
+def rmat(
+    scale: int,
+    avg_degree: int = 16,
+    *,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    directed: bool = False,
+    max_weight: float = float(2**18),
+    seed=None,
+    name: str = "rmat",
+) -> Graph:
+    """Recursive-matrix (R-MAT / Graph500) power-law graph.
+
+    ``n = 2**scale`` target vertices, ``m ≈ n * avg_degree`` edges before
+    dedup.  Default skew parameters are the Graph500 values, which reproduce
+    the heavy-tailed degree distribution of the paper's social networks.
+    Weights are uniform integers in ``[1, max_weight)`` per the paper's
+    scheme; for undirected output both orientations agree.
+
+    The result is the largest connected component with compacted ids.
+    """
+    if scale < 1 or scale > 26:
+        raise ParameterError(f"rmat scale must be in [1, 26], got {scale}")
+    if not 0 < a + b + c < 1:
+        raise ParameterError("rmat skew parameters must satisfy 0 < a+b+c < 1")
+    rng = as_generator(seed)
+    n = 1 << scale
+    m = n * avg_degree
+
+    src = np.zeros(m, dtype=np.int64)
+    dst = np.zeros(m, dtype=np.int64)
+    # Drop one quadrant bit per level, vectorised over all edges.
+    for _ in range(scale):
+        r = rng.random(m)
+        go_right = (r >= a) & (r < a + b)          # top-right: dst bit set
+        go_down = (r >= a + b) & (r < a + b + c)   # bottom-left: src bit set
+        go_diag = r >= a + b + c                   # bottom-right: both set
+        src = (src << 1) | (go_down | go_diag)
+        dst = (dst << 1) | (go_right | go_diag)
+
+    w = np.ones(m)  # placeholder; real weights assigned after dedup
+    g = Graph.from_edges(n, src, dst, w, directed=directed, symmetrize=not directed, name=name)
+    g, _ = largest_connected_component(g)
+    g = assign_uniform_weights(g, 1.0, max_weight, seed=rng)
+    return g.with_name(name)
+
+
+def road_grid(
+    side: int,
+    *,
+    diagonal_prob: float = 0.15,
+    drop_prob: float = 0.05,
+    max_weight: float = float(2**13),
+    seed=None,
+    name: str = "road-grid",
+) -> Graph:
+    """A perturbed 2-D grid standing in for a road network.
+
+    ``side x side`` lattice; each vertex connects to its right and down
+    neighbours (weight = Euclidean-ish, i.e. a base length times a random
+    detour factor), occasional diagonals model highway shortcuts, and a small
+    fraction of edges is dropped to create irregularity.  Weights span a wide
+    range (up to ``max_weight``) as on the paper's road inputs.  Undirected.
+    """
+    if side < 2:
+        raise ParameterError("road_grid needs side >= 2")
+    rng = as_generator(seed)
+    n = side * side
+    ids = np.arange(n).reshape(side, side)
+
+    srcs, dsts = [], []
+    srcs.append(ids[:, :-1].ravel()); dsts.append(ids[:, 1:].ravel())       # right
+    srcs.append(ids[:-1, :].ravel()); dsts.append(ids[1:, :].ravel())       # down
+    diag_mask = rng.random((side - 1) * (side - 1)) < diagonal_prob
+    d_src = ids[:-1, :-1].ravel()[diag_mask]
+    d_dst = ids[1:, 1:].ravel()[diag_mask]
+    srcs.append(d_src); dsts.append(d_dst)
+
+    src = np.concatenate(srcs)
+    dst = np.concatenate(dsts)
+    keep = rng.random(len(src)) >= drop_prob
+    src, dst = src[keep], dst[keep]
+
+    # Road segment lengths: a base unit times a log-uniform detour factor of
+    # up to 256x (segment lengths on real road networks span a few orders of
+    # magnitude, not the full weight range), scaled so the heaviest segments
+    # reach max_weight.
+    detour = np.exp(rng.uniform(0.0, np.log(256.0), size=len(src)))
+    w = np.maximum(1.0, np.floor(detour * max_weight / 256.0))
+    g = Graph.from_edges(n, src, dst, w, symmetrize=True, name=name)
+    g, _ = largest_connected_component(g)
+    return g.with_name(name)
+
+
+def road_geometric(
+    n: int,
+    *,
+    avg_degree: float = 3.0,
+    max_weight: float = float(2**13),
+    detour_max: float = 8.0,
+    seed=None,
+    name: str = "road-geo",
+) -> Graph:
+    """Random geometric graph in the unit square (k-nearest-neighbour style).
+
+    Vertices get uniform positions; each vertex links to its nearest
+    neighbours, giving a near-planar, locally-connected network whose
+    shortest-path trees are deep and slim — the road-network signature
+    (Fig. 8's ``k_ρ(n) = O(sqrt n)``).  Weights are Euclidean lengths times a
+    log-uniform detour factor in ``[1, detour_max]`` (real road segments are
+    not straight lines), scaled into ``[1, max_weight]``; the detour noise is
+    what makes premature relaxations on road networks pay the redundant work
+    the paper observes.
+    """
+    if n < 8:
+        raise ParameterError("road_geometric needs n >= 8")
+    from scipy.spatial import cKDTree
+
+    rng = as_generator(seed)
+    pts = rng.random((n, 2))
+    k = max(2, int(round(avg_degree)))
+    tree = cKDTree(pts)
+    dist, idx = tree.query(pts, k=k + 1)  # first hit is the point itself
+    src = np.repeat(np.arange(n), k)
+    dst = idx[:, 1:].ravel()
+    d = dist[:, 1:].ravel()
+    d = d * np.exp(rng.uniform(0.0, np.log(max(detour_max, 1.0)), size=d.shape))
+    scale = (max_weight - 1.0) / max(d.max(), 1e-12)
+    w = np.maximum(1.0, np.floor(d * scale) + 1.0)
+    g = Graph.from_edges(n, src, dst, w, symmetrize=True, name=name)
+    g, _ = largest_connected_component(g)
+    return g.with_name(name)
+
+
+# --------------------------------------------------------------------------- #
+# Adversarial gadget (Fig. 5)
+# --------------------------------------------------------------------------- #
+
+
+def delta_adversarial(num_blocks: int, delta: int, *, name: str = "fig5") -> Graph:
+    """The Fig. 5 comb gadget separating Δ-stepping from Δ*-stepping.
+
+    A spine of ``num_blocks`` vertices joined by weight-``delta`` edges; each
+    spine vertex hangs a unit-weight chain of ``delta`` vertices.  With the
+    window ``[iΔ, (i+1)Δ)``, original Δ-stepping must settle block ``i``'s
+    whole chain (Δ Bellman-Ford substeps) before advancing, for a total of
+    ``Θ(num_blocks * delta)`` substeps; Δ*-stepping pipelines the chains and
+    needs only ``O(num_blocks + delta)`` steps.
+
+    Vertex 0 is the intended source.  Undirected, ``n = num_blocks * (delta+1)``.
+    """
+    if num_blocks < 1 or delta < 1:
+        raise ParameterError("delta_adversarial needs num_blocks >= 1 and delta >= 1")
+    srcs, dsts, ws = [], [], []
+    spine = np.arange(num_blocks) * (delta + 1)
+    if num_blocks > 1:
+        srcs.append(spine[:-1]); dsts.append(spine[1:])
+        ws.append(np.full(num_blocks - 1, float(delta)))
+    for b in range(num_blocks):
+        chain = spine[b] + np.arange(delta + 1)
+        srcs.append(chain[:-1]); dsts.append(chain[1:])
+        ws.append(np.ones(delta))
+    n = num_blocks * (delta + 1)
+    return Graph.from_edges(
+        n,
+        np.concatenate(srcs),
+        np.concatenate(dsts),
+        np.concatenate(ws),
+        symmetrize=True,
+        name=name,
+    )

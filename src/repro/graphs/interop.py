@@ -1,0 +1,87 @@
+"""Interoperability with NetworkX and SciPy sparse matrices.
+
+These converters make the package usable as a drop-in parallel-SSSP engine
+for code bases that already hold graphs in the standard Python containers.
+NetworkX is an optional dependency — it is imported lazily so the core
+package works without it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.csr import Graph
+from repro.utils.errors import GraphFormatError
+
+__all__ = ["from_networkx", "from_scipy_sparse", "to_networkx", "to_scipy_sparse"]
+
+
+def from_networkx(nx_graph, *, weight: str = "weight", default_weight: float = 1.0) -> Graph:
+    """Convert a ``networkx`` (Di)Graph into a :class:`Graph`.
+
+    Nodes are relabelled to ``0..n-1`` in ``nx_graph.nodes`` order; the edge
+    attribute ``weight`` supplies weights (``default_weight`` when absent).
+    Undirected NetworkX graphs become symmetric CSRs with ``directed=False``.
+    """
+    import networkx as nx
+
+    directed = nx_graph.is_directed()
+    nodes = list(nx_graph.nodes)
+    index = {v: i for i, v in enumerate(nodes)}
+    srcs, dsts, ws = [], [], []
+    for u, v, data in nx_graph.edges(data=True):
+        srcs.append(index[u])
+        dsts.append(index[v])
+        ws.append(float(data.get(weight, default_weight)))
+    g = Graph.from_edges(
+        len(nodes),
+        np.array(srcs, dtype=np.int64),
+        np.array(dsts, dtype=np.int64),
+        np.array(ws),
+        directed=directed,
+        symmetrize=not directed,
+        name=getattr(nx_graph, "name", "") or "",
+    )
+    return g
+
+
+def to_networkx(graph: Graph):
+    """Convert to ``networkx.DiGraph`` / ``Graph`` with ``weight`` attributes."""
+    import networkx as nx
+
+    nx_graph = nx.DiGraph() if graph.directed else nx.Graph()
+    nx_graph.add_nodes_from(range(graph.n))
+    src, dst, w = graph.edges()
+    nx_graph.add_weighted_edges_from(zip(src.tolist(), dst.tolist(), w.tolist()))
+    if graph.name:
+        nx_graph.name = graph.name
+    return nx_graph
+
+
+def from_scipy_sparse(matrix, *, directed: bool = True, name: str = "") -> Graph:
+    """Convert a SciPy sparse adjacency matrix (weights = values) to a Graph."""
+    from scipy.sparse import csr_matrix
+
+    mat = csr_matrix(matrix)
+    if mat.shape[0] != mat.shape[1]:
+        raise GraphFormatError(f"adjacency matrix must be square, got {mat.shape}")
+    mat.eliminate_zeros()
+    coo = mat.tocoo()
+    return Graph.from_edges(
+        mat.shape[0],
+        coo.row.astype(np.int64),
+        coo.col.astype(np.int64),
+        coo.data.astype(np.float64),
+        directed=directed,
+        symmetrize=not directed,
+        name=name,
+    )
+
+
+def to_scipy_sparse(graph: Graph):
+    """The CSR adjacency matrix (weights as values) as ``scipy.sparse.csr_matrix``."""
+    from scipy.sparse import csr_matrix
+
+    return csr_matrix(
+        (graph.weights, graph.indices, graph.indptr), shape=(graph.n, graph.n)
+    )

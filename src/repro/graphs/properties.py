@@ -1,0 +1,156 @@
+"""Graph property measurement: hop distances, SP-tree depth, (k, ρ) invariant.
+
+The paper analyzes stepping algorithms through the ``(k, ρ)``-graph invariant
+(Definition 1, [Blelloch et al. 2016]): a graph is a ``(k, ρ)``-graph if every
+vertex reaches its ρ nearest vertices within k hops along
+fewest-hop shortest paths.  ``k_ρ`` is the smallest such ``k``; ``k_n`` (with
+ρ = n) is the shortest-path tree depth.  Fig. 8 plots estimated ``k_ρ`` for
+ρ ∈ {log n, sqrt n, n/log n, n/10, n}.
+
+Exact ``k_ρ`` needs an all-pairs computation; like the paper we *estimate* it
+by sampling sources (the paper uses 100 samples).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs.csr import Graph
+from repro.utils.errors import ParameterError
+from repro.utils.rng import as_generator
+
+__all__ = [
+    "KRhoEstimate",
+    "estimate_k_rho",
+    "hop_distances",
+    "sp_tree_depth",
+    "truncated_dijkstra_hops",
+]
+
+
+def truncated_dijkstra_hops(
+    graph: Graph, source: int, limit: int | None = None
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Dijkstra from ``source``, settling at most ``limit`` vertices.
+
+    Returns ``(settled_ids, distances, hops)`` in settling order, where
+    ``hops[i]`` is the number of edges on the *fewest-hop* shortest path to
+    ``settled_ids[i]`` (ties on distance broken toward fewer hops, matching
+    the paper's hop distance ``d̂``).
+    """
+    n = graph.n
+    if not 0 <= source < n:
+        raise ParameterError(f"source {source} out of range [0, {n})")
+    limit = n if limit is None else min(limit, n)
+
+    dist = np.full(n, np.inf)
+    hops = np.full(n, np.iinfo(np.int64).max, dtype=np.int64)
+    done = np.zeros(n, dtype=bool)
+    dist[source] = 0.0
+    hops[source] = 0
+
+    order_ids = np.empty(limit, dtype=np.int64)
+    order_dist = np.empty(limit)
+    order_hops = np.empty(limit, dtype=np.int64)
+    heap: list[tuple[float, int, int]] = [(0.0, 0, source)]
+    settled = 0
+    indptr, indices, weights = graph.indptr, graph.indices, graph.weights
+    while heap and settled < limit:
+        d, h, u = heapq.heappop(heap)
+        if done[u] or d > dist[u] or (d == dist[u] and h > hops[u]):
+            continue
+        done[u] = True
+        order_ids[settled] = u
+        order_dist[settled] = d
+        order_hops[settled] = h
+        settled += 1
+        for e in range(indptr[u], indptr[u + 1]):
+            v = indices[e]
+            nd = d + weights[e]
+            if nd < dist[v] or (nd == dist[v] and h + 1 < hops[v]):
+                dist[v] = nd
+                hops[v] = h + 1
+                heapq.heappush(heap, (nd, h + 1, int(v)))
+    return order_ids[:settled], order_dist[:settled], order_hops[:settled]
+
+
+def hop_distances(graph: Graph, source: int) -> np.ndarray:
+    """Fewest-hop counts along shortest weighted paths from ``source``.
+
+    Unreachable vertices get ``-1``.
+    """
+    ids, _, hops = truncated_dijkstra_hops(graph, source)
+    out = np.full(graph.n, -1, dtype=np.int64)
+    out[ids] = hops
+    return out
+
+
+def sp_tree_depth(graph: Graph, source: int) -> int:
+    """Shortest-path tree depth ``k_n`` from ``source`` (max hop distance)."""
+    hops = hop_distances(graph, source)
+    reachable = hops[hops >= 0]
+    return int(reachable.max()) if len(reachable) else 0
+
+
+@dataclass(frozen=True)
+class KRhoEstimate:
+    """Sampled estimate of the ``k_ρ`` curve of a graph.
+
+    ``rhos[i]`` → ``k_values[i]``: the estimated smallest ``k`` such that the
+    graph is a ``(k, rhos[i])``-graph, i.e. the max over sampled sources of
+    the deepest hop count among each source's ``rhos[i]`` nearest vertices.
+    """
+
+    rhos: tuple[int, ...]
+    k_values: tuple[int, ...]
+    num_samples: int
+
+    def as_dict(self) -> dict[int, int]:
+        return dict(zip(self.rhos, self.k_values))
+
+
+def estimate_k_rho(
+    graph: Graph,
+    rhos: "list[int] | None" = None,
+    *,
+    num_samples: int = 20,
+    seed=None,
+    aggregate: str = "max",
+) -> KRhoEstimate:
+    """Estimate ``k_ρ`` for each ρ in ``rhos`` by sampling sources.
+
+    Defaults to the paper's Fig. 8 grid ρ ∈ {log n, sqrt n, n/log n, n/10, n}.
+    ``aggregate`` is ``"max"`` (the definition quantifies over *all* vertices)
+    or ``"mean"`` (a smoother, sample-robust curve).
+    """
+    n = graph.n
+    if rhos is None:
+        logn = max(2, int(np.log2(n + 1)))
+        rhos = sorted({logn, int(np.sqrt(n)), n // logn, n // 10, n})
+        rhos = [r for r in rhos if r >= 1]
+    if any(r < 1 or r > n for r in rhos):
+        raise ParameterError(f"every rho must be in [1, {n}], got {rhos}")
+    if aggregate not in ("max", "mean"):
+        raise ParameterError(f"aggregate must be 'max' or 'mean', got {aggregate!r}")
+
+    rng = as_generator(seed)
+    num_samples = min(num_samples, n)
+    sources = rng.choice(n, size=num_samples, replace=False)
+    max_rho = max(rhos)
+    per_source = np.zeros((num_samples, len(rhos)), dtype=np.int64)
+    for i, s in enumerate(sources):
+        _, _, hops = truncated_dijkstra_hops(graph, int(s), limit=max_rho)
+        # Running max of hop counts in settling order: k for the rho nearest
+        # is the max hop among the first rho settled vertices.
+        running = np.maximum.accumulate(hops) if len(hops) else np.zeros(0, dtype=np.int64)
+        for j, rho in enumerate(rhos):
+            idx = min(rho, len(running)) - 1
+            per_source[i, j] = running[idx] if idx >= 0 else 0
+    if aggregate == "max":
+        ks = per_source.max(axis=0)
+    else:
+        ks = np.ceil(per_source.mean(axis=0)).astype(np.int64)
+    return KRhoEstimate(tuple(int(r) for r in rhos), tuple(int(k) for k in ks), num_samples)

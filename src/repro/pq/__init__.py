@@ -1,0 +1,21 @@
+"""LAB-PQ: the lazy-batched priority queue ADT and its two data structures."""
+
+from repro.pq.base import LabPQ
+from repro.pq.blockedlist import BlockedList
+from repro.pq.dynamic import DynamicTournamentPQ
+from repro.pq.flat import FlatPQ
+from repro.pq.hashtable import ScatterHashTable
+from repro.pq.sampling import SampleResult, estimate_kth_key, exact_kth_key
+from repro.pq.tournament import TournamentPQ
+
+__all__ = [
+    "BlockedList",
+    "DynamicTournamentPQ",
+    "FlatPQ",
+    "LabPQ",
+    "SampleResult",
+    "ScatterHashTable",
+    "TournamentPQ",
+    "estimate_kth_key",
+    "exact_kth_key",
+]

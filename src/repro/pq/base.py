@@ -1,0 +1,102 @@
+"""The LAB-PQ abstract data type (paper Sec. 3.1, Table 1).
+
+A *lazy-batched priority queue* maintains a subset of identifiers from a
+fixed universe ``[0, n)``.  Keys are not stored in the queue: a LAB-PQ is
+associated with a mapping function δ — here, a reference to the shared
+tentative-distance array — and reads ``dist[id]`` lazily.  Two operations:
+
+* ``update(ids)`` — commit (a batch of) updates: "the key of ``id`` is now
+  ``dist[id]``"; inserts ``id`` if absent.  Concurrent in the paper; here one
+  vectorised batch (see :mod:`repro.runtime.atomics` for why that is
+  equivalent).
+* ``extract(theta)`` — return and delete all ids with key ≤ ``theta``.
+  Never concurrent with anything, matching the paper's requirement.
+
+Augmented LAB-PQ additionally supports ``collect()`` — an abstract sum of all
+records under a commutative monoid; Radius-Stepping uses (min, +∞) over
+``dist[id] + r_ρ(id)``.
+
+Implementations also expose *cost introspection* (``last_update_touches``,
+``last_extract_scanned``) so the stepping framework can charge LAB-PQ work to
+the machine model without the data structures knowing about it.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+__all__ = ["LabPQ"]
+
+
+class LabPQ(abc.ABC):
+    """Abstract LAB-PQ over the id universe ``[0, n)`` keyed by ``dist``.
+
+    Subclasses: :class:`repro.pq.flat.FlatPQ` (practical, array-based) and
+    :class:`repro.pq.tournament.TournamentPQ` (theoretical, tree-based).
+    """
+
+    #: Work done by the most recent ``update`` batch (slots/nodes touched).
+    last_update_touches: int = 0
+    #: Work done by the most recent ``extract`` (slots/nodes scanned).
+    last_extract_scanned: int = 0
+    #: Frontier representation used by the last extract: "sparse" or "dense".
+    last_extract_mode: str = "sparse"
+    #: Work done by the most recent ``min_key``/``collect_min`` call.
+    last_collect_scanned: int = 0
+
+    def __init__(self, dist: np.ndarray, aug: "np.ndarray | None" = None) -> None:
+        self.dist = dist
+        self.aug = aug
+
+    @property
+    def n(self) -> int:
+        """Size of the id universe."""
+        return len(self.dist)
+
+    @abc.abstractmethod
+    def update(self, ids: np.ndarray) -> None:
+        """Commit a batch of key updates/insertions for ``ids``.
+
+        ``ids`` need not be unique; an id already in the queue is a no-op
+        beyond acknowledging its (already visible) new key.
+        """
+
+    @abc.abstractmethod
+    def extract(self, theta: float) -> np.ndarray:
+        """Return all ids in the queue with ``dist[id] <= theta``, removing them.
+
+        The result reflects every ``update``/``remove`` issued so far.
+        Returned ids are unique; order is unspecified.
+        """
+
+    @abc.abstractmethod
+    def remove(self, ids: np.ndarray) -> None:
+        """Delete ``ids`` from the queue if present (used by wave fusion)."""
+
+    @abc.abstractmethod
+    def min_key(self) -> float:
+        """Smallest key in the queue (``inf`` when empty)."""
+
+    @abc.abstractmethod
+    def collect_min(self) -> float:
+        """Augmented collect: ``min over Q of dist[id] + aug[id]``.
+
+        Requires ``aug`` to have been supplied at construction; this is the
+        monoid Radius-Stepping needs.  (``inf`` when empty.)
+        """
+
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        """Number of ids currently in the queue."""
+
+    # ------------------------------------------------------------------ #
+    # Shared helpers
+    # ------------------------------------------------------------------ #
+
+    def _check_ids(self, ids: np.ndarray) -> np.ndarray:
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.size and (ids.min() < 0 or ids.max() >= self.n):
+            raise IndexError(f"ids out of universe [0, {self.n})")
+        return ids

@@ -1,0 +1,213 @@
+"""Blocked linked list for approximate ρ-th element selection (Appendix B).
+
+The paper sketches an (at the time unpublished) structure for finding the
+ρ-th smallest element exactly where sampling falls short (small ρ): a
+search-tree-shaped list whose *leaves are unsorted blocks* of between ρ and
+3ρ elements.  Because elements inside a block are unsorted, a batch insert
+costs O(log(n/b)) per element to find the leaf plus amortised O(1) for
+splits; the smallest block holds the ρ..3ρ smallest records, so an
+approximate ρ-th key (rank within [ρ, 3ρ]) is read off the first block in
+O(ρ).
+
+This module implements that structure over (key, id) records.  We keep the
+block directory as a flat sorted array of block boundaries (a B-tree of one
+level — at the scales involved, the directory is tiny and binary search over
+it matches the O(log(n/b)) bound's role).
+
+The stepping framework does not use it by default (the paper doesn't
+either: generating explicit batches costs more than sampling in practice) —
+it is provided as the Appendix B reference implementation, with the
+selection-strategy comparison in ``benchmarks/bench_appendixB_selection.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.errors import ParameterError
+
+__all__ = ["BlockedList"]
+
+
+class _Block:
+    """One unsorted leaf block: keys + ids with a cached [lo, hi] range."""
+
+    __slots__ = ("keys", "ids", "lo", "hi")
+
+    def __init__(self, keys: np.ndarray, ids: np.ndarray) -> None:
+        self.keys = keys
+        self.ids = ids
+        self.lo = float(keys.min()) if keys.size else np.inf
+        self.hi = float(keys.max()) if keys.size else -np.inf
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+
+class BlockedList:
+    """Ordered collection of (key, id) records in unsorted blocks of ~ρ.
+
+    Supports:
+
+    * :meth:`batch_insert` — add records (amortised O(1) split work per
+      element after the directory lookup).
+    * :meth:`batch_delete` — remove records by id (lazy tombstones, compacted
+      when a block is half dead; merges underfull blocks).
+    * :meth:`approx_kth_key` — a key whose rank is within [ρ, 3ρ] (or the
+      maximum when fewer than ρ records), in O(ρ) — the Appendix B claim.
+    * :meth:`extract_below` — remove and return all ids with key ≤ θ.
+    """
+
+    def __init__(self, rho: int) -> None:
+        if rho < 1:
+            raise ParameterError(f"rho must be >= 1, got {rho}")
+        self.rho = int(rho)
+        self._blocks: list[_Block] = []
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    # ------------------------------------------------------------------ #
+
+    def batch_insert(self, keys: np.ndarray, ids: np.ndarray) -> None:
+        """Insert records; duplicate ids are the caller's responsibility."""
+        keys = np.asarray(keys, dtype=np.float64)
+        ids = np.asarray(ids, dtype=np.int64)
+        if keys.shape != ids.shape:
+            raise ParameterError("keys and ids must have equal shapes")
+        if keys.size == 0:
+            return
+        if not self._blocks:
+            order = np.argsort(keys, kind="stable")
+            self._blocks = [_Block(keys[order], ids[order])]
+            self._size = len(keys)
+            self._rebalance()
+            return
+        # Route each record to the block whose range covers it (directory =
+        # binary search over block lows).
+        lows = np.array([b.lo for b in self._blocks])
+        idx = np.searchsorted(lows, keys, side="right") - 1
+        idx = np.clip(idx, 0, len(self._blocks) - 1)
+        order = np.argsort(idx, kind="stable")
+        keys, ids, idx = keys[order], ids[order], idx[order]
+        cuts = np.flatnonzero(np.r_[True, idx[1:] != idx[:-1]])
+        for i, start in enumerate(cuts):
+            end = cuts[i + 1] if i + 1 < len(cuts) else len(idx)
+            b = self._blocks[idx[start]]
+            b.keys = np.concatenate([b.keys, keys[start:end]])
+            b.ids = np.concatenate([b.ids, ids[start:end]])
+            b.lo = min(b.lo, float(keys[start:end].min()))
+            b.hi = max(b.hi, float(keys[start:end].max()))
+        self._size += len(keys)
+        self._rebalance()
+
+    def batch_delete(self, ids: np.ndarray) -> int:
+        """Remove records whose id is in ``ids``; returns how many were removed."""
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.size == 0 or not self._blocks:
+            return 0
+        kill = np.unique(ids)
+        removed = 0
+        for b in self._blocks:
+            mask = np.isin(b.ids, kill, assume_unique=False)
+            hits = int(mask.sum())
+            if hits:
+                b.keys = b.keys[~mask]
+                b.ids = b.ids[~mask]
+                if b.keys.size:
+                    b.lo = float(b.keys.min())
+                    b.hi = float(b.keys.max())
+                removed += hits
+        self._size -= removed
+        self._rebalance()
+        return removed
+
+    def approx_kth_key(self) -> float:
+        """A key of rank within [ρ, 3ρ] — the max key of the first block.
+
+        When the list holds fewer than ρ records, the overall maximum is
+        returned (matching Appendix B's exception), and ``-inf`` when empty.
+        """
+        if not self._blocks:
+            return -np.inf
+        return self._blocks[0].hi
+
+    def extract_below(self, theta: float) -> np.ndarray:
+        """Remove and return all ids with key ≤ θ (block-range pruned)."""
+        out = []
+        removed = 0
+        for b in self._blocks:
+            if b.lo > theta:
+                break  # blocks are range-ordered
+            if b.hi <= theta:
+                out.append(b.ids)
+                removed += len(b.ids)
+                b.keys = b.keys[:0]
+                b.ids = b.ids[:0]
+                b.lo, b.hi = np.inf, -np.inf
+            else:
+                mask = b.keys <= theta
+                out.append(b.ids[mask])
+                removed += int(mask.sum())
+                b.keys = b.keys[~mask]
+                b.ids = b.ids[~mask]
+                if b.keys.size:
+                    b.lo = float(b.keys.min())
+                    b.hi = float(b.keys.max())
+        self._size -= removed
+        self._rebalance()
+        return np.concatenate(out) if out else np.zeros(0, dtype=np.int64)
+
+    def keys_in_order(self) -> np.ndarray:
+        """All keys, globally sorted (diagnostic; O(n log n))."""
+        if not self._blocks:
+            return np.zeros(0)
+        return np.sort(np.concatenate([b.keys for b in self._blocks]))
+
+    # ------------------------------------------------------------------ #
+
+    def _rebalance(self) -> None:
+        """Split blocks above 3ρ (around their median) and merge tiny ones."""
+        rho = self.rho
+        out: list[_Block] = []
+        for b in self._blocks:
+            if len(b) == 0:
+                continue
+            if len(b) <= 3 * rho:
+                out.append(b)
+                continue
+            # Split into chunks of ~2rho by partial sorting.
+            order = np.argsort(b.keys, kind="stable")
+            keys, ids = b.keys[order], b.ids[order]
+            for start in range(0, len(keys), 2 * rho):
+                out.append(_Block(keys[start : start + 2 * rho],
+                                  ids[start : start + 2 * rho]))
+        # Merge neighbours while a block is below rho (except a sole block).
+        merged: list[_Block] = []
+        for b in out:
+            if merged and (len(merged[-1]) < rho or len(b) < rho) and (
+                len(merged[-1]) + len(b) <= 3 * rho
+            ):
+                prev = merged.pop()
+                nb = _Block(
+                    np.concatenate([prev.keys, b.keys]),
+                    np.concatenate([prev.ids, b.ids]),
+                )
+                merged.append(nb)
+            else:
+                merged.append(b)
+        self._blocks = merged
+
+    def check_invariants(self) -> None:
+        """Assert block size bounds and range ordering (used by tests)."""
+        sizes = [len(b) for b in self._blocks]
+        assert all(s > 0 for s in sizes)
+        assert sum(sizes) == self._size
+        if len(self._blocks) > 1:
+            assert all(s <= 3 * self.rho for s in sizes), sizes
+            # All but possibly one block hold >= rho (merge slack of one).
+            small = sum(1 for s in sizes if s < self.rho)
+            assert small <= 1, sizes
+        for a, b in zip(self._blocks, self._blocks[1:]):
+            assert a.hi <= b.lo, (a.hi, b.lo)  # block key ranges stay disjoint

@@ -1,0 +1,185 @@
+"""Fully dynamic LAB-PQ (paper Appendix D).
+
+The fixed-universe tournament tree (Sec. 4.2) assumes ``n`` known leaves.
+Appendix D extends it to a dynamic universe:
+
+* **batch insert** of ``k`` new records: grow the leaf array (doubling when
+  needed, copying leaves into the bottom level of a one-taller tree) and
+  repair the affected root paths — O(k + log n) beyond the (amortised)
+  doubling copy.
+* **batch delete** of ``k`` records: fill the holes with the last ``k``
+  leaves and repair both sets of root paths — O(k log(n/k)).
+
+Unlike :class:`~repro.pq.tournament.TournamentPQ`, record keys here are
+*stored* (there is no ambient δ array for a universe that changes size), so
+the interface takes explicit (id, key) batches — the "explicit batch"
+variant the appendix describes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.errors import ParameterError
+
+__all__ = ["DynamicTournamentPQ"]
+
+_INF = float("inf")
+
+
+class DynamicTournamentPQ:
+    """A tournament tree over a *growing/shrinking* set of (id, key) records.
+
+    ids are arbitrary (hashable as int64) and must be unique among live
+    records.  Supports ``insert(ids, keys)``, ``delete(ids)``,
+    ``decrease_key(ids, keys)``, ``min_key()``, and ``extract(theta)``.
+    """
+
+    def __init__(self, initial_capacity: int = 16) -> None:
+        if initial_capacity < 2:
+            raise ParameterError("initial_capacity must be >= 2")
+        cap = 1 << int(np.ceil(np.log2(initial_capacity)))
+        self._alloc(cap)
+        self._count = 0
+        self._pos: dict[int, int] = {}  # id -> leaf slot
+
+    def _alloc(self, cap: int) -> None:
+        self.capacity = cap
+        self.keys = np.full(2 * cap, _INF)
+        self.leaf_ids = np.full(cap, -1, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return self._count
+
+    # ------------------------------------------------------------------ #
+
+    def insert(self, ids: np.ndarray, keys: np.ndarray) -> None:
+        """Batch-insert new records (ids must not already be present)."""
+        ids = np.asarray(ids, dtype=np.int64)
+        keys = np.asarray(keys, dtype=np.float64)
+        if ids.shape != keys.shape:
+            raise ParameterError("ids and keys must have equal shapes")
+        if ids.size == 0:
+            return
+        if len(np.unique(ids)) != len(ids):
+            raise ParameterError("duplicate ids in one insert batch")
+        for i in ids:
+            if int(i) in self._pos:
+                raise ParameterError(f"id {i} already present")
+        self._reserve(self._count + len(ids))
+        slots = np.arange(self._count, self._count + len(ids))
+        self.leaf_ids[slots] = ids
+        self.keys[self.capacity + slots] = keys
+        for i, s in zip(ids, slots):
+            self._pos[int(i)] = int(s)
+        self._count += len(ids)
+        self._repair(slots)
+
+    def delete(self, ids: np.ndarray) -> None:
+        """Batch-delete records by id (absent ids are an error)."""
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.size == 0:
+            return
+        for i in ids:
+            if int(i) not in self._pos:
+                raise ParameterError(f"id {i} not present")
+        # Appendix D: fill each hole with the (current) last live leaf.
+        touched = []
+        for i in ids:
+            slot = self._pos.pop(int(i))
+            last = self._count - 1
+            if slot != last and self.leaf_ids[last] >= 0:
+                mover = int(self.leaf_ids[last])
+                # the mover may itself be scheduled for deletion later in the
+                # batch; the dict lookup keeps everything consistent.
+                self.leaf_ids[slot] = mover
+                self.keys[self.capacity + slot] = self.keys[self.capacity + last]
+                self._pos[mover] = slot
+                touched.append(slot)
+            self.leaf_ids[last] = -1
+            self.keys[self.capacity + last] = _INF
+            touched.append(last)
+            self._count -= 1
+        self._repair(np.array(touched, dtype=np.int64))
+
+    def decrease_key(self, ids: np.ndarray, keys: np.ndarray) -> None:
+        """Lower the keys of existing records (WriteMin semantics)."""
+        ids = np.asarray(ids, dtype=np.int64)
+        keys = np.asarray(keys, dtype=np.float64)
+        slots = np.array([self._pos[int(i)] for i in ids], dtype=np.int64)
+        pos = self.capacity + slots
+        np.minimum.at(self.keys, pos, keys)
+        self._repair(slots)
+
+    def min_key(self) -> float:
+        return float(self.keys[1]) if self.capacity > 1 else float(self.keys[self.capacity])
+
+    def min_id(self) -> int:
+        """Id of a record with the minimum key (-1 when empty)."""
+        if self._count == 0:
+            return -1
+        node = 1
+        while node < self.capacity:
+            left, right = 2 * node, 2 * node + 1
+            node = left if self.keys[left] <= self.keys[right] else right
+        return int(self.leaf_ids[node - self.capacity])
+
+    def extract(self, theta: float) -> np.ndarray:
+        """Remove and return all ids with key ≤ θ (root-down traversal)."""
+        if self._count == 0 or self.keys[1] > theta:
+            return np.zeros(0, dtype=np.int64)
+        nodes = [1]
+        leaves = []
+        while nodes:
+            node = nodes.pop()
+            if node >= self.capacity:
+                leaves.append(node - self.capacity)
+                continue
+            for kid in (2 * node, 2 * node + 1):
+                if self.keys[kid] <= theta:
+                    nodes.append(kid)
+        ids = self.leaf_ids[np.array(leaves, dtype=np.int64)]
+        ids = ids[ids >= 0]
+        self.delete(ids)
+        return ids
+
+    def items(self) -> tuple[np.ndarray, np.ndarray]:
+        """Live (ids, keys), in leaf order (diagnostic)."""
+        slots = np.arange(self._count)
+        return self.leaf_ids[slots].copy(), self.keys[self.capacity + slots].copy()
+
+    # ------------------------------------------------------------------ #
+
+    def _reserve(self, needed: int) -> None:
+        if needed <= self.capacity:
+            return
+        cap = self.capacity
+        while cap < needed:
+            cap *= 2
+        old_keys = self.keys[self.capacity : self.capacity + self._count].copy()
+        old_ids = self.leaf_ids[: self._count].copy()
+        self._alloc(cap)
+        self.leaf_ids[: len(old_ids)] = old_ids
+        self.keys[cap : cap + len(old_keys)] = old_keys
+        self._repair(np.arange(len(old_ids)))
+
+    def _repair(self, slots: np.ndarray) -> None:
+        """Recompute interior keys on the root paths of the given leaves."""
+        if slots.size == 0:
+            return
+        nodes = np.unique((self.capacity + slots) >> 1)
+        while nodes.size and nodes[0] >= 1:
+            left = nodes * 2
+            right = left + 1
+            self.keys[nodes] = np.minimum(self.keys[left], self.keys[right])
+            nodes = np.unique(nodes >> 1)
+            nodes = nodes[nodes >= 1]
+
+    def check_invariants(self) -> None:
+        """Assert heap-order caches and the id→slot map (used by tests)."""
+        assert len(self._pos) == self._count
+        for i, s in self._pos.items():
+            assert self.leaf_ids[s] == i
+        for node in range(1, self.capacity):
+            assert self.keys[node] == min(self.keys[2 * node], self.keys[2 * node + 1])
+        assert np.all(self.keys[self.capacity + self._count :] == _INF)

@@ -1,0 +1,175 @@
+"""Array-based LAB-PQ (paper Sec. 4.3 + Sec. 6) — the practical structure.
+
+State:
+
+* ``in_q[id]`` — the membership bit array (dense representation).
+* a :class:`~repro.pq.hashtable.ScatterHashTable` *pool* holding the ids
+  currently in the queue (sparse representation), built by scattering on
+  insert exactly as the paper's implementation does.
+
+``update`` sets the bit and, when the id was previously absent, scatters it
+into the pool (O(1) amortised work — Theorem 4.3's O(b) modification work on
+a size-b batch).  ``extract(θ)`` chooses a *mode* per the sparse–dense
+optimisation:
+
+* **sparse** (|Q| small): scan the pool region, split it by ``dist ≤ θ``,
+  re-scatter the survivors into the alternate table.  Work ∝ pool size.
+* **dense** (|Q| large): scan all ``n`` membership bits.  Work = O(n) — the
+  Theorem 4.3 extraction bound — with a more cache-friendly constant.
+
+Cost introspection (``last_update_touches``, ``last_extract_scanned``,
+``last_extract_mode``) feeds the machine model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pq.base import LabPQ
+from repro.pq.hashtable import ScatterHashTable
+from repro.utils.errors import ParameterError
+
+__all__ = ["FlatPQ"]
+
+
+class FlatPQ(LabPQ):
+    """Flat-array LAB-PQ with sparse–dense extraction.
+
+    Parameters
+    ----------
+    dist:
+        Shared tentative-distance array (the δ mapping); length defines the
+        id universe.
+    aug:
+        Optional augmentation values; enables :meth:`collect_min` returning
+        ``min(dist[id] + aug[id])`` (Radius-Stepping's threshold).
+    dense_frac:
+        Extraction switches to the dense mode when ``|Q| > dense_frac * n``.
+        The Ligra-style heuristic; ablated in the benchmarks.
+    seed:
+        Seed for the scatter hash tables.
+    """
+
+    def __init__(
+        self,
+        dist: np.ndarray,
+        aug: "np.ndarray | None" = None,
+        *,
+        dense_frac: float = 0.05,
+        min_table: int = 64,
+        seed=None,
+    ) -> None:
+        super().__init__(dist, aug)
+        if not 0 < dense_frac <= 1:
+            raise ParameterError(f"dense_frac must be in (0,1], got {dense_frac}")
+        n = len(dist)
+        self.dense_frac = dense_frac
+        self.in_q = np.zeros(n, dtype=bool)
+        self.in_pool = np.zeros(n, dtype=bool)
+        capacity = max(8 * n, 8 * min_table)
+        self._pool = ScatterHashTable(capacity, min_size=min_table, seed=seed)
+        self._alt = ScatterHashTable(capacity, min_size=min_table, seed=seed)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    # ------------------------------------------------------------------ #
+
+    def update(self, ids: np.ndarray) -> None:
+        ids = self._check_ids(ids)
+        if ids.size == 0:
+            self.last_update_touches = 0
+            return
+        was_in_q = self.in_q[ids]
+        self.in_q[ids] = True
+        entering = ids[~was_in_q]
+        # A batch may mention an id twice; it enters the queue once.
+        entering = np.unique(entering) if entering.size else entering
+        self._size += len(entering)
+        # Scatter only ids not already sitting in the pool (a stale pool entry
+        # left by remove() is revived by the in_q bit alone).
+        fresh = entering[~self.in_pool[entering]] if entering.size else entering
+        probes = self._pool.insert(fresh) if fresh.size else 0
+        self.in_pool[fresh] = True
+        self.last_update_touches = int(ids.size) + probes
+
+    def extract(self, theta: float) -> np.ndarray:
+        n = self.n
+        if self._size > self.dense_frac * n:
+            out = self._extract_dense(theta)
+        else:
+            out = self._extract_sparse(theta)
+        self._size -= len(out)
+        return out
+
+    def remove(self, ids: np.ndarray) -> None:
+        """Lazily delete ``ids`` (pool entries become stale until compaction)."""
+        ids = self._check_ids(ids)
+        live = ids[self.in_q[ids]]
+        live = np.unique(live) if live.size else live
+        self.in_q[live] = False
+        self._size -= len(live)
+
+    def min_key(self) -> float:
+        return self._reduce_min(self.dist)
+
+    def collect_min(self) -> float:
+        if self.aug is None:
+            raise ParameterError("collect_min requires an augmented FlatPQ (aug array)")
+        return self._reduce_min(self.dist + self.aug)
+
+    def _reduce_min(self, keys: np.ndarray) -> float:
+        if self._size == 0:
+            self.last_collect_scanned = 0
+            return float("inf")
+        if self._size > self.dense_frac * self.n:
+            self.last_collect_scanned = self.n
+            return float(keys[self.in_q].min())
+        ids, scanned = self._pool.contents()
+        self.last_collect_scanned = scanned
+        live = ids[self.in_q[ids]]
+        return float(keys[live].min()) if live.size else float("inf")
+
+    def live_ids(self) -> np.ndarray:
+        """All ids currently in the queue (diagnostic; O(n) or pool scan)."""
+        return np.flatnonzero(self.in_q)
+
+    # ------------------------------------------------------------------ #
+
+    def _extract_sparse(self, theta: float) -> np.ndarray:
+        ids, scanned = self._pool.contents()
+        live = ids[self.in_q[ids]] if ids.size else ids
+        if live.size:
+            below = self.dist[live] <= theta
+            out = live[below]
+            survivors = live[~below]
+        else:
+            out = live
+            survivors = live
+        # Alternate tables (paper Appendix E): survivors re-scatter into the
+        # other table, which becomes the new pool.
+        self._alt.reset()
+        probes = self._alt.insert(survivors) if survivors.size else 0
+        self._pool, self._alt = self._alt, self._pool
+        self.in_pool[:] = False
+        self.in_pool[survivors] = True
+        self.in_q[out] = False
+        self.last_extract_mode = "sparse"
+        self.last_extract_scanned = scanned + probes
+        return out
+
+    def _extract_dense(self, theta: float) -> np.ndarray:
+        below = self.in_q & (self.dist <= theta)
+        out = np.flatnonzero(below)
+        self.in_q[out] = False
+        # Dense extraction refreshes the sparse pool with the exact remainder
+        # so a later sparse step starts clean.
+        survivors = np.flatnonzero(self.in_q)
+        self._pool.reset()
+        probes = self._pool.insert(survivors) if survivors.size else 0
+        self.in_pool[:] = False
+        self.in_pool[survivors] = True
+        self.last_extract_mode = "dense"
+        self.last_extract_scanned = self.n + probes
+        return out

@@ -1,0 +1,175 @@
+"""Resizable scatter hash table (paper Sec. 6 + Appendix E).
+
+The sparse frontier of the array-based LAB-PQ is maintained by scattering
+vertices into random slots of an open-addressing table with linear probing.
+Two properties from the paper are preserved:
+
+* **No data movement on resize**: the table starts as a region
+  ``[0, tail)`` of a pre-allocated array; when the (sampled) size estimate
+  exceeds the load-factor bound, ``offset`` jumps to ``tail`` and ``tail``
+  doubles, so *future* inserts scatter into the fresh region while old
+  entries stay where they are.  ``contents()`` scans ``[0, tail)``.
+* **Sampled size estimation**: ``est_size`` is incremented with probability
+  ``SAMPLE_RATE`` per insert (scaled back up), so resizing decisions cost
+  O(1) per insert.
+
+Inserts are batched: a batch is scattered at once and intra-batch slot
+collisions are resolved by vectorised rounds of linear probing — the same
+final state as the paper's per-thread CAS loop, since which duplicate wins a
+slot is immaterial (ids are opaque).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.errors import ParameterError
+from repro.utils.rng import as_generator
+
+__all__ = ["ScatterHashTable"]
+
+_EMPTY = np.int64(-1)
+
+
+class ScatterHashTable:
+    """Open-addressing scatter table for frontier vertex ids.
+
+    Parameters
+    ----------
+    capacity:
+        Physical array size (will hold at most ``capacity`` live entries at
+        ``load_factor`` ≤ 0.5 across all regions).  For SSSP use ``>= 2n``.
+    min_size:
+        Initial region size per reset (the paper's ``MIN_SIZE``).
+    load_factor:
+        Region load threshold that triggers a region doubling.
+    sample_rate:
+        Probability an insert bumps the size estimator.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        *,
+        min_size: int = 64,
+        load_factor: float = 0.5,
+        sample_rate: float = 0.1,
+        seed=None,
+    ) -> None:
+        if capacity < min_size:
+            raise ParameterError(f"capacity {capacity} smaller than min_size {min_size}")
+        if not 0 < load_factor < 1:
+            raise ParameterError(f"load_factor must be in (0,1), got {load_factor}")
+        if not 0 < sample_rate <= 1:
+            raise ParameterError(f"sample_rate must be in (0,1], got {sample_rate}")
+        self._rng = as_generator(seed)
+        self.capacity = 1 << int(np.ceil(np.log2(capacity)))
+        self.min_size = 1 << int(np.ceil(np.log2(min_size)))
+        self.load_factor = load_factor
+        self.sample_rate = sample_rate
+        self.table = np.full(self.capacity, _EMPTY, dtype=np.int64)
+        #: Cumulative probe count — the cost the machine model charges.
+        self.total_probes = 0
+        self.reset()
+
+    # ------------------------------------------------------------------ #
+
+    def reset(self) -> None:
+        """Clear to an empty table with a fresh ``min_size`` region."""
+        self.table[: getattr(self, "tail", self.capacity)] = _EMPTY
+        self.offset = 0
+        self.tail = self.min_size
+        self.count = 0
+        self.region_count = 0
+        self.est_size = 0
+
+    def __len__(self) -> int:
+        """Exact number of stored entries (duplicates included)."""
+        return self.count
+
+    @property
+    def region_size(self) -> int:
+        """Size of the active scatter region (``tail - offset``)."""
+        return self.tail - self.offset
+
+    # ------------------------------------------------------------------ #
+
+    def insert(self, ids: np.ndarray) -> int:
+        """Insert a batch of ids; returns the number of probe operations.
+
+        Duplicate ids are stored multiple times (the paper's table does the
+        same; dedup happens at extraction via the ``in_q`` flags).
+        """
+        ids = np.asarray(ids, dtype=np.int64)
+        probes = 0
+        pending = ids
+        while pending.size:
+            self._ensure_room(pending.size)
+            region = self.tail - self.offset
+            pos = self.offset + self._rng.integers(0, region, size=pending.size)
+            # Rounds of linear probing until every pending id lands.
+            while pending.size:
+                probes += pending.size
+                free = self.table[pos] == _EMPTY
+                # Intra-batch conflicts: first occurrence of each slot wins.
+                order = np.argsort(pos, kind="stable")
+                sorted_pos = pos[order]
+                first_sorted = np.r_[True, sorted_pos[1:] != sorted_pos[:-1]]
+                first = np.zeros(len(pos), dtype=bool)
+                first[order] = first_sorted
+                placed = free & first
+                self.table[pos[placed]] = pending[placed]
+                n_placed = int(placed.sum())
+                self.count += n_placed
+                self.region_count += n_placed
+                self._bump_estimate(n_placed)
+                pending = pending[~placed]
+                pos = pos[~placed] + 1
+                if pending.size:
+                    # Wrap within the active region.
+                    pos = self.offset + (pos - self.offset) % (self.tail - self.offset)
+                if self._over_loaded() and self.tail * 2 <= self.capacity:
+                    self._grow()
+                    break  # rescatter remaining ids into the new region
+        self.total_probes += probes
+        return probes
+
+    def contents(self) -> tuple[np.ndarray, int]:
+        """Return ``(ids, scanned)``: all stored ids and the scan cost.
+
+        The scan covers ``[0, tail)`` — the cost a parallel pack would pay.
+        """
+        region = self.table[: self.tail]
+        ids = region[region != _EMPTY]
+        return ids.copy(), self.tail
+
+    # ------------------------------------------------------------------ #
+
+    def _bump_estimate(self, placed: int) -> None:
+        if placed:
+            hits = self._rng.binomial(placed, self.sample_rate)
+            self.est_size += int(round(hits / self.sample_rate))
+
+    def _over_loaded(self) -> bool:
+        return max(self.est_size, 0) > self.load_factor * (self.tail - self.offset)
+
+    def _grow(self) -> None:
+        if self.tail * 2 > self.capacity:
+            raise ParameterError(
+                f"scatter table capacity {self.capacity} exhausted (count={self.count})"
+            )
+        self.offset = self.tail
+        self.tail *= 2
+        self.region_count = 0
+        self.est_size = 0  # estimate is per-region, as in the paper
+
+    def _ensure_room(self, incoming: int) -> None:
+        # Hard safety net: the exact region count must leave probing headroom
+        # even when the sampled estimate lags behind.
+        while self.region_count + incoming > 0.9 * (self.tail - self.offset):
+            if self.tail * 2 > self.capacity:
+                raise ParameterError(
+                    f"scatter table capacity {self.capacity} exhausted "
+                    f"(count={self.count}, incoming={incoming})"
+                )
+            self._grow()

@@ -1,0 +1,174 @@
+"""Tournament-tree LAB-PQ (paper Sec. 4.2, Algorithm 2) — the theoretical structure.
+
+A complete binary tree with one leaf per id in the universe.  Leaves carry an
+``inQ`` flag; interior nodes cache the minimum key of their subtree plus a
+``renew`` bit meaning "some key below me changed since my cache was written".
+
+* ``Mark(id, flag)`` (helper): set the leaf flag, then walk the root path
+  setting ``renew`` bits with TestAndSet semantics — a batch of b marks
+  touches only the O(b log(n/b)) distinct path nodes, because a mark stops as
+  soon as it hits an already-renewed node (Lemma 4.2).  We run the whole
+  batch as vectorised per-level rounds with identical semantics.
+* ``Extract(θ)``: ``Sync`` repairs cached keys bottom-up over exactly the
+  renewed nodes, then a parallel root-down traversal collects all leaves with
+  key ≤ θ, skipping any subtree whose cached minimum exceeds θ, and marks
+  them deleted.
+
+The implementation stores the tree in flat arrays (1-indexed heap layout, no
+pointers), as the paper's Appendix F experiment does.  All node touches are
+counted into ``last_update_touches`` / ``last_extract_scanned`` for the
+machine model, and the counts themselves are what the Fig. 10 bench plots.
+
+The augmented plane (``aug``) maintains ``min(dist[id] + aug[id])`` alongside
+the key plane in the same sync pass — the augmented LAB-PQ Radius-Stepping
+needs (Sec. 3.1 "Augmenting LaB-PQ").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pq.base import LabPQ
+
+__all__ = ["TournamentPQ"]
+
+_INF = float("inf")
+
+
+class TournamentPQ(LabPQ):
+    """Tournament-tree LAB-PQ over the id universe ``[0, n)``."""
+
+    def __init__(self, dist: np.ndarray, aug: "np.ndarray | None" = None) -> None:
+        super().__init__(dist, aug)
+        n = len(dist)
+        self.leaf_base = 1 << max(0, int(np.ceil(np.log2(max(n, 1)))))
+        self.keys = np.full(2 * self.leaf_base, _INF)
+        self.aug_keys = np.full(2 * self.leaf_base, _INF) if aug is not None else None
+        self.renew = np.zeros(self.leaf_base, dtype=bool)  # interior nodes 1..base-1
+        self.in_q = np.zeros(n, dtype=bool)
+        self._dirty_leaves: list[np.ndarray] = []
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    # ------------------------------------------------------------------ #
+    # LAB-PQ interface
+    # ------------------------------------------------------------------ #
+
+    def update(self, ids: np.ndarray) -> None:
+        ids = self._check_ids(ids)
+        ids = np.unique(ids) if ids.size else ids
+        self._count += int(np.count_nonzero(~self.in_q[ids]))
+        self.last_update_touches = self._mark(ids, True)
+
+    def extract(self, theta: float) -> np.ndarray:
+        scanned = self._sync()
+        out, visit = self._extract_from(theta)
+        self._count -= len(out)
+        scanned += visit + self._mark(out, False)
+        self.last_extract_mode = "sparse"  # tree extraction is output-sensitive
+        self.last_extract_scanned = scanned
+        return out
+
+    def remove(self, ids: np.ndarray) -> None:
+        ids = self._check_ids(ids)
+        live = np.unique(ids[self.in_q[ids]]) if ids.size else ids
+        self._count -= len(live)
+        self._mark(live, False)
+
+    def min_key(self) -> float:
+        self.last_collect_scanned = self._sync()
+        return float(self.keys[1])
+
+    def collect_min(self) -> float:
+        if self.aug_keys is None:
+            from repro.utils.errors import ParameterError
+
+            raise ParameterError("collect_min requires an augmented TournamentPQ (aug array)")
+        self.last_collect_scanned = self._sync()
+        return float(self.aug_keys[1])
+
+    def live_ids(self) -> np.ndarray:
+        """All ids currently in the queue (diagnostic)."""
+        return np.flatnonzero(self.in_q)
+
+    # ------------------------------------------------------------------ #
+    # Internals (Algorithm 2)
+    # ------------------------------------------------------------------ #
+
+    def _mark(self, ids: np.ndarray, flag: bool) -> int:
+        """Batched ``Mark``: set leaf flags, renew root paths. Returns touches."""
+        if ids.size == 0:
+            return 0
+        self.in_q[ids] = flag
+        self._dirty_leaves.append(ids)
+        touches = int(ids.size)
+        cur = np.unique((self.leaf_base + ids) >> 1)
+        while cur.size:
+            touches += int(cur.size)
+            # TestAndSet: only marks that newly set a renew bit climb on.
+            fresh = cur[~self.renew[cur]]
+            self.renew[fresh] = True
+            cur = np.unique(fresh >> 1)
+            cur = cur[cur >= 1]
+        return touches
+
+    def _sync(self) -> int:
+        """Repair cached keys over renewed nodes, bottom-up. Returns touches."""
+        if not self._dirty_leaves:
+            return 0
+        leaves = np.unique(np.concatenate(self._dirty_leaves))
+        self._dirty_leaves.clear()
+        touches = int(leaves.size)
+
+        # Refresh leaf keys from the shared dist array (the lazy δ read).
+        pos = self.leaf_base + leaves
+        live = self.in_q[leaves]
+        self.keys[pos] = np.where(live, self.dist[leaves], _INF)
+        if self.aug_keys is not None:
+            self.aug_keys[pos] = np.where(live, self.dist[leaves] + self.aug[leaves], _INF)
+
+        nodes = np.unique(pos >> 1)
+        while nodes.size:
+            nodes = nodes[self.renew[nodes]]
+            if not nodes.size:
+                break
+            touches += int(nodes.size)
+            left = nodes * 2
+            right = left + 1
+            self.keys[nodes] = np.minimum(self.keys[left], self.keys[right])
+            if self.aug_keys is not None:
+                self.aug_keys[nodes] = np.minimum(self.aug_keys[left], self.aug_keys[right])
+            self.renew[nodes] = False
+            nodes = np.unique(nodes >> 1)
+            nodes = nodes[nodes >= 1]
+        return touches
+
+    def _extract_from(self, theta: float) -> tuple[np.ndarray, int]:
+        """Root-down traversal collecting leaves with key ≤ θ (ExtractFrom).
+
+        Returns ``(ids, nodes_visited)``.
+        """
+        if self._count == 0 or self.keys[1] > theta:
+            return np.zeros(0, dtype=np.int64), 1
+        nodes = np.array([1], dtype=np.int64)
+        out_leaves: list[np.ndarray] = []
+        scanned = 1
+        while nodes.size:
+            is_leaf = nodes >= self.leaf_base
+            if np.any(is_leaf):
+                out_leaves.append(nodes[is_leaf])
+            inner = nodes[~is_leaf]
+            if inner.size == 0:
+                break
+            kids = np.concatenate([inner * 2, inner * 2 + 1])
+            scanned += int(kids.size)
+            nodes = kids[self.keys[kids] <= theta]
+        if not out_leaves:
+            return np.zeros(0, dtype=np.int64), scanned
+        ids = np.concatenate(out_leaves) - self.leaf_base
+        # θ = inf admits padding leaves (inf <= inf); drop them before the
+        # inQ check, which dedups leaves deleted since their key was cached.
+        ids = ids[ids < self.n]
+        return ids[self.in_q[ids]], scanned

@@ -1,0 +1,121 @@
+"""Deterministic batched equivalents of the paper's atomic primitives.
+
+The paper's implementation relies on two atomics (Sec. 2):
+
+* ``WriteMin(p, v)`` — atomically lower ``*p`` to ``v``; returns whether the
+  write changed the value.
+* ``TestAndSet(p)`` — atomically set a boolean; returns whether this caller
+  set it.
+
+Under CPython a pool of threads racing on a shared array buys nothing (GIL),
+so we execute each *batch* of concurrent atomic operations as one vectorised
+NumPy kernel with identical semantics:
+
+* min is commutative and associative, so the final memory state after a batch
+  of concurrent ``WriteMin`` calls is exactly the elementwise minimum —
+  independent of interleaving.  The paper itself leans on this determinism
+  (priority updates [81]).
+* a ``WriteMin`` "succeeds" (algorithmically: triggers ``Q.Update``) iff its
+  value is below the location's value at batch start; the set of *locations
+  that changed* is identical to any concurrent schedule, which is all the
+  stepping framework observes.
+
+Cost accounting for contention follows the paper's footnote 1: ``t`` priority
+updates to one location cost ``O(t)`` work and ``O(log t)`` span, which is
+captured by the per-step span terms in :mod:`repro.runtime.machine`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["test_and_set", "write_min"]
+
+
+def write_min(
+    values: np.ndarray,
+    targets: np.ndarray,
+    candidates: np.ndarray,
+    *,
+    cas: bool = False,
+) -> np.ndarray:
+    """Batched ``WriteMin``: lower ``values[targets]`` to ``candidates``.
+
+    Parameters
+    ----------
+    values:
+        The shared array (modified in place), e.g. tentative distances.
+    targets:
+        Indices into ``values``; duplicates allowed (contention).
+    candidates:
+        Proposed new values, parallel to ``targets``.
+    cas:
+        Success-mask semantics.  ``False`` (default): a call "succeeds" if
+        its candidate is below the location's *pre-batch* value — a superset
+        of any interleaving's winners; this is all the stepping framework
+        needs (``values[t]`` changed iff some success hit ``t``) and it is
+        the cheapest mask to compute.  ``True``: simulate one serialisation
+        (batch order): a call succeeds only if its candidate beats every
+        earlier candidate for the same location too — the success *count* a
+        CAS-loop implementation would observe, which matters for baselines
+        (GAPBS) that enqueue one frontier entry per successful CAS.
+
+    The final memory state is identical either way (min is commutative).
+    """
+    if len(targets) == 0:
+        return np.zeros(0, dtype=bool)
+    old = values[targets]
+    if not cas:
+        np.minimum.at(values, targets, candidates)
+        return candidates < old
+    # CAS serialisation in batch order: within each target's occurrence
+    # sequence, a candidate wins iff it is strictly below the running min of
+    # the location (old value and all earlier candidates).
+    order = np.argsort(targets, kind="stable")
+    c_s = np.minimum(candidates[order], old[order])  # running value if applied
+    seg_start = np.r_[True, targets[order][1:] != targets[order][:-1]]
+    # Segment-wise minimum-accumulate via the offset trick (no Python loop).
+    finite = c_s[np.isfinite(c_s)]
+    hi = float(finite.max()) if finite.size else 0.0
+    lo = float(finite.min()) if finite.size else 0.0
+    span = hi - lo + 1.0
+    seg_id = np.cumsum(seg_start) - 1
+    # Non-finite entries (an inf old value with an inf candidate) sort above
+    # every finite value within their segment.
+    c_f = np.where(np.isfinite(c_s), c_s, hi + 1.0)
+    # Segment-reset running minimum: running-max-accumulate the negated
+    # values with a per-segment offset large enough that earlier segments
+    # can never dominate later ones.
+    y = -c_f + seg_id * (2.0 * span)
+    run = seg_id * (2.0 * span) - np.maximum.accumulate(y)
+    prev = np.empty_like(run)
+    prev[0] = np.inf
+    prev[1:] = run[:-1]
+    prev[seg_start] = np.inf
+    prev = np.minimum(prev, old[order])  # location value before this call
+    success_sorted = candidates[order] < prev
+    success = np.zeros(len(targets), dtype=bool)
+    success[order] = success_sorted
+    np.minimum.at(values, targets, candidates)
+    return success
+
+
+def test_and_set(flags: np.ndarray, ids: np.ndarray) -> np.ndarray:
+    """Batched ``TestAndSet`` on a boolean array.
+
+    Sets ``flags[ids] = True`` and returns a mask, parallel to ``ids``, that
+    is ``True`` exactly once per id that was previously unset (the "winner"
+    of the batch — deterministically the first occurrence).
+    """
+    if len(ids) == 0:
+        return np.zeros(0, dtype=bool)
+    was_set = flags[ids]
+    # First occurrence of each id in the batch:
+    order = np.argsort(ids, kind="stable")
+    sorted_ids = ids[order]
+    first_sorted = np.r_[True, sorted_ids[1:] != sorted_ids[:-1]]
+    first = np.zeros(len(ids), dtype=bool)
+    first[order] = first_sorted
+    winners = first & ~was_set
+    flags[ids] = True
+    return winners

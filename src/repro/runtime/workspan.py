@@ -1,0 +1,149 @@
+"""Work–span accounting for stepping-algorithm runs.
+
+Every algorithm in this package executes *semantically* parallel code on a
+single CPython core (see :mod:`repro.runtime.atomics`).  What makes the
+paper's comparisons reproducible is not the physical clock but the *counts*:
+how many steps, how much work of each kind per step, and the per-step
+critical-path contribution.  This module defines the per-step record and the
+per-run aggregate those counts live in; :mod:`repro.runtime.machine` prices
+them into simulated parallel time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["RunStats", "StepRecord"]
+
+
+@dataclass
+class StepRecord:
+    """Everything one step (one ``Extract`` + relax round) did.
+
+    Attributes
+    ----------
+    index:
+        0-based step number.
+    theta:
+        Extraction threshold used (``inf`` for Bellman-Ford).
+    mode:
+        ``"sparse"`` or ``"dense"`` — which frontier representation the
+        LAB-PQ used for this extraction (Sec. 6 sparse–dense optimisation).
+    frontier:
+        Number of vertices extracted (including fusion waves).
+    edges:
+        Edge relaxations attempted (gathered CSR entries, all waves).
+    relax_success:
+        Relaxations that lowered a tentative distance (``Q.Update`` calls).
+    extract_scanned:
+        Vertices scanned by the extraction (``n`` for a dense scan, the
+        frontier-table size for sparse packs, tournament-node visits for the
+        tree PQ).
+    pq_touches:
+        LAB-PQ internal node/slot touches (tournament-tree path work, hash
+        inserts); 0 when the flat PQ absorbs updates in O(1).
+    sample_work:
+        Sequential sampling work for threshold estimation (ρ-stepping).
+    waves:
+        Internal synchronisation rounds inside the step (1 normally; >1 when
+        the "larger neighbor sets" local-BFS fusion ran extra waves, which
+        are *local* and priced more cheaply than a global step barrier).
+    max_task:
+        Largest single-vertex task in the step, in edges — drives the
+        load-imbalance term of the greedy-scheduler makespan bound.
+    """
+
+    index: int
+    theta: float
+    mode: str
+    frontier: int = 0
+    edges: int = 0
+    relax_success: int = 0
+    extract_scanned: int = 0
+    pq_touches: int = 0
+    sample_work: int = 0
+    waves: int = 1
+    max_task: int = 0
+
+    def span_levels(self, n: int) -> float:
+        """Critical-path length of this step in "levels" (log terms).
+
+        The step's global fork-join phase contributes ``O(log)`` depth for
+        spawning over the frontier, the contended priority updates
+        (``max_task``-way WriteMin, paper footnote 1), and the extraction
+        scan.  Fusion waves beyond the first are *local* BFS rounds — each
+        adds only O(1) levels of local coordination, not a full spawn tree.
+        """
+        return float(
+            np.log2(max(self.frontier, 2))
+            + np.log2(max(self.max_task, 2))
+            + np.log2(max(self.extract_scanned, 2))
+            + 2.0 * (self.waves - 1)
+        )
+
+
+@dataclass
+class RunStats:
+    """Aggregate statistics for one SSSP run."""
+
+    steps: list[StepRecord] = field(default_factory=list)
+    vertex_visits: "np.ndarray | None" = None  # per-vertex extraction counts
+
+    # ----------------------------------------------------------------- #
+    # Accumulation
+    # ----------------------------------------------------------------- #
+
+    def add(self, record: StepRecord) -> None:
+        self.steps.append(record)
+
+    # ----------------------------------------------------------------- #
+    # Totals (the quantities Figs. 7, 9, 13 plot)
+    # ----------------------------------------------------------------- #
+
+    @property
+    def num_steps(self) -> int:
+        return len(self.steps)
+
+    @property
+    def num_waves(self) -> int:
+        """Total synchronisation rounds, fusion waves included."""
+        return sum(s.waves for s in self.steps)
+
+    @property
+    def total_vertex_visits(self) -> int:
+        return sum(s.frontier for s in self.steps)
+
+    @property
+    def total_edge_visits(self) -> int:
+        return sum(s.edges for s in self.steps)
+
+    @property
+    def total_relax_success(self) -> int:
+        return sum(s.relax_success for s in self.steps)
+
+    def visits_per_vertex(self, n: int) -> float:
+        """Average number of extractions per vertex (Fig. 9, left)."""
+        return self.total_vertex_visits / max(n, 1)
+
+    def visits_per_edge(self, m: int) -> float:
+        """Average number of relax attempts per edge (Fig. 9, right)."""
+        return self.total_edge_visits / max(m, 1)
+
+    def frontier_sizes(self) -> np.ndarray:
+        """Vertices visited in each step (the Fig. 7 / Fig. 13 series)."""
+        return np.array([s.frontier for s in self.steps], dtype=np.int64)
+
+    def edge_visits_per_step(self) -> np.ndarray:
+        return np.array([s.edges for s in self.steps], dtype=np.int64)
+
+    def summary(self) -> dict:
+        """Compact dict of run totals for reports."""
+        return {
+            "steps": self.num_steps,
+            "waves": self.num_waves,
+            "vertex_visits": self.total_vertex_visits,
+            "edge_visits": self.total_edge_visits,
+            "relax_success": self.total_relax_success,
+        }

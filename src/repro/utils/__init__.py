@@ -1,0 +1,14 @@
+"""Small shared utilities: errors, RNG helpers, timing."""
+
+from repro.utils.errors import GraphFormatError, ParameterError, ReproError
+from repro.utils.rng import as_generator, spawn_generators
+from repro.utils.timing import Timer
+
+__all__ = [
+    "GraphFormatError",
+    "ParameterError",
+    "ReproError",
+    "Timer",
+    "as_generator",
+    "spawn_generators",
+]

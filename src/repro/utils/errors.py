@@ -1,0 +1,18 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch package failures with a single ``except`` clause while letting
+programming errors (``TypeError`` etc.) propagate.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ParameterError(ReproError, ValueError):
+    """An algorithm or data-structure parameter is out of its valid range."""
+
+
+class GraphFormatError(ReproError, ValueError):
+    """A graph violates a structural invariant (CSR shape, weights, ids)."""

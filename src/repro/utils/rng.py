@@ -1,0 +1,38 @@
+"""Seeded random-number helpers.
+
+Every stochastic component in the library (graph generators, sampling-based
+threshold estimation, hash-table scattering) takes a ``seed`` argument that is
+normalised through :func:`as_generator`, so whole experiments are reproducible
+from a single integer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+SeedLike = "int | np.random.Generator | np.random.SeedSequence | None"
+
+
+def as_generator(seed=None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    ``seed`` may be ``None`` (fresh entropy), an ``int``, a ``SeedSequence``,
+    or an existing ``Generator`` (returned unchanged so state is shared).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_generators(seed, count: int) -> list[np.random.Generator]:
+    """Split ``seed`` into ``count`` independent generators.
+
+    Used when one experiment needs several statistically-independent streams
+    (e.g. one per source vertex) that are all derived from one master seed.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if isinstance(seed, np.random.Generator):
+        return [np.random.default_rng(s) for s in seed.bit_generator.seed_seq.spawn(count)]
+    seq = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+    return [np.random.default_rng(s) for s in seq.spawn(count)]

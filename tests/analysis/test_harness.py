@@ -1,0 +1,107 @@
+"""Tests for the experiment harness: runners, sweeps, reporting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    IMPLEMENTATIONS,
+    average_simulated_time,
+    best_param,
+    format_heatmap_row,
+    format_series,
+    format_table,
+    get_implementation,
+    pow2_range,
+    simulated_time,
+    sweep_param,
+)
+from repro.baselines import dijkstra_reference
+from repro.runtime import MachineModel
+from repro.utils import ParameterError
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return MachineModel(P=96)
+
+
+class TestRegistry:
+    def test_eight_table4_rows_present(self):
+        assert set(IMPLEMENTATIONS) == {
+            "GAPBS", "Julienne", "Galois", "PQ-delta", "Ligra", "PQ-BF", "PQ-rho",
+        }
+
+    def test_ours_flagged(self):
+        assert get_implementation("PQ-rho").ours
+        assert not get_implementation("GAPBS").ours
+
+    def test_unknown_impl_rejected(self):
+        with pytest.raises(ParameterError):
+            get_implementation("GraphIt")
+
+    @pytest.mark.parametrize("key", sorted(IMPLEMENTATIONS))
+    def test_every_impl_runs_and_is_correct(self, key, rmat_small, machine):
+        impl = IMPLEMENTATIONS[key]
+        param = 512.0 if impl.family == "delta" else (64 if impl.family == "rho" else None)
+        res = impl.run(rmat_small, 0, param, seed=0)
+        expected = dijkstra_reference(rmat_small, 0)
+        assert np.allclose(res.dist, expected, equal_nan=True)
+        assert simulated_time(res, machine, impl.profile) > 0
+
+
+class TestSweeps:
+    def test_pow2_range(self):
+        assert pow2_range(3, 5) == [8.0, 16.0, 32.0]
+        with pytest.raises(ParameterError):
+            pow2_range(5, 3)
+
+    def test_sweep_and_relative(self, rmat_small, machine):
+        impl = get_implementation("PQ-delta")
+        sweep = sweep_param(impl, rmat_small, [64.0, 4096.0], [0], machine, seed=0)
+        assert len(sweep.times) == 2
+        rel = sweep.relative()
+        assert min(rel) == 1.0
+        assert sweep.best_param in (64.0, 4096.0)
+        assert sweep.best_time == min(sweep.times)
+
+    def test_time_at(self, rmat_small, machine):
+        impl = get_implementation("PQ-delta")
+        sweep = sweep_param(impl, rmat_small, [64.0], [0], machine, seed=0)
+        assert sweep.time_at(64.0) == sweep.times[0]
+        with pytest.raises(ParameterError):
+            sweep.time_at(128.0)
+
+    def test_best_param_protocol(self, rmat_small, machine):
+        impl = get_implementation("GAPBS")
+        p = best_param(impl, rmat_small, [32.0, 1024.0, 32768.0], 0, machine)
+        assert p in (32.0, 1024.0, 32768.0)
+
+    def test_average_over_sources(self, rmat_small, machine):
+        impl = get_implementation("PQ-BF")
+        t = average_simulated_time(impl, rmat_small, [0, 1, 2], machine)
+        assert t > 0
+
+
+class TestReport:
+    def test_format_table_aligns(self):
+        out = format_table(["name", "t"], [["a", 1.5], ["bb", 2.25]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(l) for l in lines)) == 1  # fixed width
+
+    def test_format_table_title_and_dash(self):
+        out = format_table(["x"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+        assert "-" in out.splitlines()[2]
+
+    def test_heatmap_row(self):
+        row = format_heatmap_row("PQ-rho", [1.0, 2.5, None])
+        assert "1.00" in row and "2.50" in row and "-" in row
+
+    def test_series_renders_bars(self):
+        out = format_series([1, 2], [10.0, 1000.0], x_label="step", y_label="size")
+        assert "step" in out and "#" in out
+
+    def test_series_handles_zeros(self):
+        out = format_series([1, 2], [0.0, 0.0])
+        assert out  # no crash, no bars required

@@ -1,0 +1,81 @@
+"""Tests for run inspection and export."""
+
+import csv
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis import compare_runs, run_to_json, step_table, steps_to_csv
+from repro.core import bellman_ford, rho_stepping
+from repro.runtime import MachineModel
+
+
+@pytest.fixture(scope="module")
+def run(rmat_small):
+    from repro.core import SteppingOptions
+
+    # Fusion off so small graphs still produce a multi-step trace.
+    return rho_stepping(rmat_small, 0, rho=64,
+                        options=SteppingOptions(fusion=False), seed=0)
+
+
+class TestStepTable:
+    def test_contains_all_steps(self, run):
+        text = step_table(run)
+        assert len(text.splitlines()) == run.stats.num_steps + 3  # title+hdr+dash
+
+    def test_limit(self, run):
+        text = step_table(run, limit=2)
+        assert "showing first 2" in text
+        assert len(text.splitlines()) == 5
+
+    def test_columns_present(self, run):
+        header = step_table(run).splitlines()[1]
+        for col in ("theta", "frontier", "edges", "waves"):
+            assert col in header
+
+
+class TestCsv:
+    def test_roundtrip(self, run):
+        text = steps_to_csv(run)
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert len(rows) == run.stats.num_steps
+        assert int(rows[0]["frontier"]) == run.stats.steps[0].frontier
+        assert sum(int(r["edges"]) for r in rows) == run.stats.total_edge_visits
+
+
+class TestJson:
+    def test_summary_fields(self, run):
+        doc = json.loads(run_to_json(run))
+        assert doc["algorithm"] == "rho-stepping"
+        assert doc["summary"]["steps"] == run.stats.num_steps
+        assert doc["simulated_seconds"] > 0
+        assert "steps" not in doc
+
+    def test_include_steps(self, run):
+        doc = json.loads(run_to_json(run, include_steps=True))
+        assert len(doc["steps"]) == run.stats.num_steps
+        assert doc["steps"][0]["frontier"] == run.stats.steps[0].frontier
+
+    def test_params_serialisable(self, run):
+        doc = json.loads(run_to_json(run))
+        assert doc["params"]["rho"] == 64
+
+
+class TestCompareRuns:
+    def test_sorted_by_time(self, rmat_small):
+        runs = {
+            "rho": rho_stepping(rmat_small, 0, rho=64, seed=0),
+            "bf": bellman_ford(rmat_small, 0, seed=0),
+        }
+        text = compare_runs(runs, rmat_small.n, rmat_small.m,
+                            machine=MachineModel(P=96))
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "sim ms" in lines[0]
+        # First data row has the smaller simulated time.
+        t_first = float(lines[2].split()[-2])
+        t_second = float(lines[3].split()[-2])
+        assert t_first <= t_second

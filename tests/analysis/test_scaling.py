@@ -1,0 +1,48 @@
+"""Tests for the strong-scaling helpers."""
+
+import pytest
+
+from repro.analysis.scaling import DEFAULT_CORE_GRID, scaling_curve, speedup_curve
+from repro.core import bellman_ford
+from repro.runtime import RunStats, StepRecord
+from repro.utils import ParameterError
+
+
+@pytest.fixture(scope="module")
+def stats(rmat_small):
+    return bellman_ford(rmat_small, 0, seed=0).stats
+
+
+class TestScalingCurve:
+    def test_times_decrease_with_cores(self, stats):
+        times = scaling_curve(stats)
+        assert all(b <= a + 1e-12 for a, b in zip(times, times[1:]))
+
+    def test_speedup_starts_at_one(self, stats):
+        su = speedup_curve(stats)
+        assert abs(su[0] - 1.0) < 1e-9
+        assert su[-1] > 1.0
+
+    def test_speedup_bounded_by_effective_cores(self, stats):
+        su = speedup_curve(stats)
+        for p, s in zip(DEFAULT_CORE_GRID, su):
+            assert s <= p * 1.3 + 1e-9
+
+    def test_custom_grid(self, stats):
+        assert len(scaling_curve(stats, cores=[1, 10])) == 2
+
+    def test_empty_grid_rejected(self, stats):
+        with pytest.raises(ParameterError):
+            scaling_curve(stats, cores=[])
+
+    def test_bad_core_count_rejected(self, stats):
+        with pytest.raises(ParameterError):
+            scaling_curve(stats, cores=[0])
+
+    def test_barrier_bound_run_flattens(self):
+        """A run of many tiny steps stops scaling (Amdahl on barriers)."""
+        s = RunStats()
+        for i in range(500):
+            s.add(StepRecord(index=i, theta=1.0, mode="sparse", frontier=2, edges=4))
+        su = speedup_curve(s)
+        assert su[-1] < 3.0  # nearly flat despite 96 cores

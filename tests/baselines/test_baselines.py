@@ -1,0 +1,102 @@
+"""Correctness and behavioural tests for the baseline re-implementations."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BASELINE_PROFILES,
+    dijkstra_reference,
+    galois_delta_stepping,
+    gapbs_delta_stepping,
+    julienne_delta_stepping,
+    ligra_bellman_ford,
+)
+from repro.utils import ParameterError
+
+DELTA_BASELINES = [
+    ("gapbs", gapbs_delta_stepping),
+    ("julienne", julienne_delta_stepping),
+    ("galois", galois_delta_stepping),
+]
+
+GRAPHS = ["rmat_small", "rmat_directed", "road_small", "gnm_small", "fig5_gadget"]
+
+
+@pytest.mark.parametrize("graph_name", GRAPHS)
+@pytest.mark.parametrize("name,fn", DELTA_BASELINES)
+@pytest.mark.parametrize("delta", [64.0, 1024.0, 1e9])
+def test_delta_baselines_match_gold(graph_name, name, fn, delta, gold, request):
+    g = request.getfixturevalue(graph_name)
+    res = fn(g, 0, delta)
+    res.check_against(gold(g, 0))
+
+
+@pytest.mark.parametrize("graph_name", GRAPHS)
+def test_ligra_matches_gold(graph_name, gold, request):
+    g = request.getfixturevalue(graph_name)
+    ligra_bellman_ford(g, 0).check_against(gold(g, 0))
+
+
+@pytest.mark.parametrize("name,fn", DELTA_BASELINES)
+def test_delta_baselines_reject_bad_delta(name, fn, rmat_small):
+    with pytest.raises(ParameterError):
+        fn(rmat_small, 0, 0.0)
+
+
+@pytest.mark.parametrize("name,fn", DELTA_BASELINES)
+def test_delta_baselines_reject_bad_source(name, fn, rmat_small):
+    with pytest.raises(ParameterError):
+        fn(rmat_small, rmat_small.n, 100.0)
+
+
+class TestProfiles:
+    def test_all_labels_registered(self):
+        assert set(BASELINE_PROFILES) == {
+            "gapbs-delta", "julienne-delta", "galois-delta", "ligra-bf",
+        }
+
+    def test_labels_match_result_algorithms(self, rmat_small):
+        runs = {
+            "gapbs-delta": gapbs_delta_stepping(rmat_small, 0, 512.0),
+            "julienne-delta": julienne_delta_stepping(rmat_small, 0, 512.0),
+            "galois-delta": galois_delta_stepping(rmat_small, 0, 512.0),
+            "ligra-bf": ligra_bellman_ford(rmat_small, 0),
+        }
+        for label, res in runs.items():
+            assert res.algorithm == label
+
+    def test_vertex_parallel_personalities(self):
+        assert BASELINE_PROFILES["gapbs-delta"].vertex_parallel
+        assert BASELINE_PROFILES["galois-delta"].vertex_parallel
+        assert not BASELINE_PROFILES["ligra-bf"].vertex_parallel
+
+
+class TestBehaviouralSignatures:
+    def test_ligra_steps_equal_hop_depth_plus_one(self, path_graph):
+        res = ligra_bellman_ford(path_graph, 0)
+        assert res.stats.num_steps == path_graph.n
+
+    def test_julienne_no_fusion_many_steps_on_road(self, road_small):
+        jl = julienne_delta_stepping(road_small, 0, 1024.0)
+        gb = gapbs_delta_stepping(road_small, 0, 1024.0)
+        # GAPBS fuses bucket refills; Julienne pays a step per drain.
+        assert jl.stats.num_steps > gb.stats.num_steps
+
+    def test_gapbs_fusion_off_increases_steps(self, road_small):
+        on = gapbs_delta_stepping(road_small, 0, 1024.0, fusion=True)
+        off = gapbs_delta_stepping(road_small, 0, 1024.0, fusion=False)
+        assert off.stats.num_steps >= on.stats.num_steps
+
+    def test_galois_round_capacity_bounds_frontier(self, rmat_small):
+        res = galois_delta_stepping(rmat_small, 0, 1024.0, round_capacity=32)
+        assert max(s.frontier for s in res.stats.steps) <= 32
+
+    def test_huge_delta_single_bucket(self, rmat_small):
+        """With delta >= max distance, GAPBS degenerates to Bellman-Ford-ish."""
+        res = gapbs_delta_stepping(rmat_small, 0, 1e12)
+        assert all(s.theta == 1e12 for s in res.stats.steps)
+
+    def test_visits_recorded(self, rmat_small):
+        res = gapbs_delta_stepping(rmat_small, 0, 1024.0, record_visits=True)
+        assert res.stats.vertex_visits is not None
+        assert res.stats.vertex_visits.sum() == res.stats.total_vertex_visits

@@ -1,0 +1,58 @@
+"""Tests for the shared BucketStore used by the Δ-stepping baselines."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines._buckets import BucketStore
+
+
+class TestBucketStore:
+    def test_empty(self):
+        b = BucketStore()
+        assert not b
+        assert b.min_nonempty() is None
+        assert b.pop(0).size == 0
+
+    def test_insert_and_pop(self):
+        b = BucketStore()
+        b.insert(np.array([1, 2, 3]), np.array([0, 1, 0]))
+        assert b.min_nonempty() == 0
+        assert sorted(b.pop(0)) == [1, 3]
+        assert b.min_nonempty() == 1
+        assert list(b.pop(1)) == [2]
+        assert not b
+
+    def test_peek_size(self):
+        b = BucketStore()
+        b.insert(np.array([5, 6]), np.array([2, 2]))
+        assert b.peek_size(2) == 2
+        assert b.peek_size(3) == 0
+
+    def test_duplicates_kept(self):
+        b = BucketStore()
+        b.insert(np.array([7, 7]), np.array([1, 1]))
+        assert sorted(b.pop(1)) == [7, 7]
+
+    def test_append_accumulates(self):
+        b = BucketStore()
+        b.insert(np.array([1]), np.array([0]))
+        b.insert(np.array([2]), np.array([0]))
+        assert sorted(b.pop(0)) == [1, 2]
+
+    @given(st.lists(st.tuples(st.integers(0, 50), st.integers(0, 6)),
+                    min_size=1, max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_dict_model(self, items):
+        b = BucketStore()
+        model: dict[int, list[int]] = {}
+        ids = np.array([i for i, _ in items])
+        buckets = np.array([k for _, k in items])
+        b.insert(ids, buckets)
+        for i, k in items:
+            model.setdefault(k, []).append(i)
+        while b:
+            k = b.min_nonempty()
+            assert k == min(model)
+            assert sorted(b.pop(k)) == sorted(model.pop(k))
+        assert not model

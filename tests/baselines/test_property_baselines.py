@@ -1,0 +1,61 @@
+"""Property-based testing of the baselines against gold Dijkstra."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    dijkstra_reference,
+    galois_delta_stepping,
+    gapbs_delta_stepping,
+    julienne_delta_stepping,
+    ligra_bellman_ford,
+)
+from repro.graphs import Graph
+
+
+@st.composite
+def random_graphs(draw):
+    n = draw(st.integers(2, 30))
+    m = draw(st.integers(1, 100))
+    src = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    dst = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    w = draw(st.lists(st.integers(1, 32), min_size=m, max_size=m))
+    directed = draw(st.booleans())
+    g = Graph.from_edges(
+        n, np.array(src), np.array(dst), np.array(w, dtype=float),
+        directed=directed, symmetrize=not directed,
+    )
+    return g, draw(st.integers(0, n - 1)), float(draw(st.integers(1, 80)))
+
+
+@given(random_graphs())
+@settings(max_examples=80, deadline=None)
+def test_baselines_match_dijkstra(case):
+    g, s, delta = case
+    expected = dijkstra_reference(g, s)
+    for res in (
+        gapbs_delta_stepping(g, s, delta),
+        julienne_delta_stepping(g, s, delta),
+        galois_delta_stepping(g, s, delta),
+        ligra_bellman_ford(g, s),
+    ):
+        assert np.allclose(res.dist, expected, equal_nan=True), res.algorithm
+
+
+@given(random_graphs())
+@settings(max_examples=40, deadline=None)
+def test_baseline_work_accounting_sane(case):
+    g, s, delta = case
+    for res in (
+        gapbs_delta_stepping(g, s, delta),
+        julienne_delta_stepping(g, s, delta),
+        galois_delta_stepping(g, s, delta),
+        ligra_bellman_ford(g, s),
+    ):
+        stats = res.stats
+        assert stats.total_relax_success <= stats.total_edge_visits
+        assert all(st_.frontier >= 0 and st_.edges >= 0 for st_ in stats.steps)
+        # Every reachable vertex must have been visited at least once
+        # (total visits >= reached - 1, source excluded for some systems).
+        assert stats.total_vertex_visits >= res.reached - 1

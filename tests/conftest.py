@@ -1,0 +1,68 @@
+"""Shared fixtures: small graphs and the gold-distance oracle."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import dijkstra_reference
+from repro.graphs import (
+    delta_adversarial,
+    erdos_renyi,
+    path,
+    rmat,
+    road_grid,
+    star,
+)
+
+
+@pytest.fixture(scope="session")
+def rmat_small():
+    """A connected undirected power-law graph (~500 vertices)."""
+    return rmat(9, 8, seed=7)
+
+
+@pytest.fixture(scope="session")
+def rmat_directed():
+    """A connected directed power-law graph."""
+    return rmat(9, 8, directed=True, seed=8)
+
+
+@pytest.fixture(scope="session")
+def road_small():
+    """A small near-planar road-style graph."""
+    return road_grid(18, seed=9)
+
+
+@pytest.fixture(scope="session")
+def gnm_small():
+    return erdos_renyi(300, 4.0, seed=10)
+
+
+@pytest.fixture(scope="session")
+def fig5_gadget():
+    return delta_adversarial(5, 12)
+
+
+@pytest.fixture(scope="session")
+def path_graph():
+    return path(50)
+
+
+@pytest.fixture(scope="session")
+def star_graph():
+    return star(40)
+
+
+@pytest.fixture(scope="session")
+def gold():
+    """Callable computing reference distances, memoised per (graph, source)."""
+    cache: dict = {}
+
+    def _gold(graph, source: int) -> np.ndarray:
+        key = (id(graph), source)
+        if key not in cache:
+            cache[key] = dijkstra_reference(graph, source)
+        return cache[key]
+
+    return _gold

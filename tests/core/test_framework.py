@@ -1,0 +1,141 @@
+"""Unit tests for the stepping framework internals (Algorithm 1 + Sec. 6)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    SteppingOptions,
+    bellman_ford,
+    delta_star_stepping,
+    rho_stepping,
+)
+from repro.core.framework import _gather_edges, _relax_wave
+from repro.graphs import Graph, path, rmat, road_grid
+from repro.utils import ParameterError
+
+
+class TestSteppingOptions:
+    def test_defaults_valid(self):
+        SteppingOptions()
+
+    def test_bad_pq(self):
+        with pytest.raises(ParameterError):
+            SteppingOptions(pq="skiplist")
+
+    def test_bad_dense_frac(self):
+        with pytest.raises(ParameterError):
+            SteppingOptions(dense_frac=0.0)
+
+    def test_bad_fusion(self):
+        with pytest.raises(ParameterError):
+            SteppingOptions(fusion_limit=0)
+
+    def test_max_steps_guard_fires(self, rmat_small):
+        with pytest.raises(RuntimeError):
+            bellman_ford(
+                rmat_small, 0,
+                options=SteppingOptions(max_steps=1, fusion=False), seed=0,
+            )
+
+
+class TestGatherEdges:
+    def test_flattens_csr_rows(self):
+        g = Graph.from_edges(
+            4, np.array([0, 0, 2]), np.array([1, 2, 3]), np.array([1.0, 2.0, 3.0]),
+            directed=True,
+        )
+        targets, _, w, seg, degs = _gather_edges(g, np.array([0, 2]))
+        assert list(targets) == [1, 2, 3]
+        assert list(w) == [1.0, 2.0, 3.0]
+        assert list(degs) == [2, 1]
+        assert list(seg) == [0, 2]
+
+    def test_zero_degree_rows(self):
+        g = Graph.from_edges(
+            3, np.array([0]), np.array([1]), np.array([1.0]), directed=True
+        )
+        targets, _, w, seg, degs = _gather_edges(g, np.array([1, 2, 0]))
+        assert list(targets) == [1]
+        assert list(degs) == [0, 0, 1]
+
+    def test_empty_frontier_edges(self):
+        g = path(4, directed=True)
+        targets, _, _, _, degs = _gather_edges(g, np.array([3]))
+        assert targets.size == 0
+
+
+class TestRelaxWave:
+    def test_updates_and_successes(self):
+        g = Graph.from_edges(
+            3, np.array([0, 0]), np.array([1, 2]), np.array([1.0, 5.0]), directed=True
+        )
+        dist = np.array([0.0, np.inf, 2.0])
+        updated, edges, succ, max_task, bidir = _relax_wave(
+            g, dist, np.array([0]), bidirectional=False
+        )
+        assert list(updated) == [1]
+        assert edges == 2 and succ == 1 and max_task == 2 and bidir == 0
+        assert dist[1] == 1.0 and dist[2] == 2.0
+
+    def test_bidirectional_improves_source_first(self):
+        # 0 -1- 1 -1- 2, but 2 also has a heavy stale distance; relaxing 1
+        # bidirectionally pulls 1's distance down from 0 before pushing to 2.
+        g = path(3)  # undirected unit path
+        dist = np.array([0.0, 10.0, np.inf])
+        updated, edges, succ, _, bidir = _relax_wave(
+            g, dist, np.array([1]), bidirectional=True
+        )
+        assert dist[1] == 1.0  # fixed from neighbour 0 before relaxing out
+        assert dist[2] == 2.0
+        assert bidir == edges > 0
+
+
+class TestFusion:
+    def test_fusion_reduces_steps_on_deep_graph(self):
+        g = road_grid(20, seed=1)
+        on = delta_star_stepping(g, 0, 2048.0, seed=0)
+        off = delta_star_stepping(
+            g, 0, 2048.0, options=SteppingOptions(fusion=False), seed=0
+        )
+        assert on.stats.num_steps < off.stats.num_steps
+        assert on.stats.num_waves >= on.stats.num_steps
+
+    def test_fusion_budget_respected(self):
+        g = path(200)
+        res = bellman_ford(
+            g, 0, options=SteppingOptions(fusion_limit=16, fusion_frontier_max=8),
+            seed=0,
+        )
+        for s in res.stats.steps:
+            # frontier processed in a step cannot exceed budget + one wave
+            assert s.frontier <= 16 + 8
+
+    def test_fusion_waves_stay_within_window(self):
+        """For finite theta, fused vertices must have dist <= theta."""
+        g = road_grid(15, seed=2)
+        res = delta_star_stepping(g, 0, 1024.0, seed=0, record_visits=True)
+        assert np.isfinite(res.dist).all()
+        # all thetas finite for delta*
+        assert all(np.isfinite(s.theta) for s in res.stats.steps)
+
+
+class TestInstrumentation:
+    def test_record_visits_matches_frontier_totals(self, rmat_small):
+        res = rho_stepping(rmat_small, 0, rho=32, seed=0, record_visits=True)
+        assert res.stats.vertex_visits is not None
+        assert res.stats.vertex_visits.sum() == res.stats.total_vertex_visits
+
+    def test_wall_seconds_positive(self, rmat_small):
+        res = bellman_ford(rmat_small, 0, seed=0)
+        assert res.wall_seconds > 0
+
+    def test_modes_recorded(self, rmat_small):
+        res = bellman_ford(rmat_small, 0, seed=0)
+        assert all(s.mode in ("sparse", "dense") for s in res.stats.steps)
+
+    def test_dense_mode_used_for_big_frontier(self):
+        g = rmat(10, 8, seed=6)
+        res = bellman_ford(
+            g, 0, options=SteppingOptions(dense_frac=0.01, fusion=False), seed=0
+        )
+        assert any(s.mode == "dense" for s in res.stats.steps)

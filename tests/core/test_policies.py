@@ -1,0 +1,120 @@
+"""Unit tests for the ExtDist/FinishCheck policies (Table 2 rows)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    bellman_ford,
+    delta_star_stepping,
+    delta_stepping,
+    dijkstra_stepping,
+    rho_stepping,
+)
+from repro.core.policies import (
+    DeltaPolicy,
+    DeltaStarPolicy,
+    RhoPolicy,
+)
+from repro.core import SteppingOptions
+from repro.graphs import path
+from repro.utils import ParameterError
+
+NOFUSE = SteppingOptions(fusion=False)
+
+
+class TestBellmanFordPolicy:
+    def test_step_count_is_hop_depth(self, path_graph):
+        """On a path, frontier-BF needs depth+1 steps (source + one per hop)."""
+        res = bellman_ford(path_graph, 0, options=NOFUSE, seed=0)
+        assert res.stats.num_steps == path_graph.n
+
+    def test_theta_is_inf(self, rmat_small):
+        res = bellman_ford(rmat_small, 0, options=NOFUSE, seed=0)
+        assert all(np.isinf(s.theta) for s in res.stats.steps)
+
+
+class TestDijkstraPolicy:
+    def test_each_vertex_extracted_once(self, rmat_small):
+        res = dijkstra_stepping(rmat_small, 0, seed=0, record_visits=True)
+        assert res.stats.vertex_visits.max() == 1
+
+    def test_visits_equal_n_on_connected(self, rmat_small):
+        res = dijkstra_stepping(rmat_small, 0, seed=0)
+        assert res.stats.total_vertex_visits == rmat_small.n
+
+    def test_thetas_nondecreasing(self, rmat_small):
+        res = dijkstra_stepping(rmat_small, 0, seed=0)
+        thetas = [s.theta for s in res.stats.steps]
+        assert thetas == sorted(thetas)
+
+
+class TestDeltaPolicies:
+    def test_delta_star_thetas_strictly_increase(self, road_small):
+        res = delta_star_stepping(road_small, 0, 512.0, options=NOFUSE, seed=0)
+        thetas = [s.theta for s in res.stats.steps]
+        assert all(b > a for a, b in zip(thetas, thetas[1:]))
+
+    def test_delta_thetas_nondecreasing_with_substeps(self, road_small):
+        res = delta_stepping(road_small, 0, 512.0, options=NOFUSE, seed=0)
+        thetas = [s.theta for s in res.stats.steps]
+        assert all(b >= a for a, b in zip(thetas, thetas[1:]))
+        # FinishCheck produced at least one substep on a weighted road graph.
+        indices = [s.index for s in res.stats.steps]
+        assert len(indices) > len(set(indices))
+
+    def test_delta_star_has_no_substeps(self, road_small):
+        res = delta_star_stepping(road_small, 0, 512.0, options=NOFUSE, seed=0)
+        indices = [s.index for s in res.stats.steps]
+        assert len(indices) == len(set(indices))
+
+    def test_huge_delta_degenerates_to_bf(self, rmat_small):
+        bf = bellman_ford(rmat_small, 0, options=NOFUSE, seed=0)
+        ds = delta_star_stepping(rmat_small, 0, 1e12, options=NOFUSE, seed=0)
+        assert ds.stats.num_steps == bf.stats.num_steps
+
+    def test_policy_rejects_nonpositive_delta(self):
+        with pytest.raises(ParameterError):
+            DeltaPolicy(0)
+        with pytest.raises(ParameterError):
+            DeltaStarPolicy(-1)
+
+    def test_empty_windows_are_jumped(self):
+        # Path with weight-100 edges and delta=1: without jumping this would
+        # take ~100x more steps than vertices.
+        g = path(20, weight=100.0)
+        res = delta_star_stepping(g, 0, 1.0, options=NOFUSE, seed=0)
+        assert res.stats.num_steps <= 2 * g.n
+
+
+class TestRhoPolicy:
+    def test_partial_extract_when_queue_small(self, rmat_small):
+        """|Q| <= rho means theta=inf: identical behaviour to Bellman-Ford."""
+        bf = bellman_ford(rmat_small, 0, options=NOFUSE, seed=0)
+        rs = rho_stepping(rmat_small, 0, rho=10**9, options=NOFUSE, seed=0)
+        assert rs.stats.num_steps == bf.stats.num_steps
+
+    def test_small_rho_lowers_visits(self, rmat_small):
+        big = rho_stepping(rmat_small, 0, rho=10**9, options=NOFUSE, seed=0)
+        small = rho_stepping(rmat_small, 0, rho=16, options=NOFUSE, seed=0)
+        assert small.stats.total_vertex_visits <= big.stats.total_vertex_visits
+        assert small.stats.num_steps >= big.stats.num_steps
+
+    def test_exact_and_sampled_both_correct(self, rmat_small, gold):
+        for exact in (False, True):
+            res = rho_stepping(rmat_small, 0, rho=50, exact_threshold=exact, seed=3)
+            res.check_against(gold(rmat_small, 0))
+
+    def test_sample_work_recorded(self, rmat_small):
+        res = rho_stepping(
+            rmat_small, 0, rho=16,
+            options=SteppingOptions(fusion=False, dense_frac=1.0), seed=0,
+        )
+        assert sum(s.sample_work for s in res.stats.steps) > 0
+
+    def test_policy_rejects_bad_rho(self):
+        with pytest.raises(ParameterError):
+            RhoPolicy(0)
+
+    def test_dense_shrink_rounds_bounded(self, rmat_small):
+        p = RhoPolicy(16, dense_shrink=4, dense_shrink_rounds=2)
+        assert p.dense_shrink_rounds == 2

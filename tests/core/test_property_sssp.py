@@ -1,0 +1,102 @@
+"""Property-based SSSP testing: random graphs, every algorithm == Dijkstra.
+
+This is the package's strongest correctness net: hypothesis generates small
+random weighted digraphs (connectivity not required — unreachable vertices
+must stay at inf) and every stepping algorithm must agree with the gold
+sequential Dijkstra exactly.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import dijkstra_reference
+from repro.core import (
+    SteppingOptions,
+    bellman_ford,
+    delta_star_stepping,
+    delta_stepping,
+    dijkstra_stepping,
+    rho_stepping,
+)
+from repro.graphs import Graph
+
+
+@st.composite
+def random_graphs(draw):
+    n = draw(st.integers(2, 40))
+    m = draw(st.integers(1, 150))
+    src = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    dst = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    w = draw(st.lists(st.integers(1, 64), min_size=m, max_size=m))
+    directed = draw(st.booleans())
+    g = Graph.from_edges(
+        n, np.array(src), np.array(dst), np.array(w, dtype=float),
+        directed=directed, symmetrize=not directed,
+    )
+    source = draw(st.integers(0, n - 1))
+    return g, source
+
+
+@given(random_graphs(), st.integers(0, 3))
+@settings(max_examples=100, deadline=None)
+def test_all_steppers_match_dijkstra(graph_source, seed):
+    g, s = graph_source
+    expected = dijkstra_reference(g, s)
+    for run in (
+        lambda: rho_stepping(g, s, rho=5, seed=seed),
+        lambda: delta_star_stepping(g, s, 17.0, seed=seed),
+        lambda: delta_stepping(g, s, 17.0, seed=seed),
+        lambda: bellman_ford(g, s, seed=seed),
+        lambda: dijkstra_stepping(g, s, seed=seed),
+    ):
+        res = run()
+        assert np.allclose(res.dist, expected, equal_nan=True), res.algorithm
+
+
+@given(random_graphs())
+@settings(max_examples=60, deadline=None)
+def test_tournament_pq_matches_dijkstra(graph_source):
+    g, s = graph_source
+    expected = dijkstra_reference(g, s)
+    opts = SteppingOptions(pq="tournament")
+    res = rho_stepping(g, s, rho=4, options=opts, seed=0)
+    assert np.allclose(res.dist, expected, equal_nan=True)
+
+
+@given(random_graphs(), st.integers(1, 40), st.integers(1, 300))
+@settings(max_examples=60, deadline=None)
+def test_rho_and_delta_parameter_invariance(graph_source, rho, delta):
+    """Distances must not depend on the tuning parameter."""
+    g, s = graph_source
+    expected = dijkstra_reference(g, s)
+    assert np.allclose(rho_stepping(g, s, rho=rho, seed=0).dist, expected, equal_nan=True)
+    assert np.allclose(
+        delta_star_stepping(g, s, float(delta), seed=0).dist, expected, equal_nan=True
+    )
+
+
+@given(random_graphs())
+@settings(max_examples=40, deadline=None)
+def test_triangle_inequality_over_edges(graph_source):
+    """dist[v] <= dist[u] + w(u,v) for every edge — a fixed-point witness."""
+    g, s = graph_source
+    res = bellman_ford(g, s, seed=0)
+    src, dst, w = g.edges()
+    du = res.dist[src]
+    ok = np.isinf(du) | (res.dist[dst] <= du + w + 1e-9)
+    assert np.all(ok)
+
+
+@given(random_graphs())
+@settings(max_examples=40, deadline=None)
+def test_stats_are_consistent(graph_source):
+    g, s = graph_source
+    res = rho_stepping(g, s, rho=6, seed=0, record_visits=True)
+    stats = res.stats
+    # Per-vertex visit counts sum to the total frontier count.
+    assert stats.vertex_visits.sum() == stats.total_vertex_visits
+    # Successful relaxations cannot exceed attempts.
+    assert stats.total_relax_success <= stats.total_edge_visits
+    # Steps and waves are consistent.
+    assert stats.num_waves >= stats.num_steps

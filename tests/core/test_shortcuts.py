@@ -1,0 +1,63 @@
+"""Tests for the Shi–Spencer-style shortcut augmentation."""
+
+import numpy as np
+import pytest
+
+from repro.core import SteppingOptions, add_shortcuts, bellman_ford, shi_spencer_sssp
+from repro.graphs import path, rmat, road_grid
+from repro.utils import ParameterError
+
+NOFUSE = SteppingOptions(fusion=False, bidirectional=False)
+
+
+class TestAddShortcuts:
+    def test_distances_preserved(self, road_small, gold):
+        sc = add_shortcuts(road_small, 8)
+        res = shi_spencer_sssp(sc, 0, seed=0)
+        res.check_against(gold(road_small, 0))
+
+    def test_edge_count_grows(self, road_small):
+        sc = add_shortcuts(road_small, 8)
+        assert sc.graph.m > road_small.m
+        assert sc.added_edges == sc.graph.m - road_small.m
+        assert sc.overhead > 1.0
+
+    def test_blowup_scales_with_rho(self, road_small):
+        small = add_shortcuts(road_small, 4)
+        big = add_shortcuts(road_small, 16)
+        assert big.added_edges > small.added_edges
+
+    def test_result_is_one_rho_graph(self, road_small):
+        """Every vertex reaches its rho nearest within 1 hop after augment."""
+        from repro.graphs import estimate_k_rho
+
+        rho = 8
+        sc = add_shortcuts(road_small, rho)
+        est = estimate_k_rho(sc.graph, rhos=[rho], num_samples=10, seed=0)
+        assert est.k_values[0] <= 1
+
+    def test_rejects_bad_rho(self, road_small):
+        with pytest.raises(ParameterError):
+            add_shortcuts(road_small, 0)
+
+
+class TestSpanWorkTradeoff:
+    def test_fewer_steps_more_edges(self):
+        """The paper's Sec. 1 argument: shortcuts cut rounds, inflate work."""
+        g = path(120)  # worst case for BF: deep chain
+        base = bellman_ford(g, 0, options=NOFUSE, seed=0)
+        sc = add_shortcuts(g, 16)
+        fast = shi_spencer_sssp(sc, 0, options=NOFUSE, seed=0)
+        assert fast.stats.num_steps * 4 < base.stats.num_steps
+        assert fast.stats.total_edge_visits > base.stats.total_edge_visits
+
+    def test_road_graph_round_reduction(self, road_small, gold):
+        base = bellman_ford(road_small, 0, options=NOFUSE, seed=0)
+        sc = add_shortcuts(road_small, 12)
+        fast = shi_spencer_sssp(sc, 0, options=NOFUSE, seed=0)
+        fast.check_against(gold(road_small, 0))
+        assert fast.stats.num_steps < base.stats.num_steps
+
+    def test_preprocessing_cost_reported(self, road_small):
+        sc = add_shortcuts(road_small, 4)
+        assert sc.preprocessing_settles >= road_small.n  # >= 1 settle per vertex

@@ -1,0 +1,82 @@
+"""Tests for the widest-path framework variant."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.widest_path import widest_path_reference, widest_path_stepping
+from repro.graphs import Graph, path, rmat, star
+from repro.utils import ParameterError
+
+
+class TestReference:
+    def test_path_width_is_min_edge(self):
+        g = Graph.from_edges(
+            3, np.array([0, 1]), np.array([1, 2]), np.array([5.0, 2.0]),
+            directed=True,
+        )
+        w = widest_path_reference(g, 0)
+        assert w[0] == np.inf
+        assert w[1] == 5.0
+        assert w[2] == 2.0
+
+    def test_picks_wider_alternative(self):
+        # 0->2 direct (width 1) vs 0->1->2 (width 3).
+        g = Graph.from_edges(
+            3, np.array([0, 0, 1]), np.array([2, 1, 2]),
+            np.array([1.0, 3.0, 4.0]), directed=True,
+        )
+        w = widest_path_reference(g, 0)
+        assert w[2] == 3.0
+
+    def test_unreachable_is_zero(self):
+        g = Graph.from_edges(3, np.array([0]), np.array([1]), np.array([1.0]),
+                             directed=True)
+        assert widest_path_reference(g, 0)[2] == 0.0
+
+
+class TestStepping:
+    @pytest.mark.parametrize("rho", [1, 8, 10**6])
+    def test_matches_reference_on_rmat(self, rmat_small, rho):
+        expected = widest_path_reference(rmat_small, 0)
+        res = widest_path_stepping(rmat_small, 0, rho=rho, seed=0)
+        assert np.allclose(res.dist, expected)
+
+    def test_matches_reference_directed(self, rmat_directed):
+        expected = widest_path_reference(rmat_directed, 0)
+        res = widest_path_stepping(rmat_directed, 0, rho=64, seed=1)
+        assert np.allclose(res.dist, expected)
+
+    def test_star_widths(self):
+        g = star(6, weight=7.0)
+        res = widest_path_stepping(g, 0, seed=0)
+        assert np.all(res.dist[1:] == 7.0)
+
+    def test_stats_populated(self, rmat_small):
+        res = widest_path_stepping(rmat_small, 0, rho=32, seed=0)
+        assert res.stats.num_steps >= 1
+        assert res.stats.total_edge_visits > 0
+        assert res.algorithm == "widest-path-rho-stepping"
+
+    def test_bad_params(self, rmat_small):
+        with pytest.raises(ParameterError):
+            widest_path_stepping(rmat_small, -1)
+        with pytest.raises(ParameterError):
+            widest_path_stepping(rmat_small, 0, rho=0)
+
+
+@given(st.integers(2, 25), st.integers(1, 80), st.integers(0, 100))
+@settings(max_examples=60, deadline=None)
+def test_widest_property_random_graphs(n, m, seed):
+    rng = np.random.default_rng(seed)
+    g = Graph.from_edges(
+        n,
+        rng.integers(0, n, m),
+        rng.integers(0, n, m),
+        rng.integers(1, 50, m).astype(float),
+        directed=True,
+    )
+    expected = widest_path_reference(g, 0)
+    res = widest_path_stepping(g, 0, rho=max(1, n // 4), seed=seed)
+    assert np.allclose(res.dist, expected)

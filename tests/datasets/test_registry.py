@@ -1,0 +1,82 @@
+"""Tests for the stand-in dataset registry."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DATASETS,
+    current_scale,
+    load_dataset,
+    road_names,
+    scale_free_names,
+)
+from repro.utils import ParameterError
+
+
+class TestRegistryShape:
+    def test_seven_paper_graphs(self):
+        assert set(DATASETS) == {"OK", "LJ", "TW", "FT", "WB", "GE", "USA"}
+        assert scale_free_names() == ["OK", "LJ", "TW", "FT", "WB"]
+        assert road_names() == ["GE", "USA"]
+
+    def test_directedness_matches_paper(self):
+        assert not DATASETS["OK"].directed     # com-orkut undirected
+        assert DATASETS["LJ"].directed
+        assert DATASETS["TW"].directed
+        assert not DATASETS["FT"].directed
+        assert DATASETS["WB"].directed
+        assert not DATASETS["GE"].directed
+        assert not DATASETS["USA"].directed
+
+    def test_all_scales_defined(self):
+        for spec in DATASETS.values():
+            assert set(spec.builders) == {"tiny", "small", "default"}
+
+
+class TestLoading:
+    def test_tiny_graphs_load_and_validate(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_GRAPH_CACHE", str(tmp_path))
+        for name in DATASETS:
+            g = load_dataset(name, "tiny", cache=False)
+            g.validate()
+            assert g.name == name
+            assert g.n > 20
+
+    def test_cache_roundtrip(self, tmp_path, monkeypatch):
+        import repro.datasets.registry as reg
+
+        monkeypatch.setattr(reg, "_CACHE_DIR", tmp_path)
+        a = load_dataset("OK", "tiny", cache=True)
+        assert (tmp_path / "OK-tiny.npz").exists()
+        b = load_dataset("OK", "tiny", cache=True)
+        assert np.array_equal(a.indices, b.indices)
+        assert np.array_equal(a.weights, b.weights)
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ParameterError):
+            load_dataset("ORKUT")
+
+    def test_unknown_scale(self):
+        with pytest.raises(ParameterError):
+            load_dataset("OK", "huge")
+
+    def test_current_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "tiny")
+        assert current_scale() == "tiny"
+        monkeypatch.setenv("REPRO_SCALE", "galactic")
+        with pytest.raises(ParameterError):
+            current_scale()
+
+    def test_scale_free_weights_in_paper_range(self):
+        g = load_dataset("OK", "tiny", cache=False)
+        assert g.min_weight >= 1
+        assert g.max_weight < 2**18
+
+    def test_road_graphs_have_wide_weight_range(self):
+        g = load_dataset("GE", "tiny", cache=False)
+        assert g.max_weight / g.min_weight > 50
+
+    def test_scales_are_ordered_by_size(self):
+        tiny = load_dataset("LJ", "tiny", cache=False)
+        small = load_dataset("LJ", "small", cache=False)
+        assert small.n > tiny.n

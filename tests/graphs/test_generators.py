@@ -1,0 +1,142 @@
+"""Unit tests for graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    complete,
+    cycle,
+    delta_adversarial,
+    erdos_renyi,
+    path,
+    rmat,
+    road_geometric,
+    road_grid,
+    star,
+)
+from repro.utils import ParameterError
+
+
+class TestDeterministicShapes:
+    def test_path_counts(self):
+        g = path(10)
+        assert g.n == 10 and g.m == 18  # 9 undirected edges, both orientations
+        g.validate()
+
+    def test_path_directed(self):
+        g = path(10, directed=True)
+        assert g.m == 9
+        assert g.directed
+
+    def test_cycle(self):
+        g = cycle(6)
+        assert g.n == 6 and g.m == 12
+        g.validate()
+
+    def test_star(self):
+        g = star(5)
+        assert g.out_degree(0) == 4
+        assert all(g.out_degree(v) == 1 for v in range(1, 5))
+
+    def test_complete(self):
+        g = complete(5)
+        assert g.m == 5 * 4
+        g.validate()
+
+    @pytest.mark.parametrize(
+        "fn,args", [(path, (0,)), (cycle, (2,)), (star, (1,)), (complete, (1,))]
+    )
+    def test_invalid_sizes(self, fn, args):
+        with pytest.raises(ParameterError):
+            fn(*args)
+
+
+class TestRandomGenerators:
+    def test_rmat_connected_and_valid(self):
+        g = rmat(8, 8, seed=3)
+        g.validate()
+        assert g.n > 50
+        # connectivity: BFS reaches all
+        from repro.baselines import dijkstra_reference
+
+        assert np.all(np.isfinite(dijkstra_reference(g, 0)))
+
+    def test_rmat_seed_reproducible(self):
+        a = rmat(7, 6, seed=5)
+        b = rmat(7, 6, seed=5)
+        assert np.array_equal(a.indices, b.indices)
+        assert np.array_equal(a.weights, b.weights)
+
+    def test_rmat_directed_flag(self):
+        g = rmat(7, 6, directed=True, seed=5)
+        assert g.directed
+
+    def test_rmat_weights_in_paper_range(self):
+        g = rmat(8, 8, seed=3)
+        assert g.min_weight >= 1.0
+        assert g.max_weight < 2**18
+
+    def test_rmat_degree_skew(self):
+        """Power-law stand-in: max degree far above the mean."""
+        g = rmat(10, 8, seed=3)
+        degs = g.out_degree()
+        assert degs.max() > 8 * degs.mean()
+
+    def test_rmat_rejects_bad_scale(self):
+        with pytest.raises(ParameterError):
+            rmat(0)
+
+    def test_erdos_renyi_connected(self):
+        from repro.baselines import dijkstra_reference
+
+        g = erdos_renyi(200, 4.0, seed=1)
+        assert np.all(np.isfinite(dijkstra_reference(g, 0)))
+
+    def test_road_grid_valid(self):
+        g = road_grid(12, seed=2)
+        g.validate()
+        assert not g.directed
+
+    def test_road_grid_low_degree(self):
+        g = road_grid(20, seed=2)
+        assert g.out_degree().mean() < 6  # near-planar
+
+    def test_road_geometric_valid(self):
+        g = road_geometric(300, seed=4)
+        g.validate()
+        assert g.out_degree().mean() < 10
+
+    def test_road_geometric_rejects_tiny(self):
+        with pytest.raises(ParameterError):
+            road_geometric(4)
+
+
+class TestDeltaAdversarial:
+    def test_structure(self):
+        g = delta_adversarial(4, 5)
+        assert g.n == 4 * 6
+        g.validate()
+
+    def test_spine_distances(self):
+        from repro.baselines import dijkstra_reference
+
+        delta = 7
+        g = delta_adversarial(3, delta)
+        d = dijkstra_reference(g, 0)
+        spine = [b * (delta + 1) for b in range(3)]
+        for b, v in enumerate(spine):
+            assert d[v] == b * delta
+
+    def test_chain_distances(self):
+        from repro.baselines import dijkstra_reference
+
+        delta = 5
+        g = delta_adversarial(2, delta)
+        d = dijkstra_reference(g, 0)
+        # Block 0's hanging chain: unit steps from the spine vertex.
+        for j in range(1, delta + 1):
+            assert d[j] == j
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ParameterError):
+            delta_adversarial(0, 5)

@@ -1,0 +1,72 @@
+"""Cross-validation against NetworkX and SciPy sparse round trips."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core import rho_stepping
+from repro.graphs.interop import (
+    from_networkx,
+    from_scipy_sparse,
+    to_networkx,
+    to_scipy_sparse,
+)
+from repro.utils import GraphFormatError
+
+
+class TestNetworkx:
+    def test_roundtrip_directed(self, rmat_directed):
+        g2 = from_networkx(to_networkx(rmat_directed))
+        assert g2.n == rmat_directed.n
+        assert g2.m == rmat_directed.m
+        assert np.array_equal(g2.indptr, rmat_directed.indptr)
+        assert np.array_equal(g2.indices, rmat_directed.indices)
+        assert np.allclose(g2.weights, rmat_directed.weights)
+
+    def test_roundtrip_undirected(self, rmat_small):
+        g2 = from_networkx(to_networkx(rmat_small))
+        assert not g2.directed
+        assert g2.m == rmat_small.m
+        g2.validate()
+
+    def test_distances_match_networkx_dijkstra(self, rmat_small):
+        nxg = to_networkx(rmat_small)
+        expected = nx.single_source_dijkstra_path_length(nxg, 0)
+        res = rho_stepping(rmat_small, 0, rho=64, seed=0)
+        for v, d in expected.items():
+            assert abs(res.dist[v] - d) < 1e-9
+        unreachable = set(range(rmat_small.n)) - set(expected)
+        assert all(np.isinf(res.dist[v]) for v in unreachable)
+
+    def test_missing_weight_defaults(self):
+        nxg = nx.Graph()
+        nxg.add_edge("a", "b")  # no weight attribute
+        g = from_networkx(nxg, default_weight=2.5)
+        assert g.weights[0] == 2.5
+
+    def test_arbitrary_node_labels(self):
+        nxg = nx.DiGraph()
+        nxg.add_weighted_edges_from([("x", "y", 3.0), ("y", "z", 4.0)])
+        g = from_networkx(nxg)
+        assert g.n == 3 and g.m == 2
+
+
+class TestScipySparse:
+    def test_roundtrip(self, rmat_directed):
+        g2 = from_scipy_sparse(to_scipy_sparse(rmat_directed), directed=True)
+        assert g2.m == rmat_directed.m
+        assert np.array_equal(g2.indices, rmat_directed.indices)
+
+    def test_distances_match_scipy(self, rmat_directed):
+        from scipy.sparse.csgraph import dijkstra as sp_dijkstra
+
+        mat = to_scipy_sparse(rmat_directed)
+        expected = sp_dijkstra(mat, indices=0)
+        res = rho_stepping(rmat_directed, 0, rho=64, seed=0)
+        assert np.allclose(res.dist, expected, equal_nan=True)
+
+    def test_nonsquare_rejected(self):
+        from scipy.sparse import csr_matrix
+
+        with pytest.raises(GraphFormatError):
+            from_scipy_sparse(csr_matrix(np.ones((2, 3))))

@@ -1,0 +1,78 @@
+"""Unit tests for graph serialization (npz, edge list, DIMACS)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    load_dimacs,
+    load_edgelist,
+    load_npz,
+    rmat,
+    save_dimacs,
+    save_edgelist,
+    save_npz,
+)
+from repro.utils import GraphFormatError
+
+
+@pytest.fixture(scope="module")
+def g():
+    return rmat(7, 6, seed=11)
+
+
+class TestNpz:
+    def test_roundtrip(self, g, tmp_path):
+        p = tmp_path / "g.npz"
+        save_npz(g, p)
+        h = load_npz(p)
+        assert h.n == g.n and h.m == g.m
+        assert np.array_equal(h.indices, g.indices)
+        assert np.array_equal(h.weights, g.weights)
+        assert h.directed == g.directed
+        assert h.name == g.name
+
+
+class TestEdgelist:
+    def test_roundtrip(self, g, tmp_path):
+        p = tmp_path / "g.txt"
+        save_edgelist(g, p)
+        h = load_edgelist(p)
+        assert h.n == g.n and h.m == g.m
+        assert np.array_equal(np.sort(h.weights), np.sort(g.weights))
+        assert h.directed == g.directed
+
+    def test_missing_weights_default_to_one(self, tmp_path):
+        p = tmp_path / "e.txt"
+        p.write_text("0 1\n1 2\n")
+        h = load_edgelist(p)
+        assert h.n == 3
+        assert np.all(h.weights == 1.0)
+
+    def test_bad_line_rejected(self, tmp_path):
+        p = tmp_path / "bad.txt"
+        p.write_text("0\n")
+        with pytest.raises(GraphFormatError):
+            load_edgelist(p)
+
+
+class TestDimacs:
+    def test_roundtrip(self, g, tmp_path):
+        p = tmp_path / "g.gr"
+        save_dimacs(g, p)
+        h = load_dimacs(p)
+        assert h.n == g.n and h.m == g.m
+        assert np.array_equal(np.sort(h.weights), np.sort(np.round(g.weights)))
+
+    def test_header_required(self, tmp_path):
+        p = tmp_path / "no_header.gr"
+        p.write_text("a 1 2 3\n")
+        with pytest.raises(GraphFormatError):
+            load_dimacs(p)
+
+    def test_one_indexing(self, tmp_path):
+        p = tmp_path / "small.gr"
+        p.write_text("c comment\np sp 2 1\na 1 2 7\n")
+        h = load_dimacs(p)
+        assert h.n == 2 and h.m == 1
+        assert list(h.neighbors(0)) == [1]
+        assert h.weights[0] == 7.0

@@ -1,0 +1,137 @@
+"""Tests for path extraction, predecessors, SP trees, and SSSP verification."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import dijkstra_reference
+from repro.core import rho_stepping
+from repro.graphs import (
+    Graph,
+    extract_path,
+    path,
+    predecessors,
+    rmat,
+    shortest_path_tree,
+    verify_sssp,
+)
+from repro.utils import ParameterError
+
+
+class TestVerifySSSP:
+    def test_accepts_correct_distances(self, rmat_small, gold):
+        verify_sssp(rmat_small, 0, gold(rmat_small, 0))
+
+    def test_accepts_directed(self, rmat_directed, gold):
+        verify_sssp(rmat_directed, 0, gold(rmat_directed, 0))
+
+    def test_rejects_too_small_distance(self, rmat_small, gold):
+        d = gold(rmat_small, 0).copy()
+        d[5] -= 1.0
+        with pytest.raises(AssertionError):
+            verify_sssp(rmat_small, 0, d)
+
+    def test_rejects_too_large_distance(self, rmat_small, gold):
+        d = gold(rmat_small, 0).copy()
+        v = int(np.argmax(np.where(np.isfinite(d), d, -1)))
+        d[v] += 1.0
+        with pytest.raises(AssertionError):
+            verify_sssp(rmat_small, 0, d)
+
+    def test_rejects_nonzero_source(self, rmat_small, gold):
+        d = gold(rmat_small, 0).copy()
+        d[0] = 1.0
+        with pytest.raises(AssertionError):
+            verify_sssp(rmat_small, 0, d)
+
+    def test_rejects_wrong_length(self, rmat_small):
+        with pytest.raises(ParameterError):
+            verify_sssp(rmat_small, 0, np.zeros(3))
+
+    def test_rejects_spuriously_unreachable(self):
+        g = path(4, directed=True)
+        d = np.array([0.0, 1.0, np.inf, np.inf])
+        with pytest.raises(AssertionError):
+            verify_sssp(g, 0, d)
+
+
+class TestPredecessors:
+    def test_path_graph_chain(self):
+        g = path(6)
+        d = dijkstra_reference(g, 0)
+        pred = predecessors(g, 0, d)
+        assert list(pred) == [-1, 0, 1, 2, 3, 4]
+
+    def test_source_and_unreachable_are_minus_one(self):
+        g = Graph.from_edges(3, np.array([0]), np.array([1]), np.array([1.0]),
+                             directed=True)
+        d = dijkstra_reference(g, 0)
+        pred = predecessors(g, 0, d)
+        assert pred[0] == -1 and pred[2] == -1 and pred[1] == 0
+
+    def test_every_predecessor_edge_is_tight(self, rmat_directed, gold):
+        d = gold(rmat_directed, 0)
+        pred = predecessors(rmat_directed, 0, d)
+        for v in np.flatnonzero(pred >= 0):
+            u = pred[v]
+            w = None
+            for t, ww in zip(rmat_directed.neighbors(u), rmat_directed.neighbor_weights(u)):
+                if t == v:
+                    w = ww if w is None else min(w, ww)
+            assert w is not None
+            assert abs(d[u] + w - d[v]) < 1e-9
+
+
+class TestExtractPath:
+    def test_endpoints(self, rmat_small, gold):
+        d = gold(rmat_small, 0)
+        target = int(np.argmax(np.where(np.isfinite(d), d, -1)))
+        route = extract_path(rmat_small, 0, target, d)
+        assert route[0] == 0 and route[-1] == target
+
+    def test_path_length_matches_distance(self, road_small, gold):
+        d = gold(road_small, 0)
+        target = road_small.n - 1
+        route = extract_path(road_small, 0, target, d)
+        total = 0.0
+        for u, v in zip(route, route[1:]):
+            w = min(
+                ww for t, ww in zip(road_small.neighbors(u), road_small.neighbor_weights(u))
+                if t == v
+            )
+            total += w
+        assert abs(total - d[target]) < 1e-6
+
+    def test_unreachable_returns_empty(self):
+        g = Graph.from_edges(3, np.array([0]), np.array([1]), np.array([1.0]),
+                             directed=True)
+        assert extract_path(g, 0, 2, dijkstra_reference(g, 0)) == []
+
+    def test_bad_target(self, rmat_small, gold):
+        with pytest.raises(ParameterError):
+            extract_path(rmat_small, 0, rmat_small.n, gold(rmat_small, 0))
+
+
+class TestShortestPathTree:
+    def test_tree_shape(self, rmat_small, gold):
+        d = gold(rmat_small, 0)
+        t = shortest_path_tree(rmat_small, 0, d)
+        reachable = int(np.isfinite(d).sum())
+        assert t.m == reachable - 1  # one edge per non-source reachable vertex
+        assert t.directed
+
+    def test_tree_distances_match(self, road_small, gold):
+        d = gold(road_small, 0)
+        t = shortest_path_tree(road_small, 0, d)
+        dt = dijkstra_reference(t, 0)
+        assert np.allclose(dt, d, equal_nan=True)
+
+
+@given(st.integers(0, 1000))
+@settings(max_examples=25, deadline=None)
+def test_verify_accepts_every_algorithm_output(seed):
+    g = rmat(7, 6, seed=seed % 17)
+    s = seed % g.n
+    res = rho_stepping(g, s, rho=16, seed=seed)
+    verify_sssp(g, s, res.dist)

@@ -1,0 +1,112 @@
+"""Unit tests for hop distances, SP-tree depth, and (k, ρ) estimation."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    complete,
+    estimate_k_rho,
+    hop_distances,
+    path,
+    rmat,
+    road_grid,
+    sp_tree_depth,
+    star,
+    truncated_dijkstra_hops,
+)
+from repro.utils import ParameterError
+
+
+class TestTruncatedDijkstra:
+    def test_settling_order_is_by_distance(self, rmat_small):
+        ids, dists, hops = truncated_dijkstra_hops(rmat_small, 0)
+        assert np.all(np.diff(dists) >= 0)
+
+    def test_limit_respected(self, rmat_small):
+        ids, dists, hops = truncated_dijkstra_hops(rmat_small, 0, limit=10)
+        assert len(ids) == 10
+
+    def test_source_first(self, rmat_small):
+        ids, dists, hops = truncated_dijkstra_hops(rmat_small, 3, limit=1)
+        assert ids[0] == 3 and dists[0] == 0 and hops[0] == 0
+
+    def test_hops_are_fewest_among_shortest(self):
+        # Diamond: 0->1->3 (1+1) and 0->3 direct (2): same distance, fewer hops.
+        from repro.graphs import Graph
+
+        g = Graph.from_edges(
+            4,
+            np.array([0, 1, 0, 2]),
+            np.array([1, 3, 3, 3]),
+            np.array([1.0, 1.0, 2.0, 5.0]),
+            directed=True,
+        )
+        hops = hop_distances(g, 0)
+        assert hops[3] == 1  # the direct 1-hop shortest path wins the tie
+
+    def test_invalid_source(self, rmat_small):
+        with pytest.raises(ParameterError):
+            truncated_dijkstra_hops(rmat_small, -1)
+
+
+class TestSpTreeDepth:
+    def test_path_depth(self):
+        g = path(20)
+        assert sp_tree_depth(g, 0) == 19
+        assert sp_tree_depth(g, 10) == 10
+
+    def test_star_depth(self):
+        g = star(30)
+        assert sp_tree_depth(g, 0) == 1
+        assert sp_tree_depth(g, 1) == 2
+
+    def test_complete_depth(self):
+        assert sp_tree_depth(complete(8), 0) == 1
+
+
+class TestKRho:
+    def test_monotone_in_rho(self, rmat_small):
+        est = estimate_k_rho(rmat_small, num_samples=8, seed=0)
+        ks = list(est.k_values)
+        assert ks == sorted(ks)
+
+    def test_k_n_matches_tree_depth_on_path(self):
+        g = path(30)
+        est = estimate_k_rho(g, rhos=[g.n], num_samples=30, seed=0)
+        # For rho=n from the worst vertex (an endpoint), k_n = n-1.
+        assert est.k_values[0] == g.n - 1
+
+    def test_k_1_is_zero_or_one(self, rmat_small):
+        est = estimate_k_rho(rmat_small, rhos=[1], num_samples=5, seed=1)
+        assert est.k_values[0] in (0, 1)
+
+    def test_scale_free_vs_road_signature(self):
+        """The Fig. 8 shape: roads need many more hops for the same rho."""
+        sf = rmat(9, 8, seed=1)
+        rd = road_grid(23, seed=1)
+        rho_sf = int(np.sqrt(sf.n))
+        rho_rd = int(np.sqrt(rd.n))
+        k_sf = estimate_k_rho(sf, rhos=[rho_sf], num_samples=10, seed=2).k_values[0]
+        k_rd = estimate_k_rho(rd, rhos=[rho_rd], num_samples=10, seed=2).k_values[0]
+        assert k_rd > k_sf
+
+    def test_mean_aggregate_below_max(self, rmat_small):
+        rhos = [16, 64]
+        mx = estimate_k_rho(rmat_small, rhos=rhos, num_samples=10, seed=3)
+        mn = estimate_k_rho(rmat_small, rhos=rhos, num_samples=10, seed=3, aggregate="mean")
+        assert all(a <= b for a, b in zip(mn.k_values, mx.k_values))
+
+    def test_bad_rho_rejected(self, rmat_small):
+        with pytest.raises(ParameterError):
+            estimate_k_rho(rmat_small, rhos=[0])
+        with pytest.raises(ParameterError):
+            estimate_k_rho(rmat_small, rhos=[rmat_small.n + 1])
+
+    def test_bad_aggregate_rejected(self, rmat_small):
+        with pytest.raises(ParameterError):
+            estimate_k_rho(rmat_small, rhos=[4], aggregate="median")
+
+    def test_as_dict(self, rmat_small):
+        est = estimate_k_rho(rmat_small, rhos=[4, 16], num_samples=4, seed=0)
+        d = est.as_dict()
+        assert set(d) == {4, 16}

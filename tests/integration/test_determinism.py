@@ -1,0 +1,51 @@
+"""Determinism and reproducibility guarantees."""
+
+import numpy as np
+import pytest
+
+from repro.core import delta_star_stepping, rho_stepping
+from repro.datasets import load_dataset
+from repro.graphs import rmat
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_dataset("OK", "tiny", cache=False)
+
+
+class TestSeededDeterminism:
+    def test_same_seed_same_stats(self, graph):
+        a = rho_stepping(graph, 0, 256, seed=7)
+        b = rho_stepping(graph, 0, 256, seed=7)
+        assert np.array_equal(a.dist, b.dist)
+        assert a.stats.num_steps == b.stats.num_steps
+        assert a.stats.frontier_sizes().tolist() == b.stats.frontier_sizes().tolist()
+        assert [s.theta for s in a.stats.steps] == [s.theta for s in b.stats.steps]
+
+    def test_different_seed_same_distances(self, graph):
+        """Sampling noise may change steps, never the answer."""
+        a = rho_stepping(graph, 0, 256, seed=1)
+        b = rho_stepping(graph, 0, 256, seed=2)
+        assert np.array_equal(a.dist, b.dist)
+
+    def test_delta_star_is_seed_independent(self, graph):
+        """Δ*-stepping has no randomness beyond hash scattering — identical
+        step structure for any seed."""
+        a = delta_star_stepping(graph, 0, 4096.0, seed=1)
+        b = delta_star_stepping(graph, 0, 4096.0, seed=99)
+        assert np.array_equal(a.dist, b.dist)
+        assert a.stats.num_steps == b.stats.num_steps
+        assert a.stats.frontier_sizes().tolist() == b.stats.frontier_sizes().tolist()
+
+    def test_generator_reproducibility_across_processes(self):
+        """Graph generation is a pure function of its seed (no global state)."""
+        a = rmat(8, 6, seed=123)
+        b = rmat(8, 6, seed=123)
+        assert np.array_equal(a.indptr, b.indptr)
+        assert np.array_equal(a.indices, b.indices)
+        assert np.array_equal(a.weights, b.weights)
+
+    def test_visits_deterministic(self, graph):
+        a = rho_stepping(graph, 0, 256, seed=5, record_visits=True)
+        b = rho_stepping(graph, 0, 256, seed=5, record_visits=True)
+        assert np.array_equal(a.stats.vertex_visits, b.stats.vertex_visits)

@@ -1,0 +1,79 @@
+"""End-to-end integration: datasets -> algorithms -> verification -> model."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import IMPLEMENTATIONS, simulated_time
+from repro.baselines import dijkstra_reference
+from repro.core import DEFAULT_RHO
+from repro.datasets import DATASETS, load_dataset
+from repro.graphs import verify_sssp
+from repro.runtime import MachineModel
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return MachineModel(P=96)
+
+
+@pytest.mark.parametrize("dataset", sorted(DATASETS))
+def test_every_dataset_every_implementation(dataset, machine):
+    """The full pipeline on every tiny stand-in graph."""
+    g = load_dataset(dataset, "tiny", cache=False)
+    expected = dijkstra_reference(g, 0)
+    for key, impl in IMPLEMENTATIONS.items():
+        param = 1024.0 if impl.family == "delta" else (
+            256 if impl.family == "rho" else None
+        )
+        res = impl.run(g, 0, param, seed=0)
+        assert np.allclose(res.dist, expected, equal_nan=True), key
+        t = simulated_time(res, machine, impl.profile)
+        assert 0 < t < 10.0, (key, t)
+
+
+@pytest.mark.parametrize("dataset", ["OK", "GE"])
+def test_independent_certification(dataset):
+    """verify_sssp certifies outputs without consulting Dijkstra."""
+    from repro.core import rho_stepping
+
+    g = load_dataset(dataset, "tiny", cache=False)
+    res = rho_stepping(g, 0, DEFAULT_RHO, seed=1)
+    verify_sssp(g, 0, res.dist)
+
+
+def test_simulated_ordering_stable_across_sources(machine):
+    """On a road graph, PQ-delta beats Julienne for every source."""
+    g = load_dataset("GE", "tiny", cache=False)
+    pq_delta = IMPLEMENTATIONS["PQ-delta"]
+    julienne = IMPLEMENTATIONS["Julienne"]
+    for s in (0, g.n // 3, g.n - 1):
+        a = simulated_time(pq_delta.run(g, s, 2048.0, seed=0), machine, pq_delta.profile)
+        b = simulated_time(julienne.run(g, s, 2048.0, seed=0), machine, julienne.profile)
+        assert a < b
+
+
+def test_machine_model_monotone_in_cores():
+    """More cores never slow a fixed run down below P=1... and P=96 beats P=4."""
+    from repro.core import bellman_ford
+
+    g = load_dataset("OK", "tiny", cache=False)
+    res = bellman_ford(g, 0, seed=0)
+    t1 = MachineModel(P=1, smt_yield=1.0).time_seconds(res.stats)
+    t4 = MachineModel(P=4).time_seconds(res.stats)
+    t96 = MachineModel(P=96).time_seconds(res.stats)
+    assert t96 < t4
+    assert t96 < t1
+
+
+def test_cross_pq_stats_consistency():
+    """Flat and tournament LAB-PQs must agree on algorithmic step counts."""
+    from repro.core import SteppingOptions, rho_stepping
+
+    g = load_dataset("LJ", "tiny", cache=False)
+    flat = rho_stepping(g, 0, 128, options=SteppingOptions(pq="flat", fusion=False),
+                        exact_threshold=True, seed=0)
+    tree = rho_stepping(g, 0, 128, options=SteppingOptions(pq="tournament", fusion=False),
+                        exact_threshold=True, seed=0)
+    assert np.allclose(flat.dist, tree.dist, equal_nan=True)
+    assert flat.stats.num_steps == tree.stats.num_steps
+    assert flat.stats.frontier_sizes().tolist() == tree.stats.frontier_sizes().tolist()

@@ -1,0 +1,21 @@
+"""Every example script must run to completion (smoke-level integration)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parents[2] / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [str(script)])
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script.stem} produced no output"
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 3, [p.stem for p in EXAMPLES]

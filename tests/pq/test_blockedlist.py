@@ -1,0 +1,143 @@
+"""Tests for the Appendix B blocked linked list."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pq import BlockedList
+from repro.utils import ParameterError
+
+
+def _fill(bl: BlockedList, keys) -> None:
+    keys = np.asarray(keys, dtype=float)
+    bl.batch_insert(keys, np.arange(len(keys)))
+
+
+class TestBasics:
+    def test_empty(self):
+        bl = BlockedList(4)
+        assert len(bl) == 0
+        assert bl.approx_kth_key() == -np.inf
+
+    def test_rejects_bad_rho(self):
+        with pytest.raises(ParameterError):
+            BlockedList(0)
+
+    def test_insert_and_size(self):
+        bl = BlockedList(4)
+        _fill(bl, np.arange(20))
+        assert len(bl) == 20
+        bl.check_invariants()
+
+    def test_mismatched_batch_rejected(self):
+        bl = BlockedList(4)
+        with pytest.raises(ParameterError):
+            bl.batch_insert(np.arange(3.0), np.arange(2))
+
+    def test_fewer_than_rho_returns_max(self):
+        bl = BlockedList(10)
+        _fill(bl, [5.0, 1.0, 3.0])
+        assert bl.approx_kth_key() == 5.0
+
+    def test_keys_in_order(self):
+        bl = BlockedList(3)
+        _fill(bl, [9.0, 2.0, 7.0, 4.0])
+        assert list(bl.keys_in_order()) == [2.0, 4.0, 7.0, 9.0]
+
+
+class TestApproxRank:
+    @pytest.mark.parametrize("rho,n", [(4, 100), (16, 500), (8, 64)])
+    def test_rank_within_3rho(self, rho, n):
+        rng = np.random.default_rng(0)
+        keys = rng.random(n) * 1000
+        bl = BlockedList(rho)
+        bl.batch_insert(keys, np.arange(n))
+        bl.check_invariants()
+        k = bl.approx_kth_key()
+        rank = int(np.sum(keys <= k))
+        assert rank <= 3 * rho
+        # Merge slack allows one small block; its size is still the rank.
+        assert rank >= 1
+
+    def test_rank_at_least_rho_normally(self):
+        rng = np.random.default_rng(1)
+        keys = rng.random(300)
+        bl = BlockedList(8)
+        bl.batch_insert(keys, np.arange(300))
+        k = bl.approx_kth_key()
+        rank = int(np.sum(keys <= k))
+        assert 8 <= rank <= 24
+
+
+class TestExtractAndDelete:
+    def test_extract_below(self):
+        bl = BlockedList(4)
+        _fill(bl, np.arange(50))
+        out = bl.extract_below(9.5)
+        assert sorted(out) == list(range(10))
+        assert len(bl) == 40
+        bl.check_invariants()
+
+    def test_extract_all(self):
+        bl = BlockedList(4)
+        _fill(bl, np.arange(30))
+        out = bl.extract_below(np.inf)
+        assert len(out) == 30
+        assert len(bl) == 0
+
+    def test_delete_by_id(self):
+        bl = BlockedList(4)
+        _fill(bl, np.arange(30))
+        removed = bl.batch_delete(np.array([0, 5, 29, 99]))
+        assert removed == 3
+        assert len(bl) == 27
+        bl.check_invariants()
+        assert 5.0 not in bl.keys_in_order()
+
+    def test_delete_then_select(self):
+        bl = BlockedList(4)
+        _fill(bl, np.arange(40))
+        bl.batch_delete(np.arange(12))  # remove the 12 smallest ids (= keys)
+        k = bl.approx_kth_key()
+        assert k >= 12.0
+
+
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["ins", "del", "ext"]),
+                  st.lists(st.integers(0, 400), min_size=1, max_size=25)),
+        min_size=1, max_size=15,
+    ),
+    st.integers(2, 12),
+)
+@settings(max_examples=80, deadline=None)
+def test_blockedlist_matches_model(ops, rho):
+    """Random op streams: the structure agrees with a plain dict model."""
+    bl = BlockedList(rho)
+    model: dict[int, float] = {}
+    next_id = 0
+    for kind, payload in ops:
+        if kind == "ins":
+            keys = np.array([float(k) for k in payload])
+            ids = np.arange(next_id, next_id + len(payload))
+            next_id += len(payload)
+            bl.batch_insert(keys, ids)
+            model.update(zip(ids.tolist(), keys.tolist()))
+        elif kind == "del":
+            ids = np.array([p % max(next_id, 1) for p in payload])
+            removed = bl.batch_delete(ids)
+            expected = sum(1 for i in set(ids.tolist()) if i in model)
+            assert removed == expected
+            for i in set(ids.tolist()):
+                model.pop(i, None)
+        else:
+            theta = float(payload[0])
+            out = set(bl.extract_below(theta).tolist())
+            expected = {i for i, k in model.items() if k <= theta}
+            assert out == expected
+            for i in expected:
+                del model[i]
+        bl.check_invariants()
+        assert len(bl) == len(model)
+        assert np.array_equal(bl.keys_in_order(), np.sort(list(model.values())))

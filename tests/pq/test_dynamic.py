@@ -1,0 +1,142 @@
+"""Tests for the fully dynamic LAB-PQ (Appendix D)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pq import DynamicTournamentPQ
+from repro.utils import ParameterError
+
+
+class TestBasics:
+    def test_empty(self):
+        q = DynamicTournamentPQ()
+        assert len(q) == 0
+        assert q.min_key() == np.inf
+        assert q.min_id() == -1
+
+    def test_insert_and_min(self):
+        q = DynamicTournamentPQ()
+        q.insert(np.array([10, 20, 30]), np.array([5.0, 1.0, 9.0]))
+        assert len(q) == 3
+        assert q.min_key() == 1.0
+        assert q.min_id() == 20
+        q.check_invariants()
+
+    def test_duplicate_insert_rejected(self):
+        q = DynamicTournamentPQ()
+        q.insert(np.array([1]), np.array([1.0]))
+        with pytest.raises(ParameterError):
+            q.insert(np.array([1]), np.array([2.0]))
+        with pytest.raises(ParameterError):
+            q.insert(np.array([2, 2]), np.array([1.0, 2.0]))
+
+    def test_growth_beyond_initial_capacity(self):
+        q = DynamicTournamentPQ(initial_capacity=2)
+        q.insert(np.arange(100), np.arange(100, dtype=float))
+        assert len(q) == 100
+        assert q.capacity >= 100
+        assert q.min_key() == 0.0
+        q.check_invariants()
+
+    def test_delete(self):
+        q = DynamicTournamentPQ()
+        q.insert(np.array([1, 2, 3]), np.array([1.0, 2.0, 3.0]))
+        q.delete(np.array([1]))
+        assert len(q) == 2
+        assert q.min_key() == 2.0
+        q.check_invariants()
+
+    def test_delete_absent_rejected(self):
+        q = DynamicTournamentPQ()
+        with pytest.raises(ParameterError):
+            q.delete(np.array([7]))
+
+    def test_decrease_key(self):
+        q = DynamicTournamentPQ()
+        q.insert(np.array([4, 5]), np.array([10.0, 20.0]))
+        q.decrease_key(np.array([5]), np.array([1.0]))
+        assert q.min_id() == 5
+        # WriteMin semantics: raising a key is a no-op.
+        q.decrease_key(np.array([5]), np.array([50.0]))
+        assert q.min_key() == 1.0
+        q.check_invariants()
+
+    def test_extract(self):
+        q = DynamicTournamentPQ()
+        q.insert(np.arange(10), np.arange(10, dtype=float))
+        out = q.extract(4.0)
+        assert sorted(out) == [0, 1, 2, 3, 4]
+        assert len(q) == 5
+        q.check_invariants()
+
+    def test_extract_empty_below(self):
+        q = DynamicTournamentPQ()
+        q.insert(np.array([1]), np.array([5.0]))
+        assert q.extract(1.0).size == 0
+
+    def test_items(self):
+        q = DynamicTournamentPQ()
+        q.insert(np.array([3, 9]), np.array([2.0, 4.0]))
+        ids, keys = q.items()
+        assert sorted(ids) == [3, 9]
+        assert sorted(keys) == [2.0, 4.0]
+
+    def test_bad_capacity(self):
+        with pytest.raises(ParameterError):
+            DynamicTournamentPQ(initial_capacity=1)
+
+
+@st.composite
+def op_streams(draw):
+    ops = []
+    for _ in range(draw(st.integers(1, 20))):
+        kind = draw(st.sampled_from(["ins", "ins", "del", "dec", "ext"]))
+        payload = draw(st.lists(st.integers(0, 30), min_size=1, max_size=6))
+        ops.append((kind, payload))
+    return ops
+
+
+@given(op_streams())
+@settings(max_examples=120, deadline=None)
+def test_dynamic_pq_matches_model(ops):
+    q = DynamicTournamentPQ(initial_capacity=2)
+    model: dict[int, float] = {}
+    next_id = 0
+    for kind, payload in ops:
+        if kind == "ins":
+            ids = np.arange(next_id, next_id + len(payload))
+            keys = np.array([float(k) for k in payload])
+            next_id += len(payload)
+            q.insert(ids, keys)
+            model.update(zip(ids.tolist(), keys.tolist()))
+        elif kind == "del":
+            live = sorted(model)
+            if not live:
+                continue
+            ids = np.unique([live[p % len(live)] for p in payload])
+            q.delete(ids)
+            for i in ids:
+                del model[int(i)]
+        elif kind == "dec":
+            live = sorted(model)
+            if not live:
+                continue
+            ids = np.unique([live[p % len(live)] for p in payload])
+            keys = np.array([float(p) / 2 for p in payload[: len(ids)]])
+            ids = ids[: len(keys)]
+            q.decrease_key(ids, keys)
+            for i, k in zip(ids, keys):
+                model[int(i)] = min(model[int(i)], float(k))
+        else:
+            theta = float(payload[0])
+            out = set(q.extract(theta).tolist())
+            expected = {i for i, k in model.items() if k <= theta}
+            assert out == expected
+            for i in expected:
+                del model[i]
+        q.check_invariants()
+        assert len(q) == len(model)
+        expect_min = min(model.values(), default=np.inf)
+        assert q.min_key() == expect_min

@@ -1,0 +1,99 @@
+"""Unit tests for the resizable scatter hash table (Appendix E)."""
+
+import numpy as np
+import pytest
+
+from repro.pq import ScatterHashTable
+from repro.utils import ParameterError
+
+
+def _table(**kw):
+    defaults = dict(capacity=1024, min_size=16, seed=0)
+    defaults.update(kw)
+    return ScatterHashTable(**defaults)
+
+
+class TestInsert:
+    def test_contents_match_inserts(self):
+        t = _table()
+        t.insert(np.array([3, 5, 9]))
+        ids, _ = t.contents()
+        assert sorted(ids) == [3, 5, 9]
+
+    def test_duplicates_stored_twice(self):
+        t = _table()
+        t.insert(np.array([4, 4]))
+        ids, _ = t.contents()
+        assert sorted(ids) == [4, 4]
+        assert len(t) == 2
+
+    def test_large_batch_all_stored(self):
+        t = _table(capacity=1 << 14)
+        ids_in = np.arange(3000)
+        t.insert(ids_in)
+        ids, _ = t.contents()
+        assert sorted(ids) == list(range(3000))
+
+    def test_incremental_batches(self):
+        t = _table(capacity=1 << 14)
+        for start in range(0, 1000, 100):
+            t.insert(np.arange(start, start + 100))
+        ids, _ = t.contents()
+        assert len(ids) == 1000
+
+    def test_probe_count_reported(self):
+        t = _table()
+        probes = t.insert(np.arange(8))
+        assert probes >= 8
+        assert t.total_probes == probes
+
+    def test_empty_insert(self):
+        t = _table()
+        assert t.insert(np.array([], dtype=np.int64)) == 0
+
+
+class TestResize:
+    def test_region_grows_without_moving_entries(self):
+        t = _table(capacity=1 << 12, min_size=16)
+        t.insert(np.arange(8))
+        snapshot = t.table[: t.tail].copy()
+        t.insert(np.arange(100, 400))  # forces growth
+        assert t.tail > 16
+        # Old entries are still exactly where they were (no data movement).
+        old_region = t.table[: len(snapshot)]
+        placed = snapshot != -1
+        assert np.array_equal(old_region[placed], snapshot[placed])
+
+    def test_capacity_exhaustion_raises(self):
+        t = _table(capacity=64, min_size=16)
+        with pytest.raises(ParameterError):
+            t.insert(np.arange(200))
+
+    def test_reset_clears(self):
+        t = _table()
+        t.insert(np.arange(50))
+        t.reset()
+        ids, _ = t.contents()
+        assert len(ids) == 0
+        assert len(t) == 0
+        assert t.region_size == t.min_size
+
+
+class TestValidation:
+    def test_bad_load_factor(self):
+        with pytest.raises(ParameterError):
+            _table(load_factor=1.5)
+
+    def test_bad_sample_rate(self):
+        with pytest.raises(ParameterError):
+            _table(sample_rate=0.0)
+
+    def test_capacity_below_min_size(self):
+        with pytest.raises(ParameterError):
+            ScatterHashTable(8, min_size=16)
+
+    def test_scan_cost_is_tail(self):
+        t = _table()
+        t.insert(np.arange(4))
+        _, scanned = t.contents()
+        assert scanned == t.tail

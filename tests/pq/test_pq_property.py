@@ -1,0 +1,102 @@
+"""Property-based cross-validation of the two LAB-PQ structures.
+
+The flat array and the tournament tree implement the same ADT; hypothesis
+drives them with an identical random operation stream and a model "queue"
+(a plain set + the shared dist array) and demands all three agree after
+every Extract.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pq import FlatPQ, TournamentPQ
+
+N = 48
+
+
+@st.composite
+def op_streams(draw):
+    """A list of operations: ('update', ids, keys) | ('extract', theta) | ('remove', ids)."""
+    ops = []
+    for _ in range(draw(st.integers(1, 25))):
+        kind = draw(st.sampled_from(["update", "update", "update", "extract", "remove"]))
+        if kind == "update":
+            ids = draw(st.lists(st.integers(0, N - 1), min_size=1, max_size=8))
+            keys = draw(
+                st.lists(st.floats(0, 100, allow_nan=False), min_size=len(ids), max_size=len(ids))
+            )
+            ops.append(("update", ids, keys))
+        elif kind == "remove":
+            ids = draw(st.lists(st.integers(0, N - 1), min_size=1, max_size=4))
+            ops.append(("remove", ids, None))
+        else:
+            ops.append(("extract", draw(st.floats(0, 120, allow_nan=False)), None))
+    ops.append(("extract", float("inf"), None))
+    return ops
+
+
+@given(op_streams())
+@settings(max_examples=120, deadline=None)
+def test_flat_and_tournament_agree_with_model(ops):
+    dist = np.full(N, np.inf)
+    flat = FlatPQ(dist, seed=1)
+    tree = TournamentPQ(dist)
+    model: set[int] = set()
+
+    for op in ops:
+        if op[0] == "update":
+            _, ids, keys = op
+            for i, k in zip(ids, keys):
+                # WriteMin semantics: keys only decrease.
+                dist[i] = min(dist[i], k)
+            arr = np.array(ids)
+            flat.update(arr)
+            tree.update(arr)
+            model |= set(ids)
+        elif op[0] == "remove":
+            _, ids, _ = op
+            arr = np.array(ids)
+            flat.remove(arr)
+            tree.remove(arr)
+            model -= set(ids)
+        else:
+            theta = op[1]
+            a = set(flat.extract(theta).tolist())
+            b = set(tree.extract(theta).tolist())
+            expect = {i for i in model if dist[i] <= theta}
+            assert a == expect
+            assert b == expect
+            model -= expect
+        assert len(flat) == len(model)
+        assert len(tree) == len(model)
+
+    assert len(model) == 0  # the final extract(inf) drained everything
+
+
+@given(op_streams())
+@settings(max_examples=60, deadline=None)
+def test_min_key_agrees(ops):
+    dist = np.full(N, np.inf)
+    flat = FlatPQ(dist, seed=2)
+    tree = TournamentPQ(dist)
+    model: set[int] = set()
+    for op in ops:
+        if op[0] == "update":
+            _, ids, keys = op
+            for i, k in zip(ids, keys):
+                dist[i] = min(dist[i], k)
+            flat.update(np.array(ids))
+            tree.update(np.array(ids))
+            model |= set(ids)
+        elif op[0] == "remove":
+            flat.remove(np.array(op[1]))
+            tree.remove(np.array(op[1]))
+            model -= set(op[1])
+        else:
+            out = set(flat.extract(op[1]).tolist())
+            assert set(tree.extract(op[1]).tolist()) == out
+            model -= out
+        expect = min((dist[i] for i in model), default=np.inf)
+        assert flat.min_key() == expect
+        assert tree.min_key() == expect

@@ -1,0 +1,73 @@
+"""Unit + property tests for ρ-th element selection (Appendix B)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pq import estimate_kth_key, exact_kth_key
+from repro.utils import ParameterError
+
+
+class TestExact:
+    def test_kth_of_sorted(self):
+        keys = np.array([5.0, 1.0, 3.0, 2.0, 4.0])
+        assert exact_kth_key(keys, 1) == 1.0
+        assert exact_kth_key(keys, 3) == 3.0
+        assert exact_kth_key(keys, 5) == 5.0
+
+    def test_k_past_end_is_inf(self):
+        assert exact_kth_key(np.array([1.0, 2.0]), 3) == np.inf
+
+    def test_k_zero_rejected(self):
+        with pytest.raises(ParameterError):
+            exact_kth_key(np.array([1.0]), 0)
+
+    def test_input_not_mutated(self):
+        keys = np.array([3.0, 1.0, 2.0])
+        exact_kth_key(keys, 2)
+        assert list(keys) == [3.0, 1.0, 2.0]
+
+
+class TestEstimate:
+    def test_k_at_least_len_extracts_all(self):
+        res = estimate_kth_key(np.arange(10.0), 10, rng=0)
+        assert res.threshold == np.inf
+        assert res.num_samples == 0
+
+    def test_empty_keys(self):
+        res = estimate_kth_key(np.zeros(0), 5, rng=0)
+        assert res.threshold == np.inf
+
+    def test_reports_sampling_work(self):
+        res = estimate_kth_key(np.arange(10000.0), 100, rng=0)
+        assert res.num_samples > 0
+
+    def test_k_zero_rejected(self):
+        with pytest.raises(ParameterError):
+            estimate_kth_key(np.arange(10.0), 0)
+
+    @given(st.integers(1, 5), st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_threshold_within_constant_factor_rank(self, k_exp, seed):
+        """The paper's w.h.p. claim: the estimate's rank is within a constant
+        factor of ρ.  Checked statistically on uniform keys."""
+        f = 20000
+        rho = 10 * 4**k_exp  # 40 .. 10240
+        rho = min(rho, f // 2)
+        rng = np.random.default_rng(seed)
+        keys = rng.random(f) * 1000
+        res = estimate_kth_key(keys, rho, rng=seed)
+        rank = int(np.sum(keys <= res.threshold))
+        assert rho / 4 <= rank <= rho * 4
+
+    def test_threshold_is_an_observed_key(self):
+        keys = np.arange(1000.0)
+        res = estimate_kth_key(keys, 100, rng=1)
+        assert res.threshold in keys
+
+    def test_sample_count_scales_with_f_over_k(self):
+        f = 100000
+        small_k = estimate_kth_key(np.arange(float(f)), 100, rng=0).num_samples
+        big_k = estimate_kth_key(np.arange(float(f)), 10000, rng=0).num_samples
+        assert small_k > big_k

@@ -1,0 +1,99 @@
+"""Unit + property tests for the deterministic batched atomics."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime import write_min
+from repro.runtime import test_and_set as batched_test_and_set
+
+
+class TestWriteMin:
+    def test_lowers_values(self):
+        v = np.array([5.0, 5.0, 5.0])
+        ok = write_min(v, np.array([0, 2]), np.array([3.0, 7.0]))
+        assert list(v) == [3.0, 5.0, 5.0]
+        assert list(ok) == [True, False]
+
+    def test_duplicate_targets_take_min(self):
+        v = np.array([10.0])
+        ok = write_min(v, np.array([0, 0, 0]), np.array([7.0, 3.0, 9.0]))
+        assert v[0] == 3.0
+        # All three saw an improvement over the pre-batch value except 9<10
+        assert list(ok) == [True, True, True]
+
+    def test_empty_batch(self):
+        v = np.array([1.0])
+        ok = write_min(v, np.array([], dtype=np.int64), np.array([]))
+        assert ok.size == 0
+        assert v[0] == 1.0
+
+    def test_equal_value_is_not_success(self):
+        v = np.array([4.0])
+        ok = write_min(v, np.array([0]), np.array([4.0]))
+        assert not ok[0]
+        assert v[0] == 4.0
+
+    @given(
+        st.lists(st.integers(0, 9), min_size=1, max_size=50),
+        st.data(),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_matches_sequential_semantics(self, targets, data):
+        """Final state == elementwise min over any serialisation."""
+        cands = data.draw(
+            st.lists(
+                st.floats(0, 100, allow_nan=False),
+                min_size=len(targets),
+                max_size=len(targets),
+            )
+        )
+        v = np.full(10, 50.0)
+        expected = v.copy()
+        for t, c in zip(targets, cands):
+            expected[t] = min(expected[t], c)
+        write_min(v, np.array(targets), np.array(cands))
+        assert np.array_equal(v, expected)
+
+    @given(st.lists(st.integers(0, 9), min_size=1, max_size=50), st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_changed_locations_have_a_success(self, targets, data):
+        cands = data.draw(
+            st.lists(
+                st.floats(0, 100, allow_nan=False),
+                min_size=len(targets),
+                max_size=len(targets),
+            )
+        )
+        v = np.full(10, 50.0)
+        before = v.copy()
+        ok = write_min(v, np.array(targets), np.array(cands))
+        changed = set(np.flatnonzero(v < before).tolist())
+        winners = set(np.array(targets)[ok].tolist())
+        assert changed <= winners  # every changed location had a success
+
+
+class TestTestAndSet:
+    def test_first_occurrence_wins(self):
+        flags = np.zeros(4, dtype=bool)
+        ok = batched_test_and_set(flags, np.array([1, 1, 2]))
+        assert list(ok) == [True, False, True]
+        assert list(flags) == [False, True, True, False]
+
+    def test_already_set_never_wins(self):
+        flags = np.array([True, False])
+        ok = batched_test_and_set(flags, np.array([0, 0, 1]))
+        assert list(ok) == [False, False, True]
+
+    def test_empty(self):
+        flags = np.zeros(2, dtype=bool)
+        assert batched_test_and_set(flags, np.array([], dtype=np.int64)).size == 0
+
+    @given(st.lists(st.integers(0, 7), min_size=1, max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_exactly_one_winner_per_new_id(self, ids):
+        flags = np.zeros(8, dtype=bool)
+        ok = batched_test_and_set(flags, np.array(ids))
+        for i in set(ids):
+            assert sum(ok[j] for j, x in enumerate(ids) if x == i) == 1
+        assert all(flags[i] for i in ids)

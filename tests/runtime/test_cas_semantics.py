@@ -1,0 +1,62 @@
+"""Property tests for the CAS-serialisation mode of write_min."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime import write_min
+
+
+@given(
+    st.integers(1, 8),
+    st.lists(st.tuples(st.integers(0, 7), st.integers(0, 20)), min_size=1, max_size=40),
+    st.integers(0, 100),
+)
+@settings(max_examples=120, deadline=None)
+def test_cas_matches_sequential_execution(n, ops, seed):
+    """cas=True reproduces exactly the winners of executing the batch in order."""
+    rng = np.random.default_rng(seed)
+    targets = np.array([t % n for t, _ in ops])
+    cands = np.array([float(c) for _, c in ops])
+    values = rng.integers(0, 20, n).astype(float)
+    values[rng.random(n) < 0.3] = np.inf
+
+    expected_v = values.copy()
+    expected_ok = np.zeros(len(ops), dtype=bool)
+    for i, (t, c) in enumerate(zip(targets, cands)):
+        if c < expected_v[t]:
+            expected_v[t] = c
+            expected_ok[i] = True
+
+    got = write_min(values, targets, cands, cas=True)
+    assert np.array_equal(values, expected_v)
+    assert np.array_equal(got, expected_ok)
+
+
+@given(
+    st.lists(st.tuples(st.integers(0, 5), st.integers(0, 15)), min_size=1, max_size=30)
+)
+@settings(max_examples=80, deadline=None)
+def test_cas_winners_subset_of_batch_successes(ops):
+    """CAS winners are always a subset of the pre-batch-comparison successes."""
+    targets = np.array([t for t, _ in ops])
+    cands = np.array([float(c) for _, c in ops])
+    v1 = np.full(6, 8.0)
+    v2 = v1.copy()
+    batch = write_min(v1, targets, cands, cas=False)
+    casm = write_min(v2, targets, cands, cas=True)
+    assert np.array_equal(v1, v2)  # identical final state
+    assert np.all(~casm | batch)  # casm implies batch
+
+    # And at most one CAS winner per (target, value) improvement chain length:
+    # per target, winners count equals the number of strict running minima.
+    for t in set(targets.tolist()):
+        seq = cands[targets == t]
+        wins = casm[targets == t]
+        run = 8.0
+        expected = 0
+        for c in seq:
+            if c < run:
+                run = c
+                expected += 1
+        assert wins.sum() == expected

@@ -1,0 +1,95 @@
+"""Tests for the race-free threaded relaxer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime import write_min
+from repro.runtime.parallel import PartitionedRelaxer
+from repro.utils import ParameterError
+
+
+class TestBasics:
+    def test_single_thread_matches_kernel(self):
+        v1 = np.full(10, 9.0)
+        v2 = v1.copy()
+        t = np.array([1, 5, 1])
+        c = np.array([3.0, 2.0, 4.0])
+        with PartitionedRelaxer(10, num_threads=1) as r:
+            ok = r.write_min(v1, t, c)
+        expected_ok = write_min(v2, t, c)
+        assert np.array_equal(v1, v2)
+        assert np.array_equal(ok, expected_ok)
+
+    def test_empty_batch(self):
+        v = np.ones(4)
+        with PartitionedRelaxer(4, num_threads=2) as r:
+            assert r.write_min(v, np.array([], dtype=np.int64), np.array([])).size == 0
+
+    def test_out_of_range_target(self):
+        with PartitionedRelaxer(4, num_threads=2) as r:
+            with pytest.raises(IndexError):
+                r.write_min(np.ones(4), np.array([4]), np.array([0.0]))
+
+    def test_wrong_value_length(self):
+        with PartitionedRelaxer(4, num_threads=2) as r:
+            with pytest.raises(ParameterError):
+                r.write_min(np.ones(5), np.array([0]), np.array([0.0]))
+
+    def test_bad_construction(self):
+        with pytest.raises(ParameterError):
+            PartitionedRelaxer(0)
+        with pytest.raises(ParameterError):
+            PartitionedRelaxer(4, num_threads=0)
+
+    def test_batches_counted(self):
+        v = np.ones(8)
+        with PartitionedRelaxer(8, num_threads=2) as r:
+            r.write_min(v, np.array([0]), np.array([0.5]))
+            r.write_min(v, np.array([1]), np.array([0.5]))
+            assert r.batches == 2
+
+
+@given(
+    st.integers(2, 64),
+    st.integers(1, 8),
+    st.lists(st.tuples(st.integers(0, 1000), st.integers(0, 100)),
+             min_size=1, max_size=200),
+)
+@settings(max_examples=60, deadline=None)
+def test_threaded_matches_sequential(n, threads, ops):
+    targets = np.array([t % n for t, _ in ops])
+    cands = np.array([float(c) for _, c in ops])
+    v_par = np.full(n, 50.0)
+    v_seq = v_par.copy()
+    with PartitionedRelaxer(n, num_threads=threads) as r:
+        ok_par = r.write_min(v_par, targets, cands)
+    ok_seq = write_min(v_seq, targets, cands)
+    assert np.array_equal(v_par, v_seq)
+    assert np.array_equal(ok_par, ok_seq)
+
+
+def test_full_sssp_through_threaded_relaxer():
+    """Drive a whole Bellman-Ford through the partitioned relaxer."""
+    from repro.baselines import dijkstra_reference
+    from repro.graphs import rmat
+
+    g = rmat(8, 6, seed=4)
+    dist = np.full(g.n, np.inf)
+    dist[0] = 0.0
+    frontier = np.array([0])
+    with PartitionedRelaxer(g.n, num_threads=3) as r:
+        while frontier.size:
+            starts = g.indptr[frontier]
+            degs = g.indptr[frontier + 1] - starts
+            total = int(degs.sum())
+            if not total:
+                break
+            seg = np.zeros(len(frontier), dtype=np.int64)
+            np.cumsum(degs[:-1], out=seg[1:])
+            pos = (np.arange(total) - np.repeat(seg, degs) + np.repeat(starts, degs))
+            ok = r.write_min(dist, g.indices[pos],
+                             np.repeat(dist[frontier], degs) + g.weights[pos])
+            frontier = np.unique(g.indices[pos][ok])
+    assert np.allclose(dist, dijkstra_reference(g, 0), equal_nan=True)

@@ -1,0 +1,66 @@
+"""Unit + property tests for the greedy-scheduler simulation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime import brent_bound, greedy_makespan, lpt_makespan
+from repro.utils import ParameterError
+
+
+class TestGreedyMakespan:
+    def test_single_core_is_sum(self):
+        assert greedy_makespan(np.array([1.0, 2, 3]), 1) == 6.0
+
+    def test_empty(self):
+        assert greedy_makespan(np.array([]), 4) == 0.0
+
+    def test_two_cores(self):
+        # greedy in order [3,3,2]: cores (3),(3) then 2 -> (5),(3)
+        assert greedy_makespan(np.array([3.0, 3, 2]), 2) == 5.0
+
+    def test_rejects_bad_p(self):
+        with pytest.raises(ParameterError):
+            greedy_makespan(np.array([1.0]), 0)
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ParameterError):
+            greedy_makespan(np.array([-1.0]), 2)
+
+
+class TestBounds:
+    @given(
+        st.lists(st.floats(0.01, 100, allow_nan=False), min_size=1, max_size=60),
+        st.integers(1, 16),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_greedy_within_graham_bound(self, durations, P):
+        d = np.array(durations)
+        assert greedy_makespan(d, P) <= brent_bound(d, P) + 1e-9
+
+    @given(
+        st.lists(st.floats(0.01, 100, allow_nan=False), min_size=1, max_size=60),
+        st.integers(1, 16),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_makespans_at_least_lower_bounds(self, durations, P):
+        d = np.array(durations)
+        lower = max(d.sum() / P, d.max())
+        assert greedy_makespan(d, P) >= lower - 1e-9
+        assert lpt_makespan(d, P) >= lower - 1e-9
+
+    @given(
+        st.lists(st.floats(0.01, 100, allow_nan=False), min_size=1, max_size=60),
+        st.integers(1, 16),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_lpt_within_4_3_of_optimum_lower_bound(self, durations, P):
+        d = np.array(durations)
+        lower = max(d.sum() / P, d.max())
+        assert lpt_makespan(d, P) <= (4 / 3) * lower + d.max() / 3 + 1e-9
+
+    def test_skewed_tasks_show_imbalance(self):
+        """One huge task dominates the makespan regardless of P."""
+        d = np.array([1000.0] + [1.0] * 99)
+        assert greedy_makespan(d, 16) >= 1000.0

@@ -1,0 +1,123 @@
+"""Unit tests for work–span accounting and the machine model."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    DEFAULT_PROFILE,
+    CostProfile,
+    MachineModel,
+    RunStats,
+    StepRecord,
+)
+
+
+def _step(**kw):
+    defaults = dict(index=0, theta=1.0, mode="sparse")
+    defaults.update(kw)
+    return StepRecord(**defaults)
+
+
+class TestRunStats:
+    def test_totals(self):
+        s = RunStats()
+        s.add(_step(frontier=3, edges=10, relax_success=4))
+        s.add(_step(index=1, frontier=5, edges=20, relax_success=6, waves=3))
+        assert s.num_steps == 2
+        assert s.num_waves == 4
+        assert s.total_vertex_visits == 8
+        assert s.total_edge_visits == 30
+        assert s.total_relax_success == 10
+
+    def test_visits_per_vertex_and_edge(self):
+        s = RunStats()
+        s.add(_step(frontier=10, edges=40))
+        assert s.visits_per_vertex(5) == 2.0
+        assert s.visits_per_edge(20) == 2.0
+
+    def test_frontier_sizes_series(self):
+        s = RunStats()
+        for i, f in enumerate([1, 4, 9]):
+            s.add(_step(index=i, frontier=f))
+        assert list(s.frontier_sizes()) == [1, 4, 9]
+
+    def test_summary_keys(self):
+        s = RunStats()
+        s.add(_step())
+        assert set(s.summary()) == {
+            "steps", "waves", "vertex_visits", "edge_visits", "relax_success",
+        }
+
+    def test_span_levels_monotone_in_waves(self):
+        a = _step(frontier=100, max_task=10, waves=1)
+        b = _step(frontier=100, max_task=10, waves=5)
+        assert b.span_levels(1000) > a.span_levels(1000)
+
+
+class TestMachineModel:
+    def test_more_work_costs_more(self):
+        m = MachineModel(P=96)
+        small, big = RunStats(), RunStats()
+        small.add(_step(edges=100))
+        big.add(_step(edges=100000))
+        assert m.time_seconds(big) > m.time_seconds(small)
+
+    def test_more_steps_cost_more_at_equal_work(self):
+        m = MachineModel(P=96)
+        one, many = RunStats(), RunStats()
+        one.add(_step(edges=1000))
+        for i in range(10):
+            many.add(_step(index=i, edges=100))
+        assert m.time_seconds(many) > m.time_seconds(one)
+
+    def test_sequential_machine_has_no_sync(self):
+        m1 = MachineModel(P=1, smt_yield=1.0)
+        s = RunStats()
+        s.add(_step(edges=0, extract_scanned=0))
+        assert m1.time_seconds(s) == 0.0
+
+    def test_self_speedup_positive_and_bounded(self):
+        m = MachineModel(P=96)
+        s = RunStats()
+        for i in range(5):
+            s.add(_step(index=i, edges=500000, extract_scanned=1000))
+        su = m.self_speedup(s)
+        assert 1.0 < su <= m.effective_cores()
+
+    def test_sync_dominates_tiny_steps(self):
+        """Many tiny steps should be slower in parallel than sequential."""
+        m = MachineModel(P=96)
+        m1 = MachineModel(P=1, smt_yield=1.0)
+        s = RunStats()
+        for i in range(1000):
+            s.add(_step(index=i, edges=3))
+        assert m.time_seconds(s) > m1.time_seconds(s)
+
+    def test_dense_edges_cheaper_than_sparse(self):
+        m = MachineModel(P=96)
+        sp, dn = RunStats(), RunStats()
+        sp.add(_step(edges=10**6, mode="sparse"))
+        dn.add(_step(edges=10**6, mode="dense"))
+        assert m.time_seconds(dn) < m.time_seconds(sp)
+
+    def test_work_inflation_scales_work(self):
+        m = MachineModel(P=96)
+        s = RunStats()
+        s.add(_step(edges=10**7))
+        base = m.time_seconds(s, DEFAULT_PROFILE)
+        inflated = m.time_seconds(s, DEFAULT_PROFILE.scaled(work_inflation=2.0))
+        assert inflated > base * 1.5
+
+    def test_profile_scaled_returns_copy(self):
+        p = DEFAULT_PROFILE.scaled(sync=1.0)
+        assert p.sync == 1.0
+        assert DEFAULT_PROFILE.sync != 1.0
+        assert isinstance(p, CostProfile)
+
+    def test_sample_work_is_sequential(self):
+        """Sampling cost must not shrink with P."""
+        s = RunStats()
+        s.add(_step(sample_work=10**6))
+        t96 = MachineModel(P=96).time_seconds(s)
+        t1 = MachineModel(P=1, smt_yield=1.0).time_seconds(s)
+        assert t96 >= t1 * 0.99

@@ -1,0 +1,76 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graphs import rmat, save_npz
+
+
+@pytest.fixture(scope="module")
+def graph_file(tmp_path_factory):
+    p = tmp_path_factory.mktemp("cli") / "g.npz"
+    save_npz(rmat(8, 6, seed=2), p)
+    return str(p)
+
+
+class TestParser:
+    def test_all_subcommands_present(self):
+        parser = build_parser()
+        sub = next(a for a in parser._actions if a.dest == "command")
+        assert set(sub.choices) == {"info", "run", "sweep", "generate"}
+
+    def test_run_requires_known_algorithm(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "astar", "OK"])
+
+
+class TestCommands:
+    def test_info(self, graph_file, capsys):
+        assert main(["info", graph_file]) == 0
+        out = capsys.readouterr().out
+        assert "vertices" in out and "edges" in out
+
+    def test_info_with_krho(self, graph_file, capsys):
+        assert main(["info", graph_file, "--krho", "--samples", "3"]) == 0
+        assert "k_rho" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("algo", ["rho", "delta-star", "delta", "bf", "dijkstra"])
+    def test_run_all_algorithms(self, algo, graph_file, capsys):
+        assert main(["run", algo, graph_file, "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "verified against sequential Dijkstra" in out
+        assert "simulated time" in out
+
+    def test_run_with_param(self, graph_file, capsys):
+        assert main(["run", "rho", graph_file, "--param", "64", "--source", "3"]) == 0
+        assert "source 3" in capsys.readouterr().out
+
+    def test_sweep(self, graph_file, capsys):
+        assert main(["sweep", "PQ-delta", graph_file, "--lo", "6", "--hi", "9"]) == 0
+        assert "best param" in capsys.readouterr().out
+
+    def test_sweep_unknown_impl_fails_gracefully(self, graph_file, capsys):
+        assert main(["sweep", "GraphX", graph_file]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_generate_rmat(self, tmp_path, capsys):
+        out = tmp_path / "gen.npz"
+        assert main(["generate", "rmat", "--out", str(out), "--scale", "7"]) == 0
+        from repro.graphs import load_npz
+
+        g = load_npz(out)
+        g.validate()
+        assert g.n > 30
+
+    def test_generate_road(self, tmp_path):
+        out = tmp_path / "road.npz"
+        assert main(["generate", "road-grid", "--out", str(out), "--side", "10"]) == 0
+        from repro.graphs import load_npz
+
+        load_npz(out).validate()
+
+    def test_dataset_name_resolution(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "tiny")
+        assert main(["info", "OK"]) == 0
+        assert "OK" in capsys.readouterr().out

@@ -1,0 +1,75 @@
+"""Tests for the shared utility helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    GraphFormatError,
+    ParameterError,
+    ReproError,
+    Timer,
+    as_generator,
+    spawn_generators,
+)
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        assert issubclass(ParameterError, ReproError)
+        assert issubclass(ParameterError, ValueError)
+        assert issubclass(GraphFormatError, ReproError)
+
+    def test_catchable_as_repro_error(self):
+        with pytest.raises(ReproError):
+            raise GraphFormatError("x")
+
+
+class TestRng:
+    def test_int_seed_reproducible(self):
+        a = as_generator(42).random(4)
+        b = as_generator(42).random(4)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert as_generator(g) is g
+
+    def test_spawn_independent_streams(self):
+        gens = spawn_generators(7, 3)
+        draws = [g.random(8) for g in gens]
+        assert not np.array_equal(draws[0], draws[1])
+        assert not np.array_equal(draws[1], draws[2])
+
+    def test_spawn_reproducible(self):
+        a = [g.random(4) for g in spawn_generators(9, 2)]
+        b = [g.random(4) for g in spawn_generators(9, 2)]
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+    def test_spawn_rejects_negative_count(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+    def test_spawn_from_generator(self):
+        gens = spawn_generators(np.random.default_rng(1), 2)
+        assert len(gens) == 2
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as t:
+            sum(range(1000))
+        assert t.elapsed > 0
+
+
+class TestPublicApi:
+    def test_top_level_exports(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__
