@@ -23,6 +23,7 @@ from repro.baselines._buckets import BucketStore
 from repro.core.result import SSSPResult
 from repro.graphs.csr import Graph
 from repro.runtime.atomics import write_min
+from repro.runtime.kernels import gather_edges
 from repro.runtime.machine import CostProfile
 from repro.runtime.workspan import RunStats, StepRecord
 from repro.utils.errors import ParameterError
@@ -58,7 +59,6 @@ def gapbs_delta_stepping(
     bins.insert(np.array([source], dtype=np.int64), np.zeros(1, dtype=np.int64))
     stats = RunStats()
     visits = np.zeros(n, dtype=np.int64) if record_visits else None
-    indptr, indices, weights = graph.indptr, graph.indices, graph.weights
     t0 = time.perf_counter()
     step = 0
 
@@ -85,19 +85,10 @@ def gapbs_delta_stepping(
                 raise RuntimeError("gapbs_delta_stepping: exceeded max_steps")
             if visits is not None:
                 np.add.at(visits, wave, 1)
-            starts = indptr[wave]
-            degs = indptr[wave + 1] - starts
+            targets, _, w, _, degs = gather_edges(graph, wave)
             total = int(degs.sum())
             if total:
-                seg = np.zeros(wave.size, dtype=np.int64)
-                np.cumsum(degs[:-1], out=seg[1:])
-                pos = (
-                    np.arange(total, dtype=np.int64)
-                    - np.repeat(seg, degs)
-                    + np.repeat(starts, degs)
-                )
-                targets = indices[pos]
-                cand = np.repeat(dist[wave], degs) + weights[pos]
+                cand = np.repeat(dist[wave], degs) + w
                 # GAPBS appends one bin entry per successful *CAS* (the
                 # compare-and-swap loop in RelaxEdges) — duplicates included,
                 # deduped only lazily at drain time.

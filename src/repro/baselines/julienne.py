@@ -24,6 +24,7 @@ from repro.baselines._buckets import BucketStore
 from repro.core.result import SSSPResult
 from repro.graphs.csr import Graph
 from repro.runtime.atomics import write_min
+from repro.runtime.kernels import Workspace, gather_edges, unique_ids
 from repro.runtime.machine import CostProfile
 from repro.runtime.workspan import RunStats, StepRecord
 from repro.utils.errors import ParameterError
@@ -59,7 +60,7 @@ def julienne_delta_stepping(
     bins.insert(np.array([source], dtype=np.int64), np.zeros(1, dtype=np.int64))
     stats = RunStats()
     visits = np.zeros(n, dtype=np.int64) if record_visits else None
-    indptr, indices, weights = graph.indptr, graph.indices, graph.weights
+    ws = Workspace(n)
     t0 = time.perf_counter()
     step = 0
 
@@ -70,27 +71,18 @@ def julienne_delta_stepping(
         lo = b * delta
         raw = bins.pop(b)
         valid = raw[dist[raw] >= lo] if raw.size else raw
-        frontier = np.unique(valid) if valid.size else valid
+        frontier = unique_ids(valid, n, workspace=ws) if valid.size else valid
         if frontier.size == 0:
             continue
         if visits is not None:
             np.add.at(visits, frontier, 1)
 
-        starts = indptr[frontier]
-        degs = indptr[frontier + 1] - starts
+        targets, _, w, _, degs = gather_edges(graph, frontier)
         total = int(degs.sum())
         if total:
-            seg = np.zeros(frontier.size, dtype=np.int64)
-            np.cumsum(degs[:-1], out=seg[1:])
-            pos = (
-                np.arange(total, dtype=np.int64)
-                - np.repeat(seg, degs)
-                + np.repeat(starts, degs)
-            )
-            targets = indices[pos]
-            cand = np.repeat(dist[frontier], degs) + weights[pos]
+            cand = np.repeat(dist[frontier], degs) + w
             success = write_min(dist, targets, cand)
-            updated = np.unique(targets[success])
+            updated = unique_ids(targets[success], n, workspace=ws)
             successes = int(success.sum())
             max_task = int(degs.max())
         else:

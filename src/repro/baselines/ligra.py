@@ -23,6 +23,7 @@ import numpy as np
 from repro.core.result import SSSPResult
 from repro.graphs.csr import Graph
 from repro.runtime.atomics import write_min
+from repro.runtime.kernels import Workspace, gather_edges, unique_ids
 from repro.runtime.machine import CostProfile
 from repro.runtime.workspan import RunStats, StepRecord
 from repro.utils.errors import ParameterError
@@ -51,7 +52,7 @@ def ligra_bellman_ford(
     frontier = np.array([source], dtype=np.int64)
     stats = RunStats()
     visits = np.zeros(n, dtype=np.int64) if record_visits else None
-    indptr, indices, weights = graph.indptr, graph.indices, graph.weights
+    ws = Workspace(n)
     t0 = time.perf_counter()
     step = 0
     while frontier.size:
@@ -59,22 +60,13 @@ def ligra_bellman_ford(
             raise RuntimeError("ligra_bellman_ford: exceeded max_steps")
         if visits is not None:
             np.add.at(visits, frontier, 1)
-        starts = indptr[frontier]
-        degs = indptr[frontier + 1] - starts
+        targets, _, w, _, degs = gather_edges(graph, frontier)
         total = int(degs.sum())
         dense = frontier.size > dense_threshold_frac * n
         if total:
-            seg = np.zeros(frontier.size, dtype=np.int64)
-            np.cumsum(degs[:-1], out=seg[1:])
-            pos = (
-                np.arange(total, dtype=np.int64)
-                - np.repeat(seg, degs)
-                + np.repeat(starts, degs)
-            )
-            targets = indices[pos]
-            cand = np.repeat(dist[frontier], degs) + weights[pos]
+            cand = np.repeat(dist[frontier], degs) + w
             success = write_min(dist, targets, cand)
-            nxt = np.unique(targets[success])
+            nxt = unique_ids(targets[success], n, workspace=ws)
             successes = int(success.sum())
         else:
             nxt = np.zeros(0, dtype=np.int64)

@@ -44,6 +44,7 @@ from repro.pq.base import LabPQ
 from repro.pq.flat import FlatPQ
 from repro.pq.tournament import TournamentPQ
 from repro.runtime.atomics import write_min
+from repro.runtime.kernels import Workspace, gather_edges, segmented_min, unique_ids
 from repro.runtime.workspan import RunStats, StepRecord
 from repro.utils.errors import ParameterError
 from repro.utils.rng import as_generator
@@ -119,29 +120,20 @@ class _Ctx:
 def _gather_edges(graph, frontier: np.ndarray):
     """Flatten the CSR rows of ``frontier`` into parallel edge arrays.
 
-    Returns ``(targets, cand_base, weights, seg_starts, degs)`` where
-    ``cand_base`` repeats ``dist[u]`` per out-edge of each ``u`` — the
-    vectorised form of the doubly-nested parallel-for of Algorithm 1.
+    Returns ``(targets, pos, weights, seg_starts, degs)``; see
+    :func:`repro.runtime.kernels.gather_edges`, which this delegates to
+    (cached degrees, single-repeat position arithmetic, dtype-correct
+    empties).
     """
-    indptr = graph.indptr
-    starts = indptr[frontier]
-    degs = indptr[frontier + 1] - starts
-    total = int(degs.sum())
-    if total == 0:
-        empty = np.zeros(0, dtype=np.int64)
-        return empty, np.zeros(0), np.zeros(0), np.zeros(len(frontier), dtype=np.int64), degs
-    seg_starts = np.zeros(len(frontier), dtype=np.int64)
-    np.cumsum(degs[:-1], out=seg_starts[1:])
-    pos = np.arange(total, dtype=np.int64) - np.repeat(seg_starts, degs) + np.repeat(starts, degs)
-    return graph.indices[pos], pos, graph.weights[pos], seg_starts, degs
+    return gather_edges(graph, frontier)
 
 
-def _relax_wave(graph, dist, frontier, *, bidirectional: bool):
+def _relax_wave(graph, dist, frontier, *, bidirectional: bool, workspace: "Workspace | None" = None):
     """One relaxation wave: frontier relaxes all its out-neighbours.
 
     Returns ``(updated_ids, edges, successes, max_task, bidir_edges)``.
     """
-    targets, _, w, seg_starts, degs = _gather_edges(graph, frontier)
+    targets, _, w, seg_starts, degs = gather_edges(graph, frontier)
     edges = len(targets)
     if edges == 0:
         return np.zeros(0, dtype=np.int64), 0, 0, 0, 0
@@ -149,18 +141,19 @@ def _relax_wave(graph, dist, frontier, *, bidirectional: bool):
     bidir_edges = 0
     if bidirectional:
         # Relax u *from* its neighbours first (undirected graphs only): the
-        # same CSR row supplies the incoming edges.
+        # same CSR row supplies the incoming edges.  Frontier ids are unique,
+        # so the scatter-min is a plain gather/minimum/scatter.
         nonempty = degs > 0
         if np.any(nonempty):
             incoming = dist[targets] + w
-            mins = np.minimum.reduceat(incoming, seg_starts[nonempty])
+            mins = segmented_min(incoming, seg_starts[nonempty])
             f = frontier[nonempty]
-            np.minimum.at(dist, f, mins)
+            dist[f] = np.minimum(dist[f], mins)
             bidir_edges = edges
 
     cand = np.repeat(dist[frontier], degs) + w
     success = write_min(dist, targets, cand)
-    updated = np.unique(targets[success])
+    updated = unique_ids(targets[success], graph.n, workspace=workspace)
     max_task = int(degs.max()) if len(degs) else 0
     return updated, edges, int(success.sum()), max_task, bidir_edges
 
@@ -214,6 +207,7 @@ def stepping_sssp(
     ctx = _Ctx(graph, dist, pq, rng, options.dense_frac)
     policy.reset(ctx)
     bidirectional = options.bidirectional and not graph.directed
+    workspace = Workspace(n)
 
     stats = RunStats()
     visits = np.zeros(n, dtype=np.int64) if record_visits else None
@@ -255,7 +249,7 @@ def stepping_sssp(
             if visits is not None:
                 np.add.at(visits, wave, 1)
             updated, edges, successes, max_task, bidir = _relax_wave(
-                graph, dist, wave, bidirectional=bidirectional
+                graph, dist, wave, bidirectional=bidirectional, workspace=workspace
             )
             pq.update(updated)
             pq_touches += pq.last_update_touches

@@ -24,6 +24,7 @@ from repro.graphs.csr import Graph
 from repro.pq.flat import FlatPQ
 from repro.pq.sampling import estimate_kth_key
 from repro.runtime.atomics import write_min
+from repro.runtime.kernels import Workspace, gather_edges, unique_ids
 from repro.runtime.workspan import RunStats, StepRecord
 from repro.utils.errors import ParameterError
 from repro.utils.rng import as_generator
@@ -56,7 +57,7 @@ def widest_path_stepping(
     pq = FlatPQ(neg_width, seed=rng)
     pq.update(np.array([source], dtype=np.int64))
     stats = RunStats()
-    indptr, indices, weights = graph.indptr, graph.indices, graph.weights
+    ws = Workspace(n)
     t0 = time.perf_counter()
     step = 0
 
@@ -74,18 +75,13 @@ def widest_path_stepping(
         mode = pq.last_extract_mode
         scanned = pq.last_extract_scanned
 
-        starts = indptr[frontier]
-        degs = indptr[frontier + 1] - starts
+        targets, _, w, _, degs = gather_edges(graph, frontier)
         total = int(degs.sum())
         if total:
-            seg = np.zeros(len(frontier), dtype=np.int64)
-            np.cumsum(degs[:-1], out=seg[1:])
-            pos = (np.arange(total) - np.repeat(seg, degs) + np.repeat(starts, degs))
-            targets = indices[pos]
             # Width through u = min(width[u], w) -> negated: max(neg[u], -w).
-            cand = np.maximum(np.repeat(neg_width[frontier], degs), -weights[pos])
+            cand = np.maximum(np.repeat(neg_width[frontier], degs), -w)
             success = write_min(neg_width, targets, cand)
-            updated = np.unique(targets[success])
+            updated = unique_ids(targets[success], n, workspace=ws)
             pq.update(updated)
             successes = int(success.sum())
             max_task = int(degs.max())

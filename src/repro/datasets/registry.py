@@ -21,6 +21,8 @@ regenerate).
 from __future__ import annotations
 
 import os
+import warnings
+import zipfile
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable
@@ -28,7 +30,7 @@ from typing import Callable
 from repro.graphs.csr import Graph
 from repro.graphs.generators import rmat, road_geometric, road_grid
 from repro.graphs.io import load_npz, save_npz
-from repro.utils.errors import ParameterError
+from repro.utils.errors import GraphFormatError, ParameterError
 
 __all__ = [
     "DATASETS",
@@ -140,9 +142,25 @@ def load_dataset(name: str, scale: "str | None" = None, *, cache: bool = True) -
         raise ParameterError(f"dataset {name} has no scale {scale!r}")
     cache_file = _CACHE_DIR / f"{name}-{scale}.npz"
     if cache and cache_file.exists():
-        return load_npz(cache_file).with_name(name)
+        try:
+            return load_npz(cache_file).with_name(name)
+        except (zipfile.BadZipFile, OSError, EOFError, KeyError, ValueError, GraphFormatError) as exc:
+            # A truncated/garbled cache file (interrupted write, text-mode
+            # transfer of the binary, ...) must never take the run down:
+            # regenerate the graph and rewrite the cache entry transparently.
+            warnings.warn(
+                f"graph cache {cache_file} is corrupt ({type(exc).__name__}: {exc}); "
+                "regenerating",
+                RuntimeWarning,
+                stacklevel=2,
+            )
     g = spec.builders[scale]().with_name(name)
     if cache:
         _CACHE_DIR.mkdir(parents=True, exist_ok=True)
-        save_npz(g, cache_file)
+        # Write-then-rename so an interrupted save never leaves a truncated
+        # cache entry behind (np.savez appends ".npz" when missing, so the
+        # temp name must already carry it).
+        tmp = cache_file.with_name(cache_file.name + ".tmp.npz")
+        save_npz(g, tmp)
+        os.replace(tmp, cache_file)
     return g

@@ -15,6 +15,7 @@ representable, and float keeps the API open to arbitrary positive weights.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 import numpy as np
 
@@ -136,6 +137,24 @@ class Graph:
         """Number of (directed) edges stored in the CSR."""
         return len(self.indices)
 
+    @cached_property
+    def degrees(self) -> np.ndarray:
+        """Out-degree of every vertex (cached; do not mutate).
+
+        The relaxation hot path gathers per-frontier degrees every wave;
+        caching the ``np.diff`` turns that into one fancy-index gather
+        (:func:`repro.runtime.kernels.gather_edges`).
+        """
+        return np.diff(self.indptr)
+
+    @cached_property
+    def edge_sources(self) -> np.ndarray:
+        """COO row array: ``edge_sources[e]`` is the source of CSR edge ``e``
+        (cached; do not mutate).  Lets edge-parallel kernels recover the
+        source of any gathered edge position without per-wave ``np.repeat``
+        arithmetic."""
+        return np.repeat(np.arange(self.n, dtype=_INDEX_DTYPE), self.degrees)
+
     @property
     def max_weight(self) -> float:
         """The paper's ``L`` — the heaviest edge weight (0.0 if no edges)."""
@@ -148,10 +167,9 @@ class Graph:
 
     def out_degree(self, v: int | np.ndarray | None = None) -> np.ndarray | int:
         """Out-degree of ``v``, or of all vertices when ``v is None``."""
-        degrees = np.diff(self.indptr)
         if v is None:
-            return degrees
-        return degrees[v]
+            return self.degrees
+        return self.degrees[v]
 
     def neighbors(self, v: int) -> np.ndarray:
         """Out-neighbour ids of vertex ``v`` (a CSR view, do not mutate)."""
@@ -163,8 +181,7 @@ class Graph:
 
     def edges(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Return the edge list ``(src, dst, weight)`` of this CSR."""
-        src = np.repeat(np.arange(self.n, dtype=_INDEX_DTYPE), np.diff(self.indptr))
-        return src, self.indices.copy(), self.weights.copy()
+        return self.edge_sources.copy(), self.indices.copy(), self.weights.copy()
 
     # ------------------------------------------------------------------ #
     # Validation

@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.pq.base import LabPQ
 from repro.pq.hashtable import ScatterHashTable
+from repro.runtime.kernels import Workspace, unique_ids
 from repro.utils.errors import ParameterError
 
 __all__ = ["FlatPQ"]
@@ -69,6 +70,7 @@ class FlatPQ(LabPQ):
         capacity = max(8 * n, 8 * min_table)
         self._pool = ScatterHashTable(capacity, min_size=min_table, seed=seed)
         self._alt = ScatterHashTable(capacity, min_size=min_table, seed=seed)
+        self._ws = Workspace(n)
         self._size = 0
 
     def __len__(self) -> int:
@@ -85,7 +87,7 @@ class FlatPQ(LabPQ):
         self.in_q[ids] = True
         entering = ids[~was_in_q]
         # A batch may mention an id twice; it enters the queue once.
-        entering = np.unique(entering) if entering.size else entering
+        entering = unique_ids(entering, self.n, workspace=self._ws) if entering.size else entering
         self._size += len(entering)
         # Scatter only ids not already sitting in the pool (a stale pool entry
         # left by remove() is revived by the in_q bit alone).
@@ -107,7 +109,7 @@ class FlatPQ(LabPQ):
         """Lazily delete ``ids`` (pool entries become stale until compaction)."""
         ids = self._check_ids(ids)
         live = ids[self.in_q[ids]]
-        live = np.unique(live) if live.size else live
+        live = unique_ids(live, self.n, workspace=self._ws) if live.size else live
         self.in_q[live] = False
         self._size -= len(live)
 

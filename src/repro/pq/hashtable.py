@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.runtime.kernels import Workspace, first_occurrence
 from repro.utils.errors import ParameterError
 from repro.utils.rng import as_generator
 
@@ -70,6 +71,9 @@ class ScatterHashTable:
         self.table = np.full(self.capacity, _EMPTY, dtype=np.int64)
         #: Cumulative probe count — the cost the machine model charges.
         self.total_probes = 0
+        # Scratch arena over the slot universe for the sort-free
+        # first-occurrence kernel on large insert batches (lazily allocated).
+        self._ws = Workspace(self.capacity)
         self.reset()
 
     # ------------------------------------------------------------------ #
@@ -112,12 +116,7 @@ class ScatterHashTable:
                 probes += pending.size
                 free = self.table[pos] == _EMPTY
                 # Intra-batch conflicts: first occurrence of each slot wins.
-                order = np.argsort(pos, kind="stable")
-                sorted_pos = pos[order]
-                first_sorted = np.r_[True, sorted_pos[1:] != sorted_pos[:-1]]
-                first = np.zeros(len(pos), dtype=bool)
-                first[order] = first_sorted
-                placed = free & first
+                placed = free & first_occurrence(pos, workspace=self._ws)
                 self.table[pos[placed]] = pending[placed]
                 n_placed = int(placed.sum())
                 self.count += n_placed

@@ -29,6 +29,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.pq.base import LabPQ
+from repro.runtime.kernels import Workspace, unique_ids, unique_sorted
 
 __all__ = ["TournamentPQ"]
 
@@ -47,6 +48,7 @@ class TournamentPQ(LabPQ):
         self.renew = np.zeros(self.leaf_base, dtype=bool)  # interior nodes 1..base-1
         self.in_q = np.zeros(n, dtype=bool)
         self._dirty_leaves: list[np.ndarray] = []
+        self._ws = Workspace(n)
         self._count = 0
 
     def __len__(self) -> int:
@@ -58,7 +60,7 @@ class TournamentPQ(LabPQ):
 
     def update(self, ids: np.ndarray) -> None:
         ids = self._check_ids(ids)
-        ids = np.unique(ids) if ids.size else ids
+        ids = unique_ids(ids, self.n, workspace=self._ws) if ids.size else ids
         self._count += int(np.count_nonzero(~self.in_q[ids]))
         self.last_update_touches = self._mark(ids, True)
 
@@ -73,7 +75,7 @@ class TournamentPQ(LabPQ):
 
     def remove(self, ids: np.ndarray) -> None:
         ids = self._check_ids(ids)
-        live = np.unique(ids[self.in_q[ids]]) if ids.size else ids
+        live = unique_ids(ids[self.in_q[ids]], self.n, workspace=self._ws) if ids.size else ids
         self._count -= len(live)
         self._mark(live, False)
 
@@ -104,13 +106,16 @@ class TournamentPQ(LabPQ):
         self.in_q[ids] = flag
         self._dirty_leaves.append(ids)
         touches = int(ids.size)
-        cur = np.unique((self.leaf_base + ids) >> 1)
+        # Root-path propagation: parents of a sorted id batch stay sorted, so
+        # every level after the first dedups with an O(b) mask instead of a
+        # sort (unique_ids handles the possibly-unsorted entry batch).
+        cur = unique_ids((self.leaf_base + ids) >> 1, 2 * self.leaf_base, workspace=None)
         while cur.size:
             touches += int(cur.size)
             # TestAndSet: only marks that newly set a renew bit climb on.
             fresh = cur[~self.renew[cur]]
             self.renew[fresh] = True
-            cur = np.unique(fresh >> 1)
+            cur = unique_sorted(fresh >> 1)
             cur = cur[cur >= 1]
         return touches
 
@@ -118,7 +123,7 @@ class TournamentPQ(LabPQ):
         """Repair cached keys over renewed nodes, bottom-up. Returns touches."""
         if not self._dirty_leaves:
             return 0
-        leaves = np.unique(np.concatenate(self._dirty_leaves))
+        leaves = unique_ids(np.concatenate(self._dirty_leaves), self.n, workspace=self._ws)
         self._dirty_leaves.clear()
         touches = int(leaves.size)
 
@@ -129,7 +134,9 @@ class TournamentPQ(LabPQ):
         if self.aug_keys is not None:
             self.aug_keys[pos] = np.where(live, self.dist[leaves] + self.aug[leaves], _INF)
 
-        nodes = np.unique(pos >> 1)
+        # ``leaves`` is sorted, so every level's parent set stays sorted and
+        # dedups with an O(b) mask pass — no per-level sort.
+        nodes = unique_sorted(pos >> 1)
         while nodes.size:
             nodes = nodes[self.renew[nodes]]
             if not nodes.size:
@@ -141,7 +148,7 @@ class TournamentPQ(LabPQ):
             if self.aug_keys is not None:
                 self.aug_keys[nodes] = np.minimum(self.aug_keys[left], self.aug_keys[right])
             self.renew[nodes] = False
-            nodes = np.unique(nodes >> 1)
+            nodes = unique_sorted(nodes >> 1)
             nodes = nodes[nodes >= 1]
         return touches
 

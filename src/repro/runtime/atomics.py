@@ -29,6 +29,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.runtime.kernels import Workspace, first_occurrence, scatter_min
+
 __all__ = ["test_and_set", "write_min"]
 
 
@@ -64,10 +66,10 @@ def write_min(
     """
     if len(targets) == 0:
         return np.zeros(0, dtype=bool)
-    old = values[targets]
     if not cas:
-        np.minimum.at(values, targets, candidates)
+        old = scatter_min(values, targets, candidates)
         return candidates < old
+    old = values[targets]
     # CAS serialisation in batch order: within each target's occurrence
     # sequence, a candidate wins iff it is strictly below the running min of
     # the location (old value and all earlier candidates).
@@ -96,26 +98,29 @@ def write_min(
     success_sorted = candidates[order] < prev
     success = np.zeros(len(targets), dtype=bool)
     success[order] = success_sorted
-    np.minimum.at(values, targets, candidates)
+    # Apply the batch minimum reusing the sort already paid for: the running
+    # value at each segment end IS the segment minimum, so one reduceat per
+    # unique target replaces a second scatter pass.
+    seg_idx = np.flatnonzero(seg_start)
+    uniq = targets[order][seg_idx]
+    values[uniq] = np.minimum(values[uniq], np.minimum.reduceat(candidates[order], seg_idx))
     return success
 
 
-def test_and_set(flags: np.ndarray, ids: np.ndarray) -> np.ndarray:
+def test_and_set(
+    flags: np.ndarray, ids: np.ndarray, *, workspace: "Workspace | None" = None
+) -> np.ndarray:
     """Batched ``TestAndSet`` on a boolean array.
 
     Sets ``flags[ids] = True`` and returns a mask, parallel to ``ids``, that
     is ``True`` exactly once per id that was previously unset (the "winner"
-    of the batch — deterministically the first occurrence).
+    of the batch — deterministically the first occurrence).  An optional
+    :class:`~repro.runtime.kernels.Workspace` enables the sort-free
+    first-occurrence kernel on large batches.
     """
     if len(ids) == 0:
         return np.zeros(0, dtype=bool)
     was_set = flags[ids]
-    # First occurrence of each id in the batch:
-    order = np.argsort(ids, kind="stable")
-    sorted_ids = ids[order]
-    first_sorted = np.r_[True, sorted_ids[1:] != sorted_ids[:-1]]
-    first = np.zeros(len(ids), dtype=bool)
-    first[order] = first_sorted
-    winners = first & ~was_set
+    winners = first_occurrence(ids, workspace=workspace) & ~was_set
     flags[ids] = True
     return winners

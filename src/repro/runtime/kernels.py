@@ -1,0 +1,400 @@
+"""Vectorised kernels for the relaxation hot path.
+
+Every algorithm in this package funnels through the same three primitives per
+relaxation wave:
+
+* **scatter-min** — ``values[targets] = min(values[targets], candidates)``
+  with duplicate targets (the batched ``WriteMin``);
+* **frontier dedup** — collapse the successful targets to a sorted unique id
+  set (the ``Q.Update`` batch);
+* **edge gather** — flatten the CSR rows of a frontier into parallel edge
+  arrays.
+
+NumPy offers several implementations of each with wildly different constants:
+``np.minimum.at`` is a scalar buffered loop on old builds but has an indexed
+fast path since 1.24; ``np.unique`` pays an O(k log k) sort where a mark-bit
+array plus ``flatnonzero`` costs O(k + n/w); the textbook gather recomputes
+``cumsum`` + two ``np.repeat`` passes per wave where one repeat plus cached
+degrees suffice.  Which variant wins depends on the batch size, the universe
+size, and the NumPy build — so this module centralises all of them behind
+adaptive dispatch whose crossover points come from a one-time :func:`autotune`
+(or conservative defaults when autotuning is disabled).
+
+Two supporting pieces:
+
+* :class:`Workspace` — a scratch arena of reusable n-sized buffers so the
+  steady-state wave loop performs no per-wave O(n) allocations.  Buffers are
+  handed out in a known-clean state (mask all ``False``, slots all ``-1``)
+  and every kernel restores only the entries it touched before returning.
+* :func:`fallback_mode` — a context manager forcing the pre-kernel NumPy
+  idioms (``np.minimum.at`` / ``np.unique`` / double-repeat gather)
+  everywhere, used by ``benchmarks/bench_hotpath.py`` to measure the speedup
+  and by the regression tests to prove count-equivalence.
+
+**Accounting invariance:** kernels change *how* a batch executes, never which
+elements it contains.  All dispatch choices produce bit-identical results
+(same sets, same sorted order, same success masks), so the simulated-machine
+numbers — ``StepRecord`` counts — are unchanged by construction and verified
+against golden snapshots in ``tests/core/test_kernel_regression.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "KernelThresholds",
+    "Workspace",
+    "autotune",
+    "fallback_mode",
+    "first_occurrence",
+    "gather_edges",
+    "scatter_min",
+    "segmented_min",
+    "set_mode",
+    "thresholds",
+    "unique_ids",
+    "unique_sorted",
+]
+
+_INT = np.int64
+_FLOAT = np.float64
+
+
+# --------------------------------------------------------------------------- #
+# Dispatch thresholds + one-time autotune
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class KernelThresholds:
+    """Crossover points of the adaptive dispatch.
+
+    Attributes
+    ----------
+    scatter_sort_min:
+        Batch size above which sort + ``np.minimum.reduceat`` replaces
+        ``np.minimum.at``.  ``inf`` means the ufunc fast path always wins
+        (true on NumPy >= 1.24 builds with indexed ufunc.at loops).
+    dedup_mask_ratio:
+        Use the mark-bit dedup when ``k * dedup_mask_ratio >= n`` (k = batch
+        size, n = universe size); below that the O(n/w) ``flatnonzero`` scan
+        outweighs ``np.unique``'s sort.
+    first_occ_dense_min:
+        Batch size above which the O(k) scatter-based first-occurrence kernel
+        replaces the stable-argsort one (needs a slots buffer).
+    source:
+        ``"default"``, ``"autotune"`` or ``"env"`` — where the numbers came
+        from (recorded in ``BENCH_hotpath.json``).
+    """
+
+    scatter_sort_min: float = float("inf")
+    dedup_mask_ratio: int = 256
+    first_occ_dense_min: int = 1024
+    source: str = "default"
+
+
+_MODE = "auto"  # "auto" | "fallback"
+_THRESHOLDS: "KernelThresholds | None" = None
+
+
+def thresholds() -> KernelThresholds:
+    """The active dispatch thresholds, autotuning on first use.
+
+    Set ``REPRO_KERNEL_AUTOTUNE=0`` to skip the measurement and use the
+    conservative defaults (useful for perfectly reproducible CI timings; the
+    *results* of every kernel are identical either way).
+    """
+    global _THRESHOLDS
+    if _THRESHOLDS is None:
+        if os.environ.get("REPRO_KERNEL_AUTOTUNE", "1") == "0":
+            _THRESHOLDS = KernelThresholds(source="env")
+        else:
+            _THRESHOLDS = autotune()
+    return _THRESHOLDS
+
+
+def _best_of(fn, reps: int = 3) -> float:
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def autotune(*, sizes: "tuple[int, ...]" = (1 << 10, 1 << 13, 1 << 16)) -> KernelThresholds:
+    """Measure the kernel variants once and return fitted thresholds.
+
+    The probes are tiny (a few ms total): for each batch size we time the
+    ufunc-vs-sort scatter-min pair and the unique-vs-mask dedup pair on a
+    synthetic universe, then pick the smallest probed size at which the
+    alternative wins (``inf`` if it never does).
+    """
+    rng = np.random.default_rng(0xC0FFEE)
+    n = max(sizes) * 4
+    values = rng.random(n) * 1e6
+    mask = np.zeros(n, dtype=bool)
+
+    scatter_sort_min = float("inf")
+    dedup_ratio = None
+    for k in sizes:
+        targets = rng.integers(0, n, size=k).astype(_INT)
+        cands = rng.random(k) * 1e6
+
+        def via_at(v=values, t=targets, c=cands):
+            np.minimum.at(v.copy(), t, c)
+
+        def via_sort(v=values, t=targets, c=cands):
+            vv = v.copy()
+            order = np.argsort(t, kind="stable")
+            ts, cs = t[order], c[order]
+            seg = np.flatnonzero(np.r_[True, ts[1:] != ts[:-1]])
+            uniq = ts[seg]
+            vv[uniq] = np.minimum(vv[uniq], np.minimum.reduceat(cs, seg))
+
+        if _best_of(via_sort) < _best_of(via_at) and k < scatter_sort_min:
+            scatter_sort_min = float(k)
+
+        def via_unique(t=targets):
+            np.unique(t)
+
+        def via_mask(t=targets, m=mask):
+            m[t] = True
+            out = np.flatnonzero(m)
+            m[out] = False
+
+        if _best_of(via_mask) < _best_of(via_unique) and dedup_ratio is None:
+            dedup_ratio = max(1, n // k)
+    return KernelThresholds(
+        scatter_sort_min=scatter_sort_min,
+        dedup_mask_ratio=dedup_ratio if dedup_ratio is not None else 1 << 62,
+        source="autotune",
+    )
+
+
+def set_mode(mode: str) -> None:
+    """Switch kernel dispatch globally: ``"auto"`` (tuned) or ``"fallback"``.
+
+    Fallback forces the pre-kernel NumPy idioms everywhere; results are
+    identical, only wall clock differs.
+    """
+    global _MODE
+    if mode not in ("auto", "fallback"):
+        raise ValueError(f"mode must be 'auto' or 'fallback', got {mode!r}")
+    _MODE = mode
+
+
+@contextmanager
+def fallback_mode():
+    """Temporarily force the pre-kernel implementations (for benchmarking)."""
+    global _MODE
+    prev = _MODE
+    _MODE = "fallback"
+    try:
+        yield
+    finally:
+        _MODE = prev
+
+
+# --------------------------------------------------------------------------- #
+# Workspace scratch arena
+# --------------------------------------------------------------------------- #
+
+
+class Workspace:
+    """Reusable n-sized scratch buffers for one id universe.
+
+    Buffers are lazily allocated and handed out in a known-clean state:
+    :meth:`mask` is all-``False``, :meth:`slots` is all ``-1``.  Kernels that
+    borrow a buffer restore exactly the entries they touched (O(touched), not
+    O(n)), which is what makes mark-bit dedup allocation-free per wave.
+    """
+
+    def __init__(self, n: int) -> None:
+        if n < 0:
+            raise ValueError(f"workspace size must be >= 0, got {n}")
+        self.n = int(n)
+        self._mask: "np.ndarray | None" = None
+        self._slots: "np.ndarray | None" = None
+
+    def mask(self) -> np.ndarray:
+        """A bool[n] buffer, all ``False``; clear what you set before returning."""
+        if self._mask is None:
+            self._mask = np.zeros(self.n, dtype=bool)
+        return self._mask
+
+    def slots(self) -> np.ndarray:
+        """An int64[n] buffer, all ``-1``; restore what you set before returning."""
+        if self._slots is None:
+            self._slots = np.full(self.n, -1, dtype=_INT)
+        return self._slots
+
+    def unique(self, ids: np.ndarray) -> np.ndarray:
+        """Adaptive sorted-unique over this workspace's universe."""
+        return unique_ids(ids, self.n, workspace=self)
+
+
+# --------------------------------------------------------------------------- #
+# Scatter-min / segmented reductions
+# --------------------------------------------------------------------------- #
+
+
+def scatter_min(values: np.ndarray, targets: np.ndarray, candidates: np.ndarray) -> np.ndarray:
+    """``values[targets] = min(values[targets], candidates)`` with duplicates.
+
+    Returns the *pre-batch* ``values[targets]`` (the gather every WriteMin
+    success mask needs anyway).  Dispatch: ``np.minimum.at`` below the
+    autotuned crossover, sort + ``np.minimum.reduceat`` above it.
+    """
+    old = values[targets]
+    k = len(targets)
+    if k == 0:
+        return old
+    if _MODE == "fallback" or k < thresholds().scatter_sort_min:
+        np.minimum.at(values, targets, candidates)
+        return old
+    order = np.argsort(targets, kind="stable")
+    ts = targets[order]
+    cs = candidates[order]
+    seg = np.flatnonzero(np.r_[True, ts[1:] != ts[:-1]])
+    uniq = ts[seg]
+    values[uniq] = np.minimum(values[uniq], np.minimum.reduceat(cs, seg))
+    return old
+
+
+def segmented_min(values: np.ndarray, seg_starts: np.ndarray) -> np.ndarray:
+    """Per-segment minimum of ``values`` split at ``seg_starts``.
+
+    A thin, empty-safe wrapper over ``np.minimum.reduceat`` (the vectorised
+    form of one reduction tree per segment).  ``seg_starts`` must be sorted
+    with ``seg_starts[0] == 0``; empty input returns an empty float64 array.
+    """
+    if len(seg_starts) == 0 or len(values) == 0:
+        return np.zeros(0, dtype=values.dtype if len(values) else _FLOAT)
+    return np.minimum.reduceat(values, seg_starts)
+
+
+# --------------------------------------------------------------------------- #
+# Dedup
+# --------------------------------------------------------------------------- #
+
+
+def unique_ids(
+    ids: np.ndarray, n: int, *, workspace: "Workspace | None" = None
+) -> np.ndarray:
+    """Sorted unique ids from ``ids`` ⊆ ``[0, n)`` — adaptive ``np.unique``.
+
+    Above the crossover (batch within ``dedup_mask_ratio`` of the universe)
+    this is mark-bits + ``flatnonzero`` on the workspace mask: O(k + n/w)
+    with word-level scanning and no sort, versus ``np.unique``'s O(k log k).
+    Both produce the identical sorted array.
+    """
+    k = len(ids)
+    if k == 0:
+        return np.zeros(0, dtype=_INT)
+    if (
+        _MODE == "fallback"
+        or workspace is None
+        or workspace.n < n
+        or k * thresholds().dedup_mask_ratio < n
+    ):
+        return np.unique(ids)
+    mark = workspace.mask()
+    mark[ids] = True
+    out = np.flatnonzero(mark)
+    mark[out] = False
+    return out
+
+
+def unique_sorted(ids: np.ndarray) -> np.ndarray:
+    """Dedup an already-sorted array without re-sorting (O(k) mask pass)."""
+    if len(ids) <= 1:
+        return ids
+    return ids[np.r_[True, ids[1:] != ids[:-1]]]
+
+
+def first_occurrence(
+    ids: np.ndarray, *, workspace: "Workspace | None" = None
+) -> np.ndarray:
+    """Mask, parallel to ``ids``, true at the first occurrence of each value.
+
+    The deterministic "winner" rule of batched ``TestAndSet`` and of the
+    scatter hash table's intra-batch slot conflicts.  Dispatch: stable
+    argsort below the crossover; above it an O(k) scatter trick — writing
+    original indices through the *reversed* id array leaves each slot holding
+    its first-occurrence index (last write wins in C order).
+    """
+    k = len(ids)
+    if k == 0:
+        return np.zeros(0, dtype=bool)
+    th = thresholds()
+    if (
+        _MODE != "fallback"
+        and workspace is not None
+        and k >= th.first_occ_dense_min
+        and (ids.size == 0 or workspace.n > int(ids.max()))
+    ):
+        buf = workspace.slots()
+        buf[ids[::-1]] = np.arange(k - 1, -1, -1, dtype=_INT)
+        first = np.zeros(k, dtype=bool)
+        first[buf[ids]] = True
+        buf[ids] = -1
+        return first
+    order = np.argsort(ids, kind="stable")
+    sorted_ids = ids[order]
+    first_sorted = np.r_[True, sorted_ids[1:] != sorted_ids[:-1]]
+    first = np.zeros(k, dtype=bool)
+    first[order] = first_sorted
+    return first
+
+
+# --------------------------------------------------------------------------- #
+# Edge gather
+# --------------------------------------------------------------------------- #
+
+
+def gather_edges(graph, frontier: np.ndarray):
+    """Flatten the CSR rows of ``frontier`` into parallel edge arrays.
+
+    Returns ``(targets, pos, weights, seg_starts, degs)`` where ``pos`` holds
+    the CSR edge positions so callers can gather any parallel edge attribute,
+    and ``seg_starts``/``degs`` delimit each source's segment.  Uses the
+    graph's cached ``degrees`` and a single ``np.repeat`` (of the per-source
+    offset ``starts - seg_starts``) instead of the textbook two; the edge
+    order — frontier order, CSR order within a row — is unchanged.
+
+    Empty-frontier / zero-degree paths return dtype-correct empties
+    (``int64`` ids and positions, ``float64`` weights) so downstream
+    concatenations never silently upcast.
+    """
+    nf = len(frontier)
+    if _MODE == "fallback":
+        indptr = graph.indptr
+        starts = indptr[frontier]
+        degs = indptr[frontier + 1] - starts
+    else:
+        degs = graph.degrees[frontier]
+        starts = graph.indptr[frontier]
+    total = int(degs.sum())
+    seg_starts = np.zeros(nf, dtype=_INT)
+    if nf:
+        np.cumsum(degs[:-1], out=seg_starts[1:])
+    if total == 0:
+        empty_i = np.zeros(0, dtype=_INT)
+        return empty_i, empty_i, np.zeros(0, dtype=_FLOAT), seg_starts, degs
+    if _MODE == "fallback":
+        pos = (
+            np.arange(total, dtype=_INT)
+            - np.repeat(seg_starts, degs)
+            + np.repeat(starts, degs)
+        )
+    else:
+        pos = np.arange(total, dtype=_INT)
+        pos += np.repeat(starts - seg_starts, degs)
+    return graph.indices[pos], pos, graph.weights[pos], seg_starts, degs

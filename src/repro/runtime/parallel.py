@@ -21,6 +21,7 @@ from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
+from repro.runtime.kernels import scatter_min
 from repro.utils.errors import ParameterError
 
 __all__ = ["PartitionedRelaxer"]
@@ -91,11 +92,11 @@ class PartitionedRelaxer:
         if targets.size and (targets.min() < 0 or targets.max() >= self.n):
             raise IndexError(f"targets out of range [0, {self.n})")
 
-        old = values[targets]
         self.batches += 1
         if self._pool is None or self.num_threads == 1:
-            np.minimum.at(values, targets, candidates)
+            old = scatter_min(values, targets, candidates)
             return candidates < old
+        old = values[targets]
 
         # Group the batch by target partition (one stable sort).
         part = np.searchsorted(self._bounds, targets, side="right") - 1
@@ -107,7 +108,9 @@ class PartitionedRelaxer:
         def apply(slot: int) -> None:
             lo, hi = cuts[slot], cuts[slot + 1]
             if hi > lo:
-                np.minimum.at(values, t_sorted[lo:hi], c_sorted[lo:hi])
+                # Adaptive scatter-min per shard; shards write disjoint
+                # target ranges so threads never touch the same index.
+                scatter_min(values, t_sorted[lo:hi], c_sorted[lo:hi])
 
         # Disjoint target ranges: no two workers write the same index.
         list(self._pool.map(apply, range(self.num_threads)))

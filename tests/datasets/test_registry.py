@@ -52,6 +52,36 @@ class TestLoading:
         assert np.array_equal(a.indices, b.indices)
         assert np.array_equal(a.weights, b.weights)
 
+    def test_corrupt_cache_regenerated(self, tmp_path, monkeypatch):
+        """A git-mangled / truncated .npz must be rebuilt, not crash the run."""
+        import repro.datasets.registry as reg
+
+        monkeypatch.setattr(reg, "_CACHE_DIR", tmp_path)
+        a = load_dataset("OK", "tiny", cache=True)
+        cache_file = tmp_path / "OK-tiny.npz"
+        cache_file.write_bytes(b"this is not a zip file\n" * 10)
+        with pytest.warns(RuntimeWarning, match="corrupt"):
+            b = load_dataset("OK", "tiny", cache=True)
+        assert np.array_equal(a.indices, b.indices)
+        assert np.array_equal(a.weights, b.weights)
+        # The cache entry was rewritten and now loads cleanly.
+        c = load_dataset("OK", "tiny", cache=True)
+        assert np.array_equal(a.indices, c.indices)
+        assert not list(tmp_path.glob("*.tmp.npz"))
+
+    def test_truncated_cache_regenerated(self, tmp_path, monkeypatch):
+        """A partially-written archive (valid prefix, cut short) also rebuilds."""
+        import repro.datasets.registry as reg
+
+        monkeypatch.setattr(reg, "_CACHE_DIR", tmp_path)
+        a = load_dataset("GE", "tiny", cache=True)
+        cache_file = tmp_path / "GE-tiny.npz"
+        blob = cache_file.read_bytes()
+        cache_file.write_bytes(blob[: len(blob) // 2])
+        with pytest.warns(RuntimeWarning, match="corrupt"):
+            b = load_dataset("GE", "tiny", cache=True)
+        assert np.array_equal(a.indptr, b.indptr)
+
     def test_unknown_dataset(self):
         with pytest.raises(ParameterError):
             load_dataset("ORKUT")
