@@ -77,8 +77,24 @@ def sweep_param(
     machine: MachineModel,
     *,
     seed=0,
+    jobs: int = 1,
 ) -> SweepResult:
-    """Run ``impl`` at every parameter value, averaging over ``sources``."""
+    """Run ``impl`` at every parameter value, averaging over ``sources``.
+
+    With ``jobs >= 2`` the whole params × sources grid is fanned out through
+    a persistent :class:`~repro.serving.pool.SweepPool` (every cell in flight
+    at once, graph shipped to each worker exactly once); ``jobs=1`` keeps the
+    deterministic serial loop.  Both paths produce identical times — each
+    cell is an independent seeded run.
+    """
+    params = [float(p) for p in params]
+    if jobs >= 2:
+        from repro.serving.pool import SweepPool
+
+        with SweepPool(graph, jobs) as pool:
+            grid = pool.map_cells(impl.key, params, sources, machine, seed=seed)
+        times = [float(np.mean(row)) for row in grid]
+        return SweepResult(impl.key, graph.name, params, times)
     times = []
     for p in params:
         per_source = []
@@ -86,7 +102,7 @@ def sweep_param(
             res = impl.run(graph, int(s), p, seed=seed)
             per_source.append(simulated_time(res, machine, impl.profile))
         times.append(float(np.mean(per_source)))
-    return SweepResult(impl.key, graph.name, [float(p) for p in params], times)
+    return SweepResult(impl.key, graph.name, params, times)
 
 
 def best_param(

@@ -3,14 +3,22 @@
 from repro.core.algorithms import (
     DEFAULT_RHO,
     bellman_ford,
+    bellman_ford_batch,
     compute_radii,
     delta_star_stepping,
+    delta_star_stepping_batch,
     delta_stepping,
     dijkstra_stepping,
     radius_stepping,
     rho_stepping,
+    rho_stepping_batch,
 )
-from repro.core.framework import SteppingOptions, stepping_sssp
+from repro.core.framework import (
+    BatchFrontier,
+    SteppingOptions,
+    batch_stepping_sssp,
+    stepping_sssp,
+)
 from repro.core.policies import (
     BellmanFordPolicy,
     DeltaPolicy,
@@ -27,6 +35,7 @@ from repro.core.widest_path import widest_path_reference, widest_path_stepping
 
 __all__ = [
     "DEFAULT_RHO",
+    "BatchFrontier",
     "BellmanFordPolicy",
     "DeltaPolicy",
     "DeltaStarPolicy",
@@ -39,13 +48,17 @@ __all__ = [
     "SteppingPolicy",
     "ThetaDecision",
     "add_shortcuts",
+    "batch_stepping_sssp",
     "bellman_ford",
+    "bellman_ford_batch",
     "compute_radii",
     "delta_star_stepping",
+    "delta_star_stepping_batch",
     "delta_stepping",
     "dijkstra_stepping",
     "radius_stepping",
     "rho_stepping",
+    "rho_stepping_batch",
     "shi_spencer_sssp",
     "stepping_sssp",
     "widest_path_reference",

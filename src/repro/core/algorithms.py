@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.framework import SteppingOptions, stepping_sssp
+from repro.core.framework import SteppingOptions, batch_stepping_sssp, stepping_sssp
 from repro.core.policies import (
     BellmanFordPolicy,
     DeltaPolicy,
@@ -37,12 +37,15 @@ from repro.utils.errors import ParameterError
 __all__ = [
     "DEFAULT_RHO",
     "bellman_ford",
+    "bellman_ford_batch",
     "compute_radii",
     "delta_star_stepping",
+    "delta_star_stepping_batch",
     "delta_stepping",
     "dijkstra_stepping",
     "radius_stepping",
     "rho_stepping",
+    "rho_stepping_batch",
 ]
 
 #: The paper's fixed production choice is ρ = 2**21, i.e. ~5-15% of n on its
@@ -60,6 +63,7 @@ def rho_stepping(
     options: SteppingOptions | None = None,
     seed=None,
     record_visits: bool = False,
+    workspace=None,
 ) -> SSSPResult:
     """ρ-stepping (paper Sec. 3): extract the ρ nearest frontier vertices per step.
 
@@ -69,10 +73,41 @@ def rho_stepping(
     """
     policy = RhoPolicy(rho, exact=exact_threshold)
     res = stepping_sssp(
-        graph, source, policy, options=options, seed=seed, record_visits=record_visits
+        graph, source, policy, options=options, seed=seed, record_visits=record_visits,
+        workspace=workspace,
     )
     res.params.update(rho=rho, exact_threshold=exact_threshold)
     return res
+
+
+def rho_stepping_batch(
+    graph: Graph,
+    sources,
+    rho: int = DEFAULT_RHO,
+    *,
+    exact_threshold: bool = False,
+    options: SteppingOptions | None = None,
+    seed=None,
+    record_visits: bool = False,
+) -> list[SSSPResult]:
+    """ρ-stepping for a batch of sources through one shared relaxation wave.
+
+    Multi-source ``run_batch`` entry point (see
+    :func:`~repro.core.framework.batch_stepping_sssp`): per-source results
+    are bit-for-bit :func:`rho_stepping` with the same ``seed``; the batch
+    amortises edge gathers and scatter-mins across the K queries.
+    """
+    results = batch_stepping_sssp(
+        graph,
+        sources,
+        lambda: RhoPolicy(rho, exact=exact_threshold),
+        options=options,
+        seed=seed,
+        record_visits=record_visits,
+    )
+    for res in results:
+        res.params.update(rho=rho, exact_threshold=exact_threshold)
+    return results
 
 
 def delta_star_stepping(
@@ -83,6 +118,7 @@ def delta_star_stepping(
     options: SteppingOptions | None = None,
     seed=None,
     record_visits: bool = False,
+    workspace=None,
 ) -> SSSPResult:
     """Δ*-stepping (paper Sec. 3): Δ-stepping without FinishCheck.
 
@@ -91,10 +127,38 @@ def delta_star_stepping(
     """
     policy = DeltaStarPolicy(delta)
     res = stepping_sssp(
-        graph, source, policy, options=options, seed=seed, record_visits=record_visits
+        graph, source, policy, options=options, seed=seed, record_visits=record_visits,
+        workspace=workspace,
     )
     res.params.update(delta=delta)
     return res
+
+
+def delta_star_stepping_batch(
+    graph: Graph,
+    sources,
+    delta: float,
+    *,
+    options: SteppingOptions | None = None,
+    seed=None,
+    record_visits: bool = False,
+) -> list[SSSPResult]:
+    """Δ*-stepping for a batch of sources through one shared relaxation wave.
+
+    Multi-source ``run_batch`` entry point; per-source results are
+    bit-for-bit :func:`delta_star_stepping` with the same ``seed``.
+    """
+    results = batch_stepping_sssp(
+        graph,
+        sources,
+        lambda: DeltaStarPolicy(delta),
+        options=options,
+        seed=seed,
+        record_visits=record_visits,
+    )
+    for res in results:
+        res.params.update(delta=delta)
+    return results
 
 
 def delta_stepping(
@@ -122,10 +186,34 @@ def bellman_ford(
     options: SteppingOptions | None = None,
     seed=None,
     record_visits: bool = False,
+    workspace=None,
 ) -> SSSPResult:
     """Frontier-based parallel Bellman-Ford (θ = ∞ in the framework)."""
     return stepping_sssp(
         graph, source, BellmanFordPolicy(), options=options, seed=seed,
+        record_visits=record_visits, workspace=workspace,
+    )
+
+
+def bellman_ford_batch(
+    graph: Graph,
+    sources,
+    *,
+    options: SteppingOptions | None = None,
+    seed=None,
+    record_visits: bool = False,
+) -> list[SSSPResult]:
+    """Parallel Bellman-Ford for a batch of sources (θ = ∞ in every lane).
+
+    Multi-source ``run_batch`` entry point; per-source results are
+    bit-for-bit :func:`bellman_ford` with the same ``seed``.
+    """
+    return batch_stepping_sssp(
+        graph,
+        sources,
+        BellmanFordPolicy,
+        options=options,
+        seed=seed,
         record_visits=record_visits,
     )
 

@@ -44,12 +44,18 @@ from repro.pq.base import LabPQ
 from repro.pq.flat import FlatPQ
 from repro.pq.tournament import TournamentPQ
 from repro.runtime.atomics import write_min
-from repro.runtime.kernels import Workspace, gather_edges, segmented_min, unique_ids
+from repro.runtime.kernels import (
+    Workspace,
+    gather_edges,
+    scatter_min,
+    segmented_min,
+    unique_ids,
+)
 from repro.runtime.workspan import RunStats, StepRecord
 from repro.utils.errors import ParameterError
 from repro.utils.rng import as_generator
 
-__all__ = ["SteppingOptions", "stepping_sssp"]
+__all__ = ["BatchFrontier", "SteppingOptions", "batch_stepping_sssp", "stepping_sssp"]
 
 
 @dataclass(frozen=True)
@@ -167,6 +173,7 @@ def stepping_sssp(
     aug: "np.ndarray | None" = None,
     seed=None,
     record_visits: bool = False,
+    workspace: "Workspace | None" = None,
 ) -> SSSPResult:
     """Run Algorithm 1 with the given policy and return distances + stats.
 
@@ -187,6 +194,11 @@ def stepping_sssp(
         Seed for sampling and hash scattering.
     record_visits:
         Also record per-vertex extraction counts in ``stats.vertex_visits``.
+    workspace:
+        Optional pre-allocated :class:`~repro.runtime.kernels.Workspace` of
+        size ``>= n``, reused across the run's waves.  Callers issuing many
+        runs on one graph (the sweep harness) pass one warm workspace instead
+        of paying a fresh scratch arena per source; results are unaffected.
     """
     options = options or SteppingOptions()
     n = graph.n
@@ -207,7 +219,8 @@ def stepping_sssp(
     ctx = _Ctx(graph, dist, pq, rng, options.dense_frac)
     policy.reset(ctx)
     bidirectional = options.bidirectional and not graph.directed
-    workspace = Workspace(n)
+    if workspace is None or workspace.n < n:
+        workspace = Workspace(n)
 
     stats = RunStats()
     visits = np.zeros(n, dtype=np.int64) if record_visits else None
@@ -292,3 +305,313 @@ def stepping_sssp(
         stats=stats,
         wall_seconds=time.perf_counter() - t0,
     )
+
+
+# --------------------------------------------------------------------------- #
+# Multi-source batch engine
+# --------------------------------------------------------------------------- #
+
+
+class _Lane:
+    """One source's complete scalar state inside a batch run.
+
+    A lane owns exactly what a scalar :func:`stepping_sssp` run owns — its
+    PQ, policy instance, RNG stream, step records, and one row of the shared
+    ``(K, n)`` distance matrix — so its observable behaviour (frontiers,
+    thetas, counts) is bit-for-bit the scalar run's.  Only the relaxation
+    waves are shared across lanes.
+    """
+
+    __slots__ = (
+        "lane", "source", "dist", "pq", "policy", "ctx", "stats", "visits",
+        "guard", "frontier", "wave", "processed", "decision", "rec",
+        "pq_touches",
+    )
+
+    def __init__(self, lane, source, dist_row, pq, policy, ctx, record_visits, n):
+        self.lane = lane
+        self.source = source
+        self.dist = dist_row
+        self.pq = pq
+        self.policy = policy
+        self.ctx = ctx
+        self.stats = RunStats()
+        self.visits = np.zeros(n, dtype=np.int64) if record_visits else None
+        self.guard = 0
+        self.frontier = None  # the step's extracted frontier
+        self.wave = None      # the current fusion wave (subset of work)
+        self.processed = 0
+        self.decision = None
+        self.rec = None
+        self.pq_touches = 0
+
+
+class BatchFrontier:
+    """Multi-source batch execution state (the ``(K, n)`` frontier mode).
+
+    Runs ``K`` sources through Algorithm 1 *together*: every relaxation wave
+    issues **one** ``gather_edges`` over the concatenation of all lanes'
+    frontiers, one 2-D ``WriteMin`` into the shared ``(K, n)`` distance
+    matrix, and one batched dedup over ``(source, vertex)`` pairs — the
+    amortisation that turns K scalar queries into one vectorised pass.
+    Everything a lane can observe is kept per-lane (PQ, policy state, RNG
+    stream, StepRecord stream), so per-source accounting is bit-for-bit
+    identical to K independent :func:`stepping_sssp` runs with the same
+    ``seed`` — the golden scalar snapshots remain the oracle
+    (``tests/core/test_batch_equivalence.py``).
+
+    Lanes advance in lockstep over *their own* step sequences: each engine
+    round gives every still-active lane its next step (its own θ decision and
+    extraction), then the lanes' fusion waves interleave into shared
+    relaxation passes until every lane's step completes.  Lanes whose queue
+    empties drop out; the engine finishes when all lanes have.
+    """
+
+    def __init__(
+        self,
+        graph,
+        sources,
+        policy_factory,
+        *,
+        options: "SteppingOptions | None" = None,
+        aug: "np.ndarray | None" = None,
+        seed=None,
+        record_visits: bool = False,
+    ) -> None:
+        self.options = options = options or SteppingOptions()
+        self.graph = graph
+        n = graph.n
+        sources = [int(s) for s in sources]
+        if not sources:
+            raise ParameterError("batch needs at least one source")
+        for s in sources:
+            if not 0 <= s < n:
+                raise ParameterError(f"source {s} out of range [0, {n})")
+        if isinstance(seed, np.random.Generator):
+            raise ParameterError(
+                "batch runs need a reseedable seed (int/None), not a live "
+                "Generator: every lane replays the scalar run's RNG stream"
+            )
+        K = len(sources)
+        self.dist = np.full((K, n), np.inf)
+        self.workspace = Workspace(K * n)
+        # Row boundaries of the flattened (K, n) key universe, for splitting
+        # batched-dedup output back into per-lane slices.
+        self._row_bounds = np.arange(K + 1, dtype=np.int64) * n
+        self.bidirectional = options.bidirectional and not graph.directed
+        self.record_visits = record_visits
+        self.lanes: list[_Lane] = []
+        for k, s in enumerate(sources):
+            dist_row = self.dist[k]
+            dist_row[s] = 0.0
+            rng = as_generator(seed)
+            if options.pq == "flat":
+                pq: LabPQ = FlatPQ(dist_row, aug, dense_frac=options.dense_frac, seed=rng)
+            else:
+                pq = TournamentPQ(dist_row, aug)
+            pq.update(np.array([s], dtype=np.int64))
+            policy = policy_factory()
+            if policy.needs_aug and aug is None:
+                raise ParameterError(f"policy {policy.name} requires an aug array")
+            ctx = _Ctx(graph, dist_row, pq, rng, options.dense_frac)
+            policy.reset(ctx)
+            self.lanes.append(_Lane(k, s, dist_row, pq, policy, ctx, record_visits, n))
+
+    # ------------------------------------------------------------------ #
+
+    def _begin_step(self, lane: _Lane) -> None:
+        """One lane's ExtDist + extraction (the scalar loop head, verbatim)."""
+        options = self.options
+        lane.guard += 1
+        if options.max_steps and lane.guard > options.max_steps:
+            raise RuntimeError(
+                f"{lane.policy.name}: exceeded max_steps={options.max_steps}; "
+                "likely a policy that fails to advance its threshold"
+            )
+        decision = lane.policy.decide(lane.ctx)
+        lane.pq_touches = decision.collect_work
+        frontier = lane.pq.extract(decision.theta)
+        if frontier.size == 0:
+            raise RuntimeError(
+                f"{lane.policy.name}: empty extract at theta={decision.theta} "
+                f"with |Q|={len(lane.pq)}"
+            )
+        rec = StepRecord(
+            index=lane.ctx.step_index,
+            theta=float(decision.theta),
+            mode=lane.pq.last_extract_mode,
+            extract_scanned=lane.pq.last_extract_scanned,
+            sample_work=decision.sample_work,
+        )
+        if decision.substep and lane.stats.steps:
+            rec.index = lane.stats.steps[-1].index  # substeps share the step index
+        lane.decision = decision
+        lane.rec = rec
+        lane.frontier = frontier
+        lane.wave = frontier
+        lane.processed = 0
+
+    def _relax_shared_wave(self, part: "list[_Lane]") -> "list[np.ndarray]":
+        """One relaxation wave shared by every lane in ``part``.
+
+        A single edge gather serves all participating lanes; candidates
+        scatter into the ``(K, n)`` matrix through the 2-D ``WriteMin`` and
+        the successful ``(source, vertex)`` pairs dedup in one batched pass.
+        Returns the per-lane sorted unique updated-vertex arrays, and fills
+        each lane's ``rec`` counts exactly as the scalar ``_relax_wave``
+        would.
+        """
+        n = self.graph.n
+        K = self.dist.shape[0]
+        flat = self.dist.reshape(-1)
+        lane_ids = np.array([l.lane for l in part], dtype=np.int64)
+        sizes = np.array([l.wave.size for l in part], dtype=np.int64)
+        concat = np.concatenate([l.wave for l in part])
+        targets, _, w, seg_starts, degs = gather_edges(self.graph, concat)
+        total_edges = len(targets)
+
+        # Per-lane extents: lane i's frontier slice is [vb[i], vb[i+1]) and
+        # its edge slice is [eb[i], eb[i+1]).
+        vb = np.zeros(len(part) + 1, dtype=np.int64)
+        np.cumsum(sizes, out=vb[1:])
+        eb = np.empty(len(part) + 1, dtype=np.int64)
+        eb[:-1] = seg_starts[vb[:-1]]
+        eb[-1] = total_edges
+
+        rows = np.repeat(lane_ids, sizes)            # lane of each frontier vertex
+        erows = np.repeat(lane_ids, np.diff(eb))     # lane of each gathered edge
+
+        # Flat (lane, vertex) keys into the (K, n) matrix, shared by the
+        # bidirectional gather, the scatter-min, and the batched dedup.
+        eidx = erows * n + targets
+        vidx = rows * n + concat
+
+        if total_edges and self.bidirectional:
+            # Mirrors the scalar bidirectional block: lanes never share a
+            # matrix row, so reads/writes cannot interact across lanes.
+            incoming = flat[eidx] + w
+            nonempty = degs > 0
+            mins = segmented_min(incoming, seg_starts[nonempty])
+            fidx = vidx[nonempty]
+            flat[fidx] = np.minimum(flat[fidx], mins)
+
+        if total_edges:
+            cand = np.repeat(flat[vidx], degs) + w
+            # Row-disjoint 2-D WriteMin (scatter_min_2d unrolled over the
+            # precomputed flat keys): one pass serves every lane.
+            success = cand < scatter_min(flat, eidx, cand)
+            # Batched dedup of the successful (lane, vertex) pairs — exactly
+            # unique_pairs over (erows, targets), reusing eidx.
+            keys = unique_ids(eidx[success], K * n, workspace=self.workspace)
+            row_starts = np.searchsorted(keys, self._row_bounds)
+        else:
+            success = np.zeros(0, dtype=bool)
+            keys = np.zeros(0, dtype=np.int64)
+            row_starts = np.zeros(K + 1, dtype=np.int64)
+
+        updated: list[np.ndarray] = []
+        for i, lane in enumerate(part):
+            lo, hi = row_starts[lane.lane], row_starts[lane.lane + 1]
+            upd = keys[lo:hi] - lane.lane * n
+            lane_edges = int(eb[i + 1] - eb[i])
+            rec = lane.rec
+            rec.frontier += int(sizes[i])
+            rec.edges += lane_edges
+            if lane_edges:
+                rec.relax_success += int(np.count_nonzero(success[eb[i]:eb[i + 1]]))
+                rec.max_task = max(rec.max_task, int(degs[vb[i]:vb[i + 1]].max()))
+            lane.processed += int(sizes[i])
+            updated.append(upd)
+        return updated
+
+    def _advance_wave(self, lane: _Lane, updated: np.ndarray) -> None:
+        """The scalar post-relax block: PQ update, fusion decision, next wave."""
+        options = self.options
+        lane.pq.update(updated)
+        lane.pq_touches += lane.pq.last_update_touches
+        if not (
+            options.fusion
+            and len(lane.frontier) < options.fusion_frontier_max
+            and lane.processed < options.fusion_limit
+            and updated.size
+        ):
+            lane.wave = None
+            return
+        if np.isfinite(lane.decision.theta):
+            updated = updated[lane.dist[updated] <= lane.decision.theta]
+            if updated.size == 0:
+                lane.wave = None
+                return
+        lane.pq.remove(updated)
+        lane.wave = updated
+        lane.rec.waves += 1
+
+    def run(self) -> "list[SSSPResult]":
+        """Drive every lane to completion; results in input-source order."""
+        t0 = time.perf_counter()
+        active = list(self.lanes)
+        while active:
+            for lane in active:
+                self._begin_step(lane)
+            part = [l for l in active if l.wave.size]
+            while part:
+                if self.record_visits:
+                    for lane in part:
+                        np.add.at(lane.visits, lane.wave, 1)
+                updated = self._relax_shared_wave(part)
+                for lane, upd in zip(part, updated):
+                    self._advance_wave(lane, upd)
+                part = [l for l in part if l.wave is not None and l.wave.size]
+            for lane in active:
+                lane.rec.pq_touches = lane.pq_touches
+                lane.stats.add(lane.rec)
+                lane.ctx.step_index += 1
+            active = [l for l in active if len(l.pq) > 0]
+        elapsed = time.perf_counter() - t0
+
+        results = []
+        for lane in self.lanes:
+            lane.stats.vertex_visits = lane.visits
+            results.append(SSSPResult(
+                dist=lane.dist.copy(),
+                source=lane.source,
+                algorithm=lane.policy.name,
+                params={"options": self.options, "batch_size": len(self.lanes)},
+                stats=lane.stats,
+                # Amortised per-query cost: the batch shares its waves, so
+                # attributing wall clock per lane is meaningless — report the
+                # batch total split evenly (throughput is what batches buy).
+                wall_seconds=elapsed / len(self.lanes),
+            ))
+        return results
+
+
+def batch_stepping_sssp(
+    graph,
+    sources,
+    policy_factory,
+    *,
+    options: "SteppingOptions | None" = None,
+    aug: "np.ndarray | None" = None,
+    seed=None,
+    record_visits: bool = False,
+) -> "list[SSSPResult]":
+    """Run Algorithm 1 for many sources through one shared relaxation wave.
+
+    The multi-source counterpart of :func:`stepping_sssp`: ``policy_factory``
+    is a zero-arg callable returning a *fresh* policy per source (policies
+    are stateful), and the result list is ordered like ``sources``.  Every
+    per-source result — distances, step records, visit counts — is
+    bit-for-bit what the scalar entry point returns for that
+    ``(source, seed)``; only wall clock (amortised across the batch) and the
+    ``batch_size`` param differ.
+    """
+    return BatchFrontier(
+        graph,
+        sources,
+        policy_factory,
+        options=options,
+        aug=aug,
+        seed=seed,
+        record_visits=record_visits,
+    ).run()

@@ -98,6 +98,14 @@ class ScatterHashTable:
 
     # ------------------------------------------------------------------ #
 
+    #: Probing rounds with at most this many pending ids run as plain-Python
+    #: loops: ~10 NumPy dispatches of fixed ~1-2µs overhead per vectorised
+    #: round dwarf the actual work on tiny batches, and straggler rounds
+    #: (a handful of colliding ids walking the region) dominate insert time
+    #: on high-occupancy tables.  The scalar rounds replicate the vectorised
+    #: rounds exactly — same placements, probe counts, and RNG draw sequence.
+    SCALAR_ROUND_MAX = 64
+
     def insert(self, ids: np.ndarray) -> int:
         """Insert a batch of ids; returns the number of probe operations.
 
@@ -113,6 +121,11 @@ class ScatterHashTable:
             pos = self.offset + self._rng.integers(0, region, size=pending.size)
             # Rounds of linear probing until every pending id lands.
             while pending.size:
+                if pending.size <= self.SCALAR_ROUND_MAX:
+                    probes, pending, pos = self._probe_rounds_scalar(pending, pos, probes)
+                    if pending.size:
+                        break  # region grew mid-round; rescatter like below
+                    continue
                 probes += pending.size
                 free = self.table[pos] == _EMPTY
                 # Intra-batch conflicts: first occurrence of each slot wins.
@@ -132,6 +145,50 @@ class ScatterHashTable:
                     break  # rescatter remaining ids into the new region
         self.total_probes += probes
         return probes
+
+    def _probe_rounds_scalar(
+        self, pending: np.ndarray, pos: np.ndarray, probes: int
+    ) -> tuple[int, np.ndarray, np.ndarray]:
+        """Plain-Python probing rounds for small ``pending`` batches.
+
+        State-identical to the vectorised rounds: within a round every id
+        reads the table as left by *earlier ids of the same round*, which
+        yields exactly the ``free & first_occurrence`` winners (a slot taken
+        this round is non-empty for every later same-slot id, and a slot
+        occupied before the round rejects all of them).  Probe accounting,
+        the per-round size-estimate draw, and the grow-and-rescatter exit all
+        match, so ``total_probes`` and the RNG stream are unchanged.
+
+        Returns ``(probes, pending, pos)``; non-empty ``pending`` means the
+        region grew and the caller must rescatter (exactly the vectorised
+        ``break``).
+        """
+        table = self.table
+        pend = pending.tolist()
+        posl = pos.tolist()
+        while pend:
+            probes += len(pend)
+            offset, tail = self.offset, self.tail
+            region = tail - offset
+            n_placed = 0
+            next_pend: list[int] = []
+            next_pos: list[int] = []
+            for ident, p in zip(pend, posl):
+                if table[p] == _EMPTY:
+                    table[p] = ident
+                    n_placed += 1
+                else:
+                    p += 1
+                    next_pos.append(p if p < tail else offset + (p - offset) % region)
+                    next_pend.append(ident)
+            self.count += n_placed
+            self.region_count += n_placed
+            self._bump_estimate(n_placed)
+            pend, posl = next_pend, next_pos
+            if self._over_loaded() and self.tail * 2 <= self.capacity:
+                self._grow()
+                break  # rescatter the remainder into the new region
+        return probes, np.array(pend, dtype=np.int64), np.array(posl, dtype=np.int64)
 
     def contents(self) -> tuple[np.ndarray, int]:
         """Return ``(ids, scanned)``: all stored ids and the scan cost.

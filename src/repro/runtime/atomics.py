@@ -29,9 +29,15 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.runtime.kernels import Workspace, first_occurrence, scatter_min
+from repro.runtime.kernels import (
+    Workspace,
+    _run_starts,
+    first_occurrence,
+    scatter_min,
+    scatter_min_2d,
+)
 
-__all__ = ["test_and_set", "write_min"]
+__all__ = ["test_and_set", "write_min", "write_min_2d"]
 
 
 def write_min(
@@ -75,7 +81,7 @@ def write_min(
     # the location (old value and all earlier candidates).
     order = np.argsort(targets, kind="stable")
     c_s = np.minimum(candidates[order], old[order])  # running value if applied
-    seg_start = np.r_[True, targets[order][1:] != targets[order][:-1]]
+    seg_start = _run_starts(targets[order])
     # Segment-wise minimum-accumulate via the offset trick (no Python loop).
     finite = c_s[np.isfinite(c_s)]
     hi = float(finite.max()) if finite.size else 0.0
@@ -105,6 +111,28 @@ def write_min(
     uniq = targets[order][seg_idx]
     values[uniq] = np.minimum(values[uniq], np.minimum.reduceat(candidates[order], seg_idx))
     return success
+
+
+def write_min_2d(
+    values: np.ndarray,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    candidates: np.ndarray,
+) -> np.ndarray:
+    """Batched ``WriteMin`` over a ``(K, n)`` matrix of shared locations.
+
+    The multi-source form of :func:`write_min` (default semantics): lowers
+    ``values[rows, cols]`` to ``candidates`` and returns the success mask —
+    ``True`` where a candidate beat the location's *pre-batch* value.  Rows
+    (sources) never interact, so the mask restricted to one row equals the
+    mask a 1-D ``write_min`` on that row alone would produce; this is what
+    keeps per-source ``relax_success`` counts of the batch engine identical
+    to the scalar path.
+    """
+    if len(rows) == 0:
+        return np.zeros(0, dtype=bool)
+    old = scatter_min_2d(values, rows, cols, candidates)
+    return candidates < old
 
 
 def test_and_set(

@@ -55,10 +55,12 @@ __all__ = [
     "first_occurrence",
     "gather_edges",
     "scatter_min",
+    "scatter_min_2d",
     "segmented_min",
     "set_mode",
     "thresholds",
     "unique_ids",
+    "unique_pairs",
     "unique_sorted",
 ]
 
@@ -245,6 +247,19 @@ class Workspace:
 # --------------------------------------------------------------------------- #
 
 
+def _run_starts(sorted_vals: np.ndarray) -> np.ndarray:
+    """Mask marking the first element of each equal-run of a sorted array.
+
+    The allocation-light form of ``np.r_[True, a[1:] != a[:-1]]`` —
+    ``np.r_`` pays ~20µs of index-trick machinery per call, which dominates
+    the many tiny batches of the sparse hot path.
+    """
+    out = np.empty(len(sorted_vals), dtype=bool)
+    out[0] = True
+    np.not_equal(sorted_vals[1:], sorted_vals[:-1], out=out[1:])
+    return out
+
+
 def scatter_min(values: np.ndarray, targets: np.ndarray, candidates: np.ndarray) -> np.ndarray:
     """``values[targets] = min(values[targets], candidates)`` with duplicates.
 
@@ -262,10 +277,30 @@ def scatter_min(values: np.ndarray, targets: np.ndarray, candidates: np.ndarray)
     order = np.argsort(targets, kind="stable")
     ts = targets[order]
     cs = candidates[order]
-    seg = np.flatnonzero(np.r_[True, ts[1:] != ts[:-1]])
+    seg = np.flatnonzero(_run_starts(ts))
     uniq = ts[seg]
     values[uniq] = np.minimum(values[uniq], np.minimum.reduceat(cs, seg))
     return old
+
+
+def scatter_min_2d(
+    values: np.ndarray, rows: np.ndarray, cols: np.ndarray, candidates: np.ndarray
+) -> np.ndarray:
+    """Batched 2-D scatter-min over a ``(K, n)`` matrix.
+
+    ``values[rows, cols] = min(values[rows, cols], candidates)`` with
+    duplicate ``(row, col)`` pairs, returning the pre-batch
+    ``values[rows, cols]``.  Rows never interact, so the result restricted to
+    one row is bit-identical to a 1-D :func:`scatter_min` on that row alone —
+    the property that lets the multi-source batch engine share one relaxation
+    wave across K queries while keeping per-source semantics exact.
+
+    ``values`` must be C-contiguous; the kernel dispatches through the 1-D
+    :func:`scatter_min` on the flattened view (same autotuned crossovers).
+    """
+    n = values.shape[1]
+    flat = values.reshape(-1)  # view; raises for non-contiguous layouts
+    return scatter_min(flat, rows * n + cols, candidates)
 
 
 def segmented_min(values: np.ndarray, seg_starts: np.ndarray) -> np.ndarray:
@@ -298,6 +333,11 @@ def unique_ids(
     k = len(ids)
     if k == 0:
         return np.zeros(0, dtype=_INT)
+    if k <= 64:
+        # np.unique's generic machinery costs tens of µs regardless of size;
+        # a direct sort + run-starts mask is ~5µs for tiny batches.
+        s = np.sort(ids)
+        return s[_run_starts(s)] if k > 1 else s
     if (
         _MODE == "fallback"
         or workspace is None
@@ -312,11 +352,39 @@ def unique_ids(
     return out
 
 
+def unique_pairs(
+    rows: np.ndarray,
+    cols: np.ndarray,
+    num_rows: int,
+    n: int,
+    *,
+    workspace: "Workspace | None" = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Batched dedup over ``(row, col)`` pairs from a ``(num_rows, n)`` universe.
+
+    Encodes each pair as ``row * n + col``, dedups through the same adaptive
+    dispatch as :func:`unique_ids` (pass a ``Workspace(num_rows * n)`` to
+    enable the mark-bit path), and returns ``(keys, row_starts)``:
+
+    * ``keys`` — the sorted unique encoded pairs;
+    * ``row_starts`` — ``int64[num_rows + 1]``; row ``r``'s pairs are
+      ``keys[row_starts[r]:row_starts[r+1]]``, and ``keys[...] - r * n``
+      recovers that row's sorted unique column ids.
+
+    Restricted to one row this is exactly ``unique_ids(cols_of_row, n)`` —
+    the multi-source batch engine relies on that to keep per-source frontier
+    dedup bit-identical to the scalar path.
+    """
+    keys = unique_ids(rows * np.int64(n) + cols, num_rows * n, workspace=workspace)
+    bounds = np.arange(num_rows + 1, dtype=_INT) * n
+    return keys, np.searchsorted(keys, bounds).astype(_INT)
+
+
 def unique_sorted(ids: np.ndarray) -> np.ndarray:
     """Dedup an already-sorted array without re-sorting (O(k) mask pass)."""
     if len(ids) <= 1:
         return ids
-    return ids[np.r_[True, ids[1:] != ids[:-1]]]
+    return ids[_run_starts(ids)]
 
 
 def first_occurrence(
@@ -333,6 +401,8 @@ def first_occurrence(
     k = len(ids)
     if k == 0:
         return np.zeros(0, dtype=bool)
+    if k == 1:
+        return np.ones(1, dtype=bool)
     th = thresholds()
     if (
         _MODE != "fallback"
@@ -348,9 +418,8 @@ def first_occurrence(
         return first
     order = np.argsort(ids, kind="stable")
     sorted_ids = ids[order]
-    first_sorted = np.r_[True, sorted_ids[1:] != sorted_ids[:-1]]
     first = np.zeros(k, dtype=bool)
-    first[order] = first_sorted
+    first[order] = _run_starts(sorted_ids)
     return first
 
 

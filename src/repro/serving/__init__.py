@@ -1,0 +1,30 @@
+"""Query-serving layer: batched fast-path execution, result cache, pool.
+
+The research core (:mod:`repro.core`) simulates the paper's parallel
+machine — every probe and scan is metered, which is what the analysis layer
+needs but not what a latency-sensitive caller wants.  This package serves
+SSSP queries at wall-clock speed:
+
+* :mod:`repro.serving.fastpath` — dense multi-source engine producing
+  bit-identical distances to the scalar algorithms with no accounting
+  overhead.
+* :mod:`repro.serving.cache` — LRU result cache keyed by
+  ``(graph_id, algo, param, source)``.
+* :mod:`repro.serving.engine` — :class:`QueryEngine` front door with
+  batch-aware admission (in-flight dedup + cache short-circuit).
+* :mod:`repro.serving.pool` — persistent process-pool orchestrator for
+  sweep fan-out (pickle-once/fork CSR sharing).
+"""
+
+from repro.serving.cache import ResultCache, graph_id
+from repro.serving.engine import QueryEngine
+from repro.serving.fastpath import multi_source_distances
+from repro.serving.pool import SweepPool
+
+__all__ = [
+    "QueryEngine",
+    "ResultCache",
+    "SweepPool",
+    "graph_id",
+    "multi_source_distances",
+]

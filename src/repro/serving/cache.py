@@ -1,0 +1,90 @@
+"""Keyed LRU cache for SSSP query results.
+
+Keys are ``(graph_id, algo, param, source)`` — everything that determines a
+distance vector.  ``graph_id`` is a process-stable identity token handed out
+per :class:`~repro.graphs.csr.Graph` object (weakly held, never reused), so
+two engines over the same loaded graph share cache lines while a reloaded
+or mutated-copy graph gets a fresh namespace.
+"""
+
+from __future__ import annotations
+
+import itertools
+import weakref
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.graphs.csr import Graph
+from repro.utils.errors import ParameterError
+
+__all__ = ["ResultCache", "graph_id"]
+
+_GRAPH_IDS: "weakref.WeakKeyDictionary[Graph, str]" = weakref.WeakKeyDictionary()
+_NEXT_ID = itertools.count()
+
+
+def graph_id(graph: Graph) -> str:
+    """Stable cache-key token for a loaded graph object.
+
+    The token embeds the graph's name and shape for debuggability plus a
+    monotonically increasing serial, so identity survives for the object's
+    lifetime and is never recycled onto a different graph.
+    """
+    token = _GRAPH_IDS.get(graph)
+    if token is None:
+        token = f"{graph.name or 'graph'}#{graph.n}v{graph.m}e#{next(_NEXT_ID)}"
+        _GRAPH_IDS[graph] = token
+    return token
+
+
+class ResultCache:
+    """LRU mapping ``(graph_id, algo, param, source) -> distance vector``.
+
+    Stored arrays are copies marked read-only; ``get`` returns them directly
+    (callers copy if they need to mutate).  ``hits``/``misses`` counters
+    feed the serving stats endpoint.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ParameterError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._data: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._data
+
+    @staticmethod
+    def key(graph: Graph, algo: str, param, source: int) -> tuple:
+        return (graph_id(graph), algo, param, int(source))
+
+    def get(self, key: tuple) -> "np.ndarray | None":
+        dist = self._data.get(key)
+        if dist is None:
+            self.misses += 1
+            return None
+        self._data.move_to_end(key)
+        self.hits += 1
+        return dist
+
+    def put(self, key: tuple, dist: np.ndarray) -> np.ndarray:
+        """Store a copy of ``dist`` under ``key``; returns the stored array."""
+        stored = np.array(dist, copy=True)
+        stored.setflags(write=False)
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = stored
+        while len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+        return stored
+
+    def clear(self) -> None:
+        self._data.clear()
+        self.hits = 0
+        self.misses = 0

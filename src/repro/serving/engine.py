@@ -1,0 +1,155 @@
+"""Front-door query engine: cache, batch admission, and execution modes.
+
+A :class:`QueryEngine` is bound to one graph and one algorithm
+configuration.  ``query_batch`` is the serving entry point: it answers each
+source from the LRU cache when possible, dedupes the remaining sources (a
+batch that asks for the same vertex twice runs it once), executes the
+residue through one batched engine pass, and returns rows aligned with the
+request order.
+
+Two execution modes:
+
+* ``"fast"`` (default) — the dense
+  :func:`~repro.serving.fastpath.multi_source_distances` engine; identical
+  distances, no work-span accounting, built for throughput.
+* ``"exact"`` — the lockstep :func:`~repro.core.framework.batch_stepping_sssp`
+  replay whose per-source ``StepRecord`` streams match scalar runs
+  bit-for-bit; use it when the caller needs metered results (the analysis
+  layer) rather than raw answers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.algorithms import (
+    DEFAULT_RHO,
+    bellman_ford_batch,
+    delta_star_stepping_batch,
+    rho_stepping_batch,
+)
+from repro.graphs.csr import Graph
+from repro.serving.cache import ResultCache
+from repro.serving.fastpath import multi_source_distances
+from repro.utils.errors import ParameterError
+
+__all__ = ["QueryEngine"]
+
+
+class QueryEngine:
+    """Cached, batch-aware SSSP query service over one graph.
+
+    Parameters
+    ----------
+    graph:
+        The CSR graph to serve.
+    algo:
+        ``"rho"``, ``"delta"`` or ``"bf"`` — the three production
+        implementations (PQ-ρ, PQ-Δ, PQ-BF).
+    param:
+        ρ for ``"rho"`` (defaults to :data:`~repro.core.algorithms.DEFAULT_RHO`),
+        Δ for ``"delta"`` (required); ignored for ``"bf"``.
+    mode:
+        ``"fast"`` or ``"exact"`` (see module docstring).
+    cache_size:
+        LRU capacity in distance vectors.
+    seed:
+        Seed for exact-mode runs (fast mode is deterministic and seed-free).
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        algo: str = "rho",
+        param=None,
+        *,
+        mode: str = "fast",
+        cache_size: int = 256,
+        seed=0,
+    ) -> None:
+        if algo not in ("rho", "delta", "bf"):
+            raise ParameterError(f"unknown algo {algo!r}; choose rho, delta or bf")
+        if mode not in ("fast", "exact"):
+            raise ParameterError(f"unknown mode {mode!r}; choose fast or exact")
+        if algo == "rho":
+            param = int(param) if param is not None else DEFAULT_RHO
+        elif algo == "delta":
+            if param is None:
+                raise ParameterError("delta engine requires a delta param")
+            param = float(param)
+        else:
+            param = None
+        self.graph = graph
+        self.algo = algo
+        self.param = param
+        self.mode = mode
+        self.seed = seed
+        self.cache = ResultCache(cache_size)
+        #: Number of sources answered without execution (cache or in-batch dup).
+        self.deduped = 0
+        #: Number of sources actually executed.
+        self.executed = 0
+
+    # ------------------------------------------------------------------ #
+
+    def query(self, source: int) -> np.ndarray:
+        """Distances from one source (row vector of length ``n``)."""
+        return self.query_batch([source])[0]
+
+    def query_batch(self, sources) -> np.ndarray:
+        """Distances for each requested source as a ``(K, n)`` matrix.
+
+        Admission: cached sources are answered immediately; the rest are
+        deduped so each distinct source executes once per batch even if
+        requested several times.
+        """
+        sources = [int(s) for s in sources]
+        if not sources:
+            return np.zeros((0, self.graph.n))
+        keys = [ResultCache.key(self.graph, self.algo, self.param, s) for s in sources]
+        rows: "dict[tuple, np.ndarray]" = {}
+        missing: list[int] = []
+        for s, key in zip(sources, keys):
+            if key in rows:
+                continue
+            hit = self.cache.get(key)
+            if hit is not None:
+                rows[key] = hit
+            else:
+                missing.append(s)
+                rows[key] = None  # placeholder: claimed by this batch
+        if missing:
+            dist = self._execute(missing)
+            for i, s in enumerate(missing):
+                key = ResultCache.key(self.graph, self.algo, self.param, s)
+                rows[key] = self.cache.put(key, dist[i])
+        self.executed += len(missing)
+        self.deduped += len(sources) - len(missing)
+        return np.stack([rows[key] for key in keys])
+
+    def stats(self) -> dict:
+        """Serving counters for dashboards and tests."""
+        return {
+            "cache_hits": self.cache.hits,
+            "cache_misses": self.cache.misses,
+            "cache_size": len(self.cache),
+            "deduped": self.deduped,
+            "executed": self.executed,
+        }
+
+    # ------------------------------------------------------------------ #
+
+    def _execute(self, sources: list[int]) -> np.ndarray:
+        if self.mode == "fast":
+            return multi_source_distances(
+                self.graph, sources, algo=self.algo, param=self.param
+            )
+        if self.algo == "rho":
+            results = rho_stepping_batch(self.graph, sources, self.param, seed=self.seed)
+        elif self.algo == "delta":
+            results = delta_star_stepping_batch(
+                self.graph, sources, self.param, seed=self.seed
+            )
+        else:
+            results = bellman_ford_batch(self.graph, sources, seed=self.seed)
+        return np.stack([r.dist for r in results])

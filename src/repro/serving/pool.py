@@ -1,0 +1,96 @@
+"""Persistent process-pool orchestrator for sweep fan-out.
+
+``analysis/sweeps.py`` evaluates a parameter grid × source list; each cell
+is an independent SSSP run, which makes the sweep embarrassingly parallel.
+:class:`SweepPool` keeps a ``ProcessPoolExecutor`` alive across the whole
+grid and ships the CSR graph to each worker exactly once via the pool
+initializer (on fork-based platforms the arrays arrive through
+copy-on-write page sharing; elsewhere they are pickled once per worker, not
+once per task).  Tasks then reference the worker-global graph by proxy, so
+a task payload is just ``(impl_key, param, source, seed, machine)``.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.graphs.csr import Graph
+from repro.runtime.machine import MachineModel
+from repro.utils.errors import ParameterError
+
+__all__ = ["SweepPool"]
+
+# Worker-side global installed by the pool initializer: the one graph this
+# pool serves, shared by every task that lands on the worker.
+_WORKER_GRAPH: "Graph | None" = None
+
+
+def _init_worker(graph: Graph) -> None:
+    global _WORKER_GRAPH
+    _WORKER_GRAPH = graph
+    # Warm the lazily-built CSR properties once per worker instead of once
+    # per task.
+    graph.degrees
+
+
+def _run_cell(impl_key: str, param, source: int, seed, machine: MachineModel) -> float:
+    # Imported here so the worker resolves the registry in its own process.
+    from repro.analysis.runners import get_implementation, simulated_time
+
+    impl = get_implementation(impl_key)
+    res = impl.run(_WORKER_GRAPH, int(source), param, seed=seed)
+    return simulated_time(res, machine, impl.profile)
+
+
+class SweepPool:
+    """A persistent worker pool bound to one graph.
+
+    Use as a context manager::
+
+        with SweepPool(graph, jobs=4) as pool:
+            times = pool.simulated_times("PQ-rho", 2**13, sources, machine)
+
+    The pool survives across many calls (that is the point — workers keep
+    the graph warm), and shuts down with the context.
+    """
+
+    def __init__(self, graph: Graph, jobs: int) -> None:
+        if jobs < 2:
+            raise ParameterError(f"SweepPool needs jobs >= 2, got {jobs} (use the serial path)")
+        self.graph = graph
+        self.jobs = jobs
+        self._exec = ProcessPoolExecutor(
+            max_workers=jobs, initializer=_init_worker, initargs=(graph,)
+        )
+
+    def simulated_times(
+        self, impl_key: str, param, sources, machine: MachineModel, *, seed=0
+    ) -> list[float]:
+        """Simulated seconds for ``impl_key`` at one param across ``sources``."""
+        futures = [
+            self._exec.submit(_run_cell, impl_key, param, int(s), seed, machine)
+            for s in sources
+        ]
+        return [f.result() for f in futures]
+
+    def map_cells(
+        self, impl_key: str, params, sources, machine: MachineModel, *, seed=0
+    ) -> "list[list[float]]":
+        """Times for the full grid: one inner list per param, all in flight."""
+        futures = [
+            [
+                self._exec.submit(_run_cell, impl_key, p, int(s), seed, machine)
+                for s in sources
+            ]
+            for p in params
+        ]
+        return [[f.result() for f in row] for row in futures]
+
+    def close(self) -> None:
+        self._exec.shutdown(wait=True)
+
+    def __enter__(self) -> "SweepPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

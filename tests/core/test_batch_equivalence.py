@@ -1,0 +1,84 @@
+"""Batch engine oracle: ``run_batch`` must replay scalar runs bit-for-bit.
+
+The lockstep :func:`~repro.core.framework.batch_stepping_sssp` engine shares
+one relaxation wave across all lanes, but each lane's priority queue, policy
+and RNG are private — so every per-source result (distances AND the full
+``StepRecord`` stream) must equal an independent scalar run exactly.  This
+is what lets the golden work-span snapshots keep serving as the oracle for
+the batched path.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    DEFAULT_RHO,
+    bellman_ford,
+    bellman_ford_batch,
+    delta_star_stepping,
+    delta_star_stepping_batch,
+    rho_stepping,
+    rho_stepping_batch,
+)
+from repro.datasets import load_dataset
+
+ALGOS = {
+    "rho": (
+        lambda g, s, seed: rho_stepping(g, s, DEFAULT_RHO, seed=seed),
+        lambda g, ss, seed: rho_stepping_batch(g, ss, DEFAULT_RHO, seed=seed),
+    ),
+    "delta": (
+        lambda g, s, seed: delta_star_stepping(g, s, 8.0, seed=seed),
+        lambda g, ss, seed: delta_star_stepping_batch(g, ss, 8.0, seed=seed),
+    ),
+    "bf": (
+        lambda g, s, seed: bellman_ford(g, s, seed=seed),
+        lambda g, ss, seed: bellman_ford_batch(g, ss, seed=seed),
+    ),
+}
+
+
+@pytest.fixture(scope="module", params=["GE", "OK", "TW"])
+def tiny_graph(request):
+    return load_dataset(request.param, "tiny", cache=False)
+
+
+def assert_steps_equal(batch_stats, scalar_stats, label):
+    assert batch_stats.num_steps == scalar_stats.num_steps, label
+    for b, s in zip(batch_stats.steps, scalar_stats.steps):
+        assert dataclasses.asdict(b) == dataclasses.asdict(s), (label, b.index)
+
+
+@pytest.mark.parametrize("algo", sorted(ALGOS))
+def test_batch_matches_scalar_bit_for_bit(tiny_graph, algo):
+    """Fixed case: distances and full StepRecord streams, duplicate included."""
+    scalar, batch = ALGOS[algo]
+    sources = [0, 1, 5, 7, 11, 0]
+    results = batch(tiny_graph, sources, 0)
+    assert len(results) == len(sources)
+    for s, res in zip(sources, results):
+        ref = scalar(tiny_graph, s, 0)
+        assert np.array_equal(res.dist, ref.dist), (algo, s)
+        assert_steps_equal(res.stats, ref.stats, (algo, s))
+
+
+@given(
+    sources=st.lists(st.integers(0, 255), min_size=1, max_size=6),
+    seed=st.integers(0, 3),
+    algo=st.sampled_from(sorted(ALGOS)),
+)
+@settings(max_examples=12, deadline=None)
+def test_batch_equivalence_property(tiny_graph, sources, seed, algo):
+    """Random batches: distances and per-source step counts match scalar."""
+    scalar, batch = ALGOS[algo]
+    results = batch(tiny_graph, sources, seed)
+    for s, res in zip(sources, results):
+        ref = scalar(tiny_graph, s, seed)
+        assert np.array_equal(res.dist, ref.dist), (algo, s)
+        assert res.stats.num_steps == ref.stats.num_steps, (algo, s)
+        assert res.stats.num_waves == ref.stats.num_waves, (algo, s)
+        assert res.stats.total_edge_visits == ref.stats.total_edge_visits, (algo, s)

@@ -1,0 +1,82 @@
+"""ResultCache LRU semantics and graph identity tokens."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import path
+from repro.serving import ResultCache, graph_id
+from repro.utils.errors import ParameterError
+
+
+def k(i):
+    return ("g#0", "bf", None, i)
+
+
+class TestGraphId:
+    def test_stable_for_same_object(self):
+        g = path(5)
+        assert graph_id(g) == graph_id(g)
+
+    def test_distinct_for_equal_graphs(self):
+        # Two loads of the "same" dataset are different objects -> different
+        # cache namespaces (one might be mutated or differently weighted).
+        assert graph_id(path(5)) != graph_id(path(5))
+
+    def test_token_embeds_shape(self):
+        g = path(5)
+        assert f"{g.n}v" in graph_id(g) and f"{g.m}e" in graph_id(g)
+
+
+class TestLRU:
+    def test_put_get_roundtrip(self):
+        c = ResultCache(4)
+        stored = c.put(k(0), np.arange(3.0))
+        assert np.array_equal(c.get(k(0)), np.arange(3.0))
+        assert c.hits == 1 and c.misses == 0
+        assert stored.flags.writeable is False
+
+    def test_stored_copy_is_isolated(self):
+        c = ResultCache(4)
+        src = np.arange(3.0)
+        c.put(k(0), src)
+        src[0] = 99.0
+        assert c.get(k(0))[0] == 0.0
+
+    def test_miss_counts(self):
+        c = ResultCache(4)
+        assert c.get(k(0)) is None
+        assert c.misses == 1
+
+    def test_eviction_order_is_lru(self):
+        c = ResultCache(2)
+        c.put(k(0), np.zeros(1))
+        c.put(k(1), np.ones(1))
+        c.get(k(0))  # 0 is now most recent
+        c.put(k(2), np.full(1, 2.0))  # evicts 1
+        assert k(1) not in c
+        assert k(0) in c and k(2) in c
+
+    def test_put_refreshes_recency(self):
+        c = ResultCache(2)
+        c.put(k(0), np.zeros(1))
+        c.put(k(1), np.ones(1))
+        c.put(k(0), np.zeros(1))  # re-put refreshes 0
+        c.put(k(2), np.full(1, 2.0))  # evicts 1, not 0
+        assert k(0) in c and k(1) not in c
+
+    def test_capacity_bound(self):
+        c = ResultCache(3)
+        for i in range(10):
+            c.put(k(i), np.zeros(1))
+        assert len(c) == 3
+
+    def test_bad_capacity(self):
+        with pytest.raises(ParameterError):
+            ResultCache(0)
+
+    def test_clear_resets_counters(self):
+        c = ResultCache(2)
+        c.put(k(0), np.zeros(1))
+        c.get(k(0))
+        c.clear()
+        assert len(c) == 0 and c.hits == 0 and c.misses == 0

@@ -1,0 +1,85 @@
+"""QueryEngine: admission (cache + dedupe), alignment, both execution modes."""
+
+import numpy as np
+import pytest
+
+from repro.core import DEFAULT_RHO, bellman_ford, rho_stepping
+from repro.serving import QueryEngine
+from repro.utils.errors import ParameterError
+
+
+class TestAdmission:
+    def test_batch_rows_align_with_request_order(self, rmat_small):
+        eng = QueryEngine(rmat_small, "bf")
+        sources = [7, 2, 7, 0]
+        out = eng.query_batch(sources)
+        assert out.shape == (4, rmat_small.n)
+        for i, s in enumerate(sources):
+            assert np.array_equal(out[i], bellman_ford(rmat_small, s, seed=0).dist)
+
+    def test_in_batch_duplicates_execute_once(self, rmat_small):
+        eng = QueryEngine(rmat_small, "bf")
+        eng.query_batch([3, 3, 3, 5])
+        st = eng.stats()
+        assert st["executed"] == 2 and st["deduped"] == 2
+
+    def test_cache_hits_skip_execution(self, rmat_small):
+        eng = QueryEngine(rmat_small, "bf")
+        eng.query_batch([1, 2])
+        eng.query_batch([2, 4])  # 2 cached, 4 fresh
+        st = eng.stats()
+        assert st["executed"] == 3
+        assert st["cache_hits"] == 1
+
+    def test_duplicate_rows_identical(self, rmat_small):
+        eng = QueryEngine(rmat_small, "bf")
+        out = eng.query_batch([6, 6])
+        assert np.array_equal(out[0], out[1])
+
+    def test_empty_batch(self, rmat_small):
+        eng = QueryEngine(rmat_small, "bf")
+        assert eng.query_batch([]).shape == (0, rmat_small.n)
+
+    def test_single_query_helper(self, rmat_small):
+        eng = QueryEngine(rmat_small, "rho", 64)
+        out = eng.query(5)
+        assert np.array_equal(out, rho_stepping(rmat_small, 5, 64, seed=0).dist)
+
+    def test_lru_capacity_respected(self, rmat_small):
+        eng = QueryEngine(rmat_small, "bf", cache_size=2)
+        eng.query_batch([0, 1, 2, 3])
+        assert eng.stats()["cache_size"] == 2
+
+
+class TestModes:
+    def test_exact_mode_matches_fast_mode(self, road_small):
+        fast = QueryEngine(road_small, "rho", mode="fast")
+        exact = QueryEngine(road_small, "rho", mode="exact")
+        sources = [0, 4, 9]
+        assert np.array_equal(fast.query_batch(sources), exact.query_batch(sources))
+
+    def test_exact_mode_delta(self, gnm_small):
+        eng = QueryEngine(gnm_small, "delta", 4.0, mode="exact")
+        out = eng.query_batch([0, 2])
+        fast = QueryEngine(gnm_small, "delta", 4.0).query_batch([0, 2])
+        assert np.array_equal(out, fast)
+
+    def test_rho_param_defaults(self, rmat_small):
+        assert QueryEngine(rmat_small, "rho").param == DEFAULT_RHO
+
+    def test_bf_ignores_param(self, rmat_small):
+        assert QueryEngine(rmat_small, "bf", 7).param is None
+
+
+class TestValidation:
+    def test_unknown_algo(self, rmat_small):
+        with pytest.raises(ParameterError):
+            QueryEngine(rmat_small, "dijkstra")
+
+    def test_unknown_mode(self, rmat_small):
+        with pytest.raises(ParameterError):
+            QueryEngine(rmat_small, "bf", mode="turbo")
+
+    def test_delta_requires_param(self, rmat_small):
+        with pytest.raises(ParameterError):
+            QueryEngine(rmat_small, "delta")

@@ -1,0 +1,57 @@
+"""SweepPool: pooled sweep cells must equal the serial path exactly."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import get_implementation, simulated_time
+from repro.analysis.sweeps import sweep_param
+from repro.runtime import MachineModel
+from repro.serving import SweepPool
+from repro.utils.errors import ParameterError
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return MachineModel()
+
+
+class TestPool:
+    def test_rejects_serial_job_count(self, rmat_small):
+        with pytest.raises(ParameterError):
+            SweepPool(rmat_small, jobs=1)
+
+    def test_pooled_times_equal_serial(self, rmat_small, machine):
+        impl = get_implementation("PQ-rho")
+        sources = [0, 3, 5]
+        serial = [
+            simulated_time(impl.run(rmat_small, s, 64, seed=0), machine, impl.profile)
+            for s in sources
+        ]
+        with SweepPool(rmat_small, jobs=2) as pool:
+            pooled = pool.simulated_times("PQ-rho", 64, sources, machine, seed=0)
+        assert pooled == serial
+
+    def test_map_cells_full_grid(self, rmat_small, machine):
+        impl = get_implementation("PQ-delta")
+        params, sources = [8.0, 32.0], [0, 1]
+        with SweepPool(rmat_small, jobs=2) as pool:
+            grid = pool.map_cells("PQ-delta", params, sources, machine, seed=0)
+        assert len(grid) == 2 and all(len(row) == 2 for row in grid)
+        for p, row in zip(params, grid):
+            for s, t in zip(sources, row):
+                ref = simulated_time(
+                    impl.run(rmat_small, s, p, seed=0), machine, impl.profile
+                )
+                assert t == ref
+
+
+class TestSweepJobs:
+    def test_sweep_param_jobs_matches_serial(self, road_small, machine):
+        impl = get_implementation("PQ-rho")
+        params, sources = [32.0, 128.0], [0, 2]
+        serial = sweep_param(impl, road_small, params, sources, machine, seed=0)
+        pooled = sweep_param(
+            impl, road_small, params, sources, machine, seed=0, jobs=2
+        )
+        assert pooled.times == serial.times
+        assert pooled.best_param == serial.best_param

@@ -18,7 +18,7 @@ class TestParser:
     def test_all_subcommands_present(self):
         parser = build_parser()
         sub = next(a for a in parser._actions if a.dest == "command")
-        assert set(sub.choices) == {"info", "run", "sweep", "generate"}
+        assert set(sub.choices) == {"info", "run", "batch", "sweep", "generate"}
 
     def test_run_requires_known_algorithm(self):
         with pytest.raises(SystemExit):
@@ -52,6 +52,36 @@ class TestCommands:
 
     def test_sweep_unknown_impl_fails_gracefully(self, graph_file, capsys):
         assert main(["sweep", "GraphX", graph_file]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_sweep_with_jobs(self, graph_file, capsys):
+        assert main(["sweep", "PQ-rho", graph_file, "--lo", "6", "--hi", "8",
+                     "--jobs", "2"]) == 0
+        assert "best param" in capsys.readouterr().out
+
+    def test_batch_verified(self, graph_file, capsys):
+        assert main(["batch", graph_file, "--sources", "0,3,5,0", "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "verified 4 rows" in out
+        assert "throughput" in out
+
+    @pytest.mark.parametrize("mode", ["fast", "exact"])
+    def test_batch_modes(self, mode, graph_file, capsys):
+        assert main(["batch", graph_file, "--sources", "1,2", "--algo", "bf",
+                     "--mode", mode, "--verify"]) == 0
+        assert "verified 2 rows" in capsys.readouterr().out
+
+    def test_batch_delta_with_param(self, graph_file, capsys):
+        assert main(["batch", graph_file, "--sources", "0", "--algo", "delta",
+                     "--param", "8", "--verify"]) == 0
+        assert "verified 1 rows" in capsys.readouterr().out
+
+    def test_batch_bad_sources(self, graph_file, capsys):
+        assert main(["batch", graph_file, "--sources", "a,b"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_batch_delta_missing_param(self, graph_file, capsys):
+        assert main(["batch", graph_file, "--sources", "0", "--algo", "delta"]) == 2
         assert "error:" in capsys.readouterr().err
 
     def test_generate_rmat(self, tmp_path, capsys):
