@@ -78,6 +78,8 @@ def sweep_param(
     *,
     seed=0,
     jobs: int = 1,
+    timeout: "float | None" = None,
+    retries: int = 2,
 ) -> SweepResult:
     """Run ``impl`` at every parameter value, averaging over ``sources``.
 
@@ -85,13 +87,15 @@ def sweep_param(
     a persistent :class:`~repro.serving.pool.SweepPool` (every cell in flight
     at once, graph shipped to each worker exactly once); ``jobs=1`` keeps the
     deterministic serial loop.  Both paths produce identical times — each
-    cell is an independent seeded run.
+    cell is an independent seeded run, and the pooled path is supervised
+    (worker crashes rebuild the pool and re-execute the failed cells;
+    ``timeout``/``retries`` bound hung or flaky cells).
     """
     params = [float(p) for p in params]
     if jobs >= 2:
         from repro.serving.pool import SweepPool
 
-        with SweepPool(graph, jobs) as pool:
+        with SweepPool(graph, jobs, timeout=timeout, retries=retries) as pool:
             grid = pool.map_cells(impl.key, params, sources, machine, seed=seed)
         times = [float(np.mean(row)) for row in grid]
         return SweepResult(impl.key, graph.name, params, times)

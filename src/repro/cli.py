@@ -124,9 +124,11 @@ def _cmd_batch(args) -> int:
         raise ReproError(f"--sources must be comma-separated ints, got {args.sources!r}")
     if not sources:
         raise ReproError("--sources is empty")
-    engine = QueryEngine(g, args.algo, args.param, mode=args.mode, seed=args.seed)
+    engine = QueryEngine(
+        g, args.algo, args.param, mode=args.mode, seed=args.seed, retries=args.retries
+    )
     t0 = time.perf_counter()
-    dist = engine.query_batch(sources)
+    dist = engine.query_batch(sources, deadline=args.deadline)
     elapsed = time.perf_counter() - t0
     if args.verify:
         for i, s in enumerate(sources):
@@ -157,7 +159,9 @@ def _cmd_sweep(args) -> int:
     if args.jobs >= 2:
         from repro.serving import SweepPool
 
-        with SweepPool(g, args.jobs) as pool:
+        with SweepPool(
+            g, args.jobs, timeout=args.task_timeout, retries=args.retries
+        ) as pool:
             grid = pool.map_cells(impl.key, params, [args.source], machine, seed=args.seed)
         times = [row[0] for row in grid]
     else:
@@ -216,11 +220,16 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("batch", help="multi-source batch through the serving engine")
     p.add_argument("graph")
     p.add_argument("--sources", required=True, help="comma-separated source ids, e.g. 0,5,11")
-    p.add_argument("--algo", choices=["rho", "delta", "bf"], default="rho")
+    p.add_argument("--algo", default="rho",
+                   help="rho, delta or bf (validated by the engine)")
     p.add_argument("--param", type=float, default=None, help="rho or delta")
     p.add_argument("--mode", choices=["fast", "exact"], default="fast",
                    help="fast = dense serving path; exact = lockstep metered replay")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--deadline", type=float, default=None,
+                   help="per-batch deadline in seconds (default: unbounded)")
+    p.add_argument("--retries", type=int, default=2,
+                   help="execution retries on transient failure")
     p.add_argument("--verify", action="store_true",
                    help="check every row against sequential Dijkstra")
     p.set_defaults(fn=_cmd_batch)
@@ -235,6 +244,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cores", type=int, default=96)
     p.add_argument("--jobs", type=int, default=1,
                    help="worker processes for the sweep grid (1 = serial)")
+    p.add_argument("--task-timeout", type=float, default=None,
+                   help="per-cell timeout in seconds for pooled sweeps")
+    p.add_argument("--retries", type=int, default=2,
+                   help="per-cell retry budget for pooled sweeps")
     p.set_defaults(fn=_cmd_sweep)
 
     p = sub.add_parser("generate", help="write a synthetic graph to .npz")

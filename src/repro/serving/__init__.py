@@ -1,9 +1,9 @@
-"""Query-serving layer: batched fast-path execution, result cache, pool.
+"""Query-serving layer: batched fast-path execution, cache, pools, faults.
 
 The research core (:mod:`repro.core`) simulates the paper's parallel
 machine — every probe and scan is metered, which is what the analysis layer
 needs but not what a latency-sensitive caller wants.  This package serves
-SSSP queries at wall-clock speed:
+SSSP queries at wall-clock speed and keeps serving them when things break:
 
 * :mod:`repro.serving.fastpath` — dense multi-source engine producing
   bit-identical distances to the scalar algorithms with no accounting
@@ -11,20 +11,44 @@ SSSP queries at wall-clock speed:
 * :mod:`repro.serving.cache` — LRU result cache keyed by
   ``(graph_id, algo, param, source)``.
 * :mod:`repro.serving.engine` — :class:`QueryEngine` front door with
-  batch-aware admission (in-flight dedup + cache short-circuit).
-* :mod:`repro.serving.pool` — persistent process-pool orchestrator for
-  sweep fan-out (pickle-once/fork CSR sharing).
+  batch-aware admission (validation + in-flight dedup + cache
+  short-circuit), per-batch deadlines, bounded retries, a circuit breaker,
+  and exact→fast graceful degradation.
+* :mod:`repro.serving.supervisor` — :class:`SupervisedPool`: self-healing
+  process-pool execution (timeouts, retries with backoff, rebuild on worker
+  crash, health probe).
+* :mod:`repro.serving.pool` — persistent sweep orchestrator
+  (pickle-once/fork CSR sharing) routed through the supervisor.
+* :mod:`repro.serving.faults` — deterministic fault injection
+  (:class:`FaultPlan`/:class:`FaultInjector`) driving the chaos suite;
+  a no-op unless explicitly installed.
 """
 
 from repro.serving.cache import ResultCache, graph_id
 from repro.serving.engine import QueryEngine
 from repro.serving.fastpath import multi_source_distances
+from repro.serving.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    get_injector,
+    install_injector,
+)
 from repro.serving.pool import SweepPool
+from repro.serving.supervisor import SupervisedPool
 
 __all__ = [
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
     "QueryEngine",
     "ResultCache",
+    "SupervisedPool",
     "SweepPool",
+    "get_injector",
     "graph_id",
+    "install_injector",
     "multi_source_distances",
 ]

@@ -16,9 +16,39 @@ Two execution modes:
   replay whose per-source ``StepRecord`` streams match scalar runs
   bit-for-bit; use it when the caller needs metered results (the analysis
   layer) rather than raw answers.
+
+Resilience (all off the hot path unless something goes wrong):
+
+* **admission validation** — non-integer, negative or out-of-range sources
+  raise :class:`~repro.utils.errors.ParameterError` naming the offending
+  value, before anything reaches the kernels;
+* **per-batch deadlines** — ``query_batch(..., deadline=s)`` (or the
+  engine-level default) bounds the execution phase; with a deadline set the
+  batch executes in chunks with a deadline check between chunks and raises
+  :class:`~repro.utils.errors.DeadlineExceeded` on overrun;
+* **bounded retries** — transient execution failures (including injected
+  ones) are retried up to ``retries`` times; every result is sanity-checked
+  (shape, no NaN, non-negative, zero self-distance) so corrupted payloads
+  are rejected and re-executed rather than served;
+* **circuit breaker** — after ``failure_threshold`` *consecutive* execution
+  failures the circuit opens: misses fail fast with
+  :class:`~repro.utils.errors.CircuitOpenError` while cache hits are still
+  served; after ``cooldown`` seconds the circuit half-opens and one trial
+  batch decides between closing (success) and re-opening (failure);
+* **graceful degradation** — when the ``exact`` path fails, the engine
+  falls back to the ``fast`` path (bit-identical distances by construction)
+  and counts the event in ``stats()["degraded"]``.
+
+Fault-injection sites: ``engine.execute`` fires on every execution attempt;
+``engine.exact`` additionally fires on the exact path only (which is what
+lets the chaos suite force a degradation without touching the fallback).
 """
 
 from __future__ import annotations
+
+import logging
+import operator
+import time
 
 import numpy as np
 
@@ -31,9 +61,28 @@ from repro.core.algorithms import (
 from repro.graphs.csr import Graph
 from repro.serving.cache import ResultCache
 from repro.serving.fastpath import multi_source_distances
-from repro.utils.errors import ParameterError
+from repro.serving.faults import get_injector
+from repro.utils.errors import (
+    CircuitOpenError,
+    DeadlineExceeded,
+    ExecutionError,
+    ParameterError,
+    ReproError,
+)
 
 __all__ = ["QueryEngine"]
+
+_LOG = logging.getLogger("repro.serving")
+
+#: Sources per execution chunk when a deadline is active (the deadline is
+#: checked between chunks; with no deadline the whole batch runs in one call
+#: so the fault-free fast path is untouched).
+_DEADLINE_CHUNK = 8
+
+
+def _check_deadline(deadline_at: "float | None") -> None:
+    if deadline_at is not None and time.monotonic() > deadline_at:
+        raise DeadlineExceeded("batch missed its deadline")
 
 
 class QueryEngine:
@@ -55,6 +104,15 @@ class QueryEngine:
         LRU capacity in distance vectors.
     seed:
         Seed for exact-mode runs (fast mode is deterministic and seed-free).
+    retries:
+        Extra execution attempts after a transient failure (0 = none).
+    deadline:
+        Default per-batch deadline in seconds (``None`` = unbounded);
+        overridable per call via ``query_batch(..., deadline=s)``.
+    failure_threshold:
+        Consecutive execution failures that trip the circuit breaker.
+    cooldown:
+        Seconds the circuit stays open before half-opening for a trial.
     """
 
     def __init__(
@@ -66,11 +124,23 @@ class QueryEngine:
         mode: str = "fast",
         cache_size: int = 256,
         seed=0,
+        retries: int = 2,
+        deadline: "float | None" = None,
+        failure_threshold: int = 5,
+        cooldown: float = 30.0,
     ) -> None:
         if algo not in ("rho", "delta", "bf"):
             raise ParameterError(f"unknown algo {algo!r}; choose rho, delta or bf")
         if mode not in ("fast", "exact"):
             raise ParameterError(f"unknown mode {mode!r}; choose fast or exact")
+        if retries < 0:
+            raise ParameterError(f"retries must be >= 0, got {retries}")
+        if failure_threshold < 1:
+            raise ParameterError(f"failure_threshold must be >= 1, got {failure_threshold}")
+        if cooldown <= 0:
+            raise ParameterError(f"cooldown must be positive, got {cooldown}")
+        if deadline is not None and deadline <= 0:
+            raise ParameterError(f"deadline must be positive, got {deadline}")
         if algo == "rho":
             param = int(param) if param is not None else DEFAULT_RHO
         elif algo == "delta":
@@ -84,11 +154,48 @@ class QueryEngine:
         self.param = param
         self.mode = mode
         self.seed = seed
+        self.retries = retries
+        self.deadline = deadline
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
         self.cache = ResultCache(cache_size)
         #: Number of sources answered without execution (cache or in-batch dup).
         self.deduped = 0
         #: Number of sources actually executed.
         self.executed = 0
+        #: Batches served by the fast path after the exact path failed.
+        self.degraded = 0
+        #: Total failed execution attempts over the engine's lifetime.
+        self.exec_failures = 0
+        #: Closed → open transitions of the circuit breaker.
+        self.circuit_trips = 0
+        self._consecutive_failures = 0
+        self._open_until: "float | None" = None
+        self._exec_seq = 0  # execution-batch sequence number (injection index)
+
+    # ------------------------------------------------------------------ #
+    # admission
+
+    def _admit(self, sources) -> list[int]:
+        """Validate and normalise a batch of requested sources.
+
+        Every source must be an integer vertex id in ``[0, n)``; anything
+        else is rejected here, by name, instead of crashing (or silently
+        negative-indexing) deep inside the relaxation kernels.
+        """
+        n = self.graph.n
+        admitted = []
+        for s in sources:
+            try:
+                v = operator.index(s)  # ints and np.integers; floats/str fail
+            except TypeError:
+                raise ParameterError(
+                    f"source {s!r} is not an integer vertex id"
+                ) from None
+            if v < 0 or v >= n:
+                raise ParameterError(f"source {v} is out of range [0, {n})")
+            admitted.append(v)
+        return admitted
 
     # ------------------------------------------------------------------ #
 
@@ -96,16 +203,19 @@ class QueryEngine:
         """Distances from one source (row vector of length ``n``)."""
         return self.query_batch([source])[0]
 
-    def query_batch(self, sources) -> np.ndarray:
+    def query_batch(self, sources, *, deadline: "float | None" = None) -> np.ndarray:
         """Distances for each requested source as a ``(K, n)`` matrix.
 
         Admission: cached sources are answered immediately; the rest are
         deduped so each distinct source executes once per batch even if
-        requested several times.
+        requested several times.  ``deadline`` (seconds, default the
+        engine-level setting) bounds the execution phase.
         """
-        sources = [int(s) for s in sources]
+        sources = self._admit(sources)
         if not sources:
             return np.zeros((0, self.graph.n))
+        deadline = self.deadline if deadline is None else deadline
+        deadline_at = None if deadline is None else time.monotonic() + float(deadline)
         keys = [ResultCache.key(self.graph, self.algo, self.param, s) for s in sources]
         rows: "dict[tuple, np.ndarray]" = {}
         missing: list[int] = []
@@ -119,7 +229,13 @@ class QueryEngine:
                 missing.append(s)
                 rows[key] = None  # placeholder: claimed by this batch
         if missing:
-            dist = self._execute(missing)
+            if self._circuit_state() == "open":
+                raise CircuitOpenError(
+                    f"circuit open after {self._consecutive_failures} consecutive "
+                    f"execution failures; retrying in <= {self.cooldown:g}s "
+                    "(cache hits are still served)"
+                )
+            dist = self._execute_resilient(missing, deadline_at)
             for i, s in enumerate(missing):
                 key = ResultCache.key(self.graph, self.algo, self.param, s)
                 rows[key] = self.cache.put(key, dist[i])
@@ -135,12 +251,122 @@ class QueryEngine:
             "cache_size": len(self.cache),
             "deduped": self.deduped,
             "executed": self.executed,
+            "degraded": self.degraded,
+            "exec_failures": self.exec_failures,
+            "circuit_state": self._circuit_state(),
+            "circuit_trips": self.circuit_trips,
         }
 
     # ------------------------------------------------------------------ #
+    # circuit breaker
 
-    def _execute(self, sources: list[int]) -> np.ndarray:
-        if self.mode == "fast":
+    def _circuit_state(self) -> str:
+        if self._open_until is None:
+            return "closed"
+        if time.monotonic() >= self._open_until:
+            return "half-open"
+        return "open"
+
+    def _record_failure(self) -> None:
+        self.exec_failures += 1
+        self._consecutive_failures += 1
+        if self._open_until is not None:
+            # A half-open trial failed: re-open for another cooldown.
+            self._open_until = time.monotonic() + self.cooldown
+            _LOG.warning("circuit re-opened after failed half-open trial")
+        elif self._consecutive_failures >= self.failure_threshold:
+            self._open_until = time.monotonic() + self.cooldown
+            self.circuit_trips += 1
+            _LOG.warning(
+                "circuit opened after %d consecutive failures (cooldown %.3gs)",
+                self._consecutive_failures, self.cooldown,
+            )
+
+    def _record_success(self) -> None:
+        if self._open_until is not None:
+            _LOG.info("circuit closed after successful half-open trial")
+        self._consecutive_failures = 0
+        self._open_until = None
+
+    # ------------------------------------------------------------------ #
+    # execution
+
+    def _execute_resilient(self, sources: list[int], deadline_at) -> np.ndarray:
+        """Execute with retries, circuit accounting, and exact→fast fallback."""
+        exact = self.mode == "exact"
+        try:
+            dist = self._attempts(sources, deadline_at, exact=exact)
+        except (DeadlineExceeded, CircuitOpenError):
+            raise
+        except Exception as exc:
+            if not exact:
+                if isinstance(exc, ReproError):
+                    raise
+                raise ExecutionError(f"batch execution failed: {exc}") from exc
+            # Graceful degradation: the exact (metered replay) path is down;
+            # the fast path produces bit-identical distances, so serve those
+            # rather than failing the batch.
+            _LOG.warning("exact path failed (%s); degrading batch to the fast path", exc)
+            try:
+                dist = self._attempts(sources, deadline_at, exact=False)
+            except (DeadlineExceeded, CircuitOpenError):
+                raise
+            except Exception as fast_exc:
+                if isinstance(fast_exc, ReproError):
+                    raise
+                raise ExecutionError(f"batch execution failed: {fast_exc}") from exc
+            self.degraded += 1
+        self._record_success()
+        return dist
+
+    def _attempts(self, sources: list[int], deadline_at, *, exact: bool) -> np.ndarray:
+        index = self._exec_seq
+        self._exec_seq += 1
+        last: "Exception | None" = None
+        for attempt in range(self.retries + 1):
+            try:
+                return self._execute_once(sources, deadline_at, index, attempt, exact=exact)
+            except DeadlineExceeded:
+                self._record_failure()
+                raise
+            except Exception as exc:
+                last = exc
+                self._record_failure()
+                _LOG.warning("execution attempt %d/%d failed: %s",
+                             attempt + 1, self.retries + 1, exc)
+                if self._circuit_state() == "open":
+                    # The breaker tripped mid-retry: stop burning attempts.
+                    raise CircuitOpenError(
+                        f"circuit breaker tripped after {self._consecutive_failures} "
+                        f"consecutive execution failures: {exc}"
+                    ) from exc
+        raise last
+
+    def _execute_once(
+        self, sources: list[int], deadline_at, index: int, attempt: int, *, exact: bool
+    ) -> np.ndarray:
+        injector = get_injector()
+        directive = injector.fire("engine.execute", index=index, attempt=attempt)
+        if exact:
+            exact_directive = injector.fire("engine.exact", index=index, attempt=attempt)
+            directive = directive or exact_directive
+        _check_deadline(deadline_at)
+        if deadline_at is None:
+            dist = self._run_chunk(sources, exact=exact)
+        else:
+            outs = []
+            for lo in range(0, len(sources), _DEADLINE_CHUNK):
+                outs.append(self._run_chunk(sources[lo : lo + _DEADLINE_CHUNK], exact=exact))
+                _check_deadline(deadline_at)
+            dist = outs[0] if len(outs) == 1 else np.vstack(outs)
+        if directive == "corrupt":
+            dist = np.array(dist, copy=True)
+            dist[0, sources[0]] += 1.0  # breaks the zero-self-distance invariant
+        self._validate_result(dist, sources)
+        return dist
+
+    def _run_chunk(self, sources: list[int], *, exact: bool) -> np.ndarray:
+        if not exact:
             return multi_source_distances(
                 self.graph, sources, algo=self.algo, param=self.param
             )
@@ -153,3 +379,19 @@ class QueryEngine:
         else:
             results = bellman_ford_batch(self.graph, sources, seed=self.seed)
         return np.stack([r.dist for r in results])
+
+    def _validate_result(self, dist: np.ndarray, sources: list[int]) -> None:
+        """Reject corrupted execution payloads before they reach the cache."""
+        if dist.shape != (len(sources), self.graph.n):
+            raise ExecutionError(
+                f"execution returned shape {dist.shape}, expected {(len(sources), self.graph.n)}"
+            )
+        if np.isnan(dist).any():
+            raise ExecutionError("execution produced NaN distances")
+        if (dist < 0).any():
+            raise ExecutionError("execution produced negative distances")
+        for i, s in enumerate(sources):
+            if dist[i, s] != 0.0:
+                raise ExecutionError(
+                    f"corrupted payload: dist[{s}, {s}] = {dist[i, s]!r}, expected 0"
+                )

@@ -2,20 +2,32 @@
 
 ``analysis/sweeps.py`` evaluates a parameter grid × source list; each cell
 is an independent SSSP run, which makes the sweep embarrassingly parallel.
-:class:`SweepPool` keeps a ``ProcessPoolExecutor`` alive across the whole
-grid and ships the CSR graph to each worker exactly once via the pool
-initializer (on fork-based platforms the arrays arrive through
-copy-on-write page sharing; elsewhere they are pickled once per worker, not
-once per task).  Tasks then reference the worker-global graph by proxy, so
-a task payload is just ``(impl_key, param, source, seed, machine)``.
+:class:`SweepPool` keeps a worker pool alive across the whole grid and ships
+the CSR graph to each worker exactly once via the pool initializer (on
+fork-based platforms the arrays arrive through copy-on-write page sharing;
+elsewhere they are pickled once per worker, not once per task).  Tasks then
+reference the worker-global graph by proxy, so a task payload is just
+``(impl_key, param, source, seed, machine)``.
+
+Execution is routed through :class:`~repro.serving.supervisor.SupervisedPool`:
+a crashed worker no longer poisons the sweep (the pool rebuilds and the
+failed cells re-execute — every cell is a pure function of its payload, so
+resubmission is idempotent and the recovered grid is bit-identical), hung
+cells are bounded by an optional per-task ``timeout``, and transient or
+corrupted results are retried up to ``retries`` times.  When a cell finally
+exhausts its budget, all outstanding cells are cancelled before the error is
+re-raised, so a failing sweep never keeps the grid running in the
+background.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+import math
 
 from repro.graphs.csr import Graph
 from repro.runtime.machine import MachineModel
+from repro.serving.faults import FaultPlan
+from repro.serving.supervisor import SupervisedPool
 from repro.utils.errors import ParameterError
 
 __all__ = ["SweepPool"]
@@ -39,11 +51,16 @@ def _run_cell(impl_key: str, param, source: int, seed, machine: MachineModel) ->
 
     impl = get_implementation(impl_key)
     res = impl.run(_WORKER_GRAPH, int(source), param, seed=seed)
-    return simulated_time(res, machine, impl.profile)
+    return float(simulated_time(res, machine, impl.profile))
+
+
+def _valid_time(value) -> bool:
+    """A sweep cell must come back as a finite non-negative simulated time."""
+    return isinstance(value, float) and math.isfinite(value) and value >= 0.0
 
 
 class SweepPool:
-    """A persistent worker pool bound to one graph.
+    """A persistent, supervised worker pool bound to one graph.
 
     Use as a context manager::
 
@@ -51,43 +68,66 @@ class SweepPool:
             times = pool.simulated_times("PQ-rho", 2**13, sources, machine)
 
     The pool survives across many calls (that is the point — workers keep
-    the graph warm), and shuts down with the context.
+    the graph warm), recovers from worker crashes/hangs transparently (see
+    :class:`~repro.serving.supervisor.SupervisedPool`), and shuts down with
+    the context.  ``stats()`` exposes the supervision counters (rebuilds,
+    retries, timeouts) so recovery events stay visible.
     """
 
-    def __init__(self, graph: Graph, jobs: int) -> None:
+    def __init__(
+        self,
+        graph: Graph,
+        jobs: int,
+        *,
+        timeout: "float | None" = None,
+        retries: int = 2,
+        backoff: float = 0.05,
+        seed: int = 0,
+        fault_plan: "FaultPlan | None" = None,
+    ) -> None:
         if jobs < 2:
             raise ParameterError(f"SweepPool needs jobs >= 2, got {jobs} (use the serial path)")
         self.graph = graph
         self.jobs = jobs
-        self._exec = ProcessPoolExecutor(
-            max_workers=jobs, initializer=_init_worker, initargs=(graph,)
+        self._sup = SupervisedPool(
+            jobs,
+            initializer=_init_worker,
+            initargs=(graph,),
+            timeout=timeout,
+            retries=retries,
+            backoff=backoff,
+            seed=seed,
+            fault_plan=fault_plan,
         )
 
     def simulated_times(
         self, impl_key: str, param, sources, machine: MachineModel, *, seed=0
     ) -> list[float]:
         """Simulated seconds for ``impl_key`` at one param across ``sources``."""
-        futures = [
-            self._exec.submit(_run_cell, impl_key, param, int(s), seed, machine)
-            for s in sources
-        ]
-        return [f.result() for f in futures]
+        tasks = [(impl_key, param, int(s), seed, machine) for s in sources]
+        return self._sup.map_supervised(_run_cell, tasks, validate=_valid_time)
 
     def map_cells(
         self, impl_key: str, params, sources, machine: MachineModel, *, seed=0
     ) -> "list[list[float]]":
         """Times for the full grid: one inner list per param, all in flight."""
-        futures = [
-            [
-                self._exec.submit(_run_cell, impl_key, p, int(s), seed, machine)
-                for s in sources
-            ]
-            for p in params
-        ]
-        return [[f.result() for f in row] for row in futures]
+        params = list(params)
+        sources = [int(s) for s in sources]
+        tasks = [(impl_key, p, s, seed, machine) for p in params for s in sources]
+        flat = self._sup.map_supervised(_run_cell, tasks, validate=_valid_time)
+        k = len(sources)
+        return [flat[i * k : (i + 1) * k] for i in range(len(params))]
+
+    def health_probe(self, timeout: float = 5.0) -> bool:
+        """True when a worker answers a trivial round-trip within ``timeout``."""
+        return self._sup.health_probe(timeout)
+
+    def stats(self) -> dict:
+        """Supervision counters (submitted/completed/retried/rebuilds/...)."""
+        return self._sup.stats()
 
     def close(self) -> None:
-        self._exec.shutdown(wait=True)
+        self._sup.close()
 
     def __enter__(self) -> "SweepPool":
         return self

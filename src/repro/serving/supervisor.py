@@ -1,0 +1,329 @@
+"""Supervised process-pool execution: timeouts, retries, rebuild, probes.
+
+``ProcessPoolExecutor`` alone is brittle in exactly the ways a long-lived
+serving pool cannot afford: one dead worker raises ``BrokenProcessPool`` and
+poisons every in-flight future, a hung worker blocks ``result()`` forever,
+and a transient task exception surfaces as a permanent failure.
+:class:`SupervisedPool` wraps the executor with the recovery policy the
+serving layer needs:
+
+* **per-task timeouts** — a task that exceeds ``timeout`` seconds is treated
+  as hung; the pool is rebuilt (the stuck worker cannot be reclaimed) and
+  the task is retried;
+* **bounded retries** — every failure mode (timeout, worker crash, task
+  exception, payload rejected by ``validate``) consumes one attempt from a
+  per-task budget of ``retries``; exhausting it raises a typed error after
+  **cancelling all outstanding futures** so a failing grid never keeps
+  burning CPU in the background;
+* **exponential backoff with deterministic jitter** between retry rounds
+  (seeded ``random.Random`` — reproducible schedules under test);
+* **automatic rebuild** on ``BrokenProcessPool``: the executor is replaced,
+  workers re-run the initializer (re-warming their graph), and unfinished
+  tasks are resubmitted;
+* **idempotent resubmission** — tasks must be pure functions of their
+  arguments (sweep cells and SSSP batches are), so re-executing a task that
+  may already have partially run is safe and results stay bit-identical;
+* **health probe** — a trivial round-trip through a worker with a short
+  deadline, rebuilding once if the pool turns out to be broken.
+
+Fault injection: the optional ``fault_plan`` ships to every worker through
+the initializer and fires at the ``pool.worker`` site with the task's global
+index and attempt number — deterministic regardless of which worker runs the
+task or how often the pool is rebuilt.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures as cf
+import logging
+import random
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+
+from repro.serving.faults import FaultPlan, FaultInjector, get_injector, install_injector
+from repro.utils.errors import (
+    DeadlineExceeded,
+    ExecutionError,
+    ParameterError,
+    WorkerCrashError,
+)
+
+__all__ = ["SupervisedPool"]
+
+_LOG = logging.getLogger("repro.serving")
+
+
+def _bootstrap_worker(plan, user_init, user_initargs) -> None:
+    """Worker initializer: install the fault injector, then the user's init."""
+    install_injector(FaultInjector(plan) if plan else None)
+    if user_init is not None:
+        user_init(*user_initargs)
+
+
+def _corrupt_payload(result):
+    """Site-specific corruption for ``pool.worker``: numbers go negative
+    (impossible for a simulated time), everything else becomes ``None`` — in
+    both cases something a ``validate`` callback can detect and reject."""
+    if isinstance(result, bool) or not isinstance(result, (int, float)):
+        return None
+    return -abs(float(result)) - 1.0
+
+
+def _supervised_call(fn, index, attempt, args):
+    """Worker-side wrapper around every supervised task.
+
+    Fires the ``pool.worker`` injection site with the task's stable identity
+    before running it, and applies payload corruption when directed.
+    """
+    directive = get_injector().fire("pool.worker", index=index, attempt=attempt)
+    result = fn(*args)
+    if directive == "corrupt":
+        result = _corrupt_payload(result)
+    return result
+
+
+def _ping() -> str:
+    return "pong"
+
+
+class SupervisedPool:
+    """A self-healing ``ProcessPoolExecutor`` front end (see module docstring).
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count (>= 1).
+    initializer, initargs:
+        Per-worker warm-up (e.g. installing the shared graph), re-run
+        whenever the pool is rebuilt.
+    timeout:
+        Per-task deadline in seconds (``None`` disables hang detection).
+    retries:
+        Extra attempts per task after the first (0 = fail on first error).
+    backoff, backoff_factor, max_backoff:
+        Sleep ``min(max_backoff, backoff * backoff_factor**round)`` between
+        retry rounds, scaled by a deterministic jitter in [1, 1.5).
+    seed:
+        Seed for the jitter stream.
+    fault_plan:
+        Optional :class:`~repro.serving.faults.FaultPlan` shipped to workers.
+    """
+
+    def __init__(
+        self,
+        jobs: int,
+        *,
+        initializer=None,
+        initargs=(),
+        timeout: "float | None" = None,
+        retries: int = 2,
+        backoff: float = 0.05,
+        backoff_factor: float = 2.0,
+        max_backoff: float = 2.0,
+        seed: int = 0,
+        fault_plan: "FaultPlan | None" = None,
+    ) -> None:
+        if jobs < 1:
+            raise ParameterError(f"SupervisedPool needs jobs >= 1, got {jobs}")
+        if retries < 0:
+            raise ParameterError(f"retries must be >= 0, got {retries}")
+        if timeout is not None and timeout <= 0:
+            raise ParameterError(f"timeout must be positive, got {timeout}")
+        self.jobs = jobs
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.backoff_factor = backoff_factor
+        self.max_backoff = max_backoff
+        self._initializer = initializer
+        self._initargs = tuple(initargs)
+        self._plan = fault_plan if fault_plan else None
+        self._rng = random.Random(seed)
+        self._stats = {
+            "submitted": 0,
+            "completed": 0,
+            "retried": 0,
+            "timeouts": 0,
+            "crashes": 0,
+            "task_failures": 0,
+            "rejected": 0,
+            "rebuilds": 0,
+        }
+        self._exec = self._build_executor()
+
+    # ------------------------------------------------------------------ #
+
+    def _build_executor(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=self.jobs,
+            initializer=_bootstrap_worker,
+            initargs=(self._plan, self._initializer, self._initargs),
+        )
+
+    def _rebuild(self) -> None:
+        """Abandon the current executor and start a fresh one.
+
+        ``wait=False`` because the whole point is that a worker may be hung
+        or dead; ``cancel_futures=True`` drops anything still queued.
+        """
+        self._stats["rebuilds"] += 1
+        _LOG.warning("supervised pool rebuild #%d (jobs=%d)", self._stats["rebuilds"], self.jobs)
+        try:
+            self._exec.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # a broken executor may refuse even shutdown
+            pass
+        self._exec = self._build_executor()
+
+    def _sleep_backoff(self, round_no: int) -> None:
+        base = min(self.max_backoff, self.backoff * self.backoff_factor**round_no)
+        time.sleep(base * (1.0 + 0.5 * self._rng.random()))
+
+    # ------------------------------------------------------------------ #
+
+    def map_supervised(self, fn, tasks, *, validate=None) -> list:
+        """Run ``fn(*task)`` for every argument tuple in ``tasks``.
+
+        All tasks are put in flight at once; results come back in task order.
+        Tasks must be idempotent (they may re-execute after a crash, hang or
+        rejected payload).  ``validate`` is an optional parent-side predicate
+        on each result; a ``False`` verdict consumes a retry attempt like any
+        other failure.
+
+        Raises the last per-task error (``DeadlineExceeded``,
+        ``WorkerCrashError``, the task's own exception, or
+        ``ExecutionError`` for rejected payloads) once any single task
+        exhausts its attempt budget — after cancelling all outstanding
+        futures.
+        """
+        tasks = [tuple(t) for t in tasks]
+        results: "list" = [None] * len(tasks)
+        finished = [False] * len(tasks)
+        attempts = [0] * len(tasks)
+        pending = list(range(len(tasks)))
+        self._stats["submitted"] += len(tasks)
+        round_no = 0
+        while pending:
+            futures = self._submit_round(fn, tasks, attempts, pending)
+            requeue: "list[int]" = []
+            need_rebuild = False
+            fatal: "Exception | None" = None
+            for i, fut in futures:
+                if fatal is not None:
+                    fut.cancel()
+                    continue
+                if need_rebuild and not fut.done():
+                    # The executor is being abandoned; anything not already
+                    # finished gets resubmitted (idempotent) on the new pool
+                    # without charging its attempt budget.
+                    fut.cancel()
+                    requeue.append(i)
+                    continue
+                try:
+                    result = fut.result(timeout=None if fut.done() else self.timeout)
+                except cf.TimeoutError:
+                    self._stats["timeouts"] += 1
+                    _LOG.warning("task %d timed out after %.3gs (attempt %d)", i, self.timeout, attempts[i])
+                    need_rebuild = True  # the hung worker cannot be reclaimed
+                    fatal = self._charge(i, attempts, requeue, DeadlineExceeded(
+                        f"task {i} exceeded its {self.timeout}s deadline"
+                        f" (attempt {attempts[i] + 1}/{self.retries + 1})"))
+                    continue
+                except BrokenProcessPool as exc:
+                    self._stats["crashes"] += 1
+                    _LOG.warning("worker crash broke the pool at task %d: %s", i, exc)
+                    need_rebuild = True
+                    fatal = self._charge(i, attempts, requeue, WorkerCrashError(
+                        f"worker crashed while task {i} was in flight"
+                        f" (attempt {attempts[i] + 1}/{self.retries + 1}): {exc}"))
+                    continue
+                except cf.CancelledError:
+                    requeue.append(i)
+                    continue
+                except Exception as exc:
+                    self._stats["task_failures"] += 1
+                    fatal = self._charge(i, attempts, requeue, exc)
+                    continue
+                if validate is not None and not validate(result):
+                    self._stats["rejected"] += 1
+                    _LOG.warning("task %d returned invalid payload %r (attempt %d)", i, result, attempts[i])
+                    fatal = self._charge(i, attempts, requeue, ExecutionError(
+                        f"task {i} returned an invalid payload: {result!r}"))
+                    continue
+                results[i] = result
+                finished[i] = True
+                self._stats["completed"] += 1
+            if fatal is not None:
+                for _, fut in futures:
+                    fut.cancel()
+                if need_rebuild:
+                    self._rebuild()
+                raise fatal
+            if need_rebuild:
+                self._rebuild()
+            pending = requeue
+            if pending:
+                self._stats["retried"] += len(pending)
+                self._sleep_backoff(round_no)
+            round_no += 1
+        return results
+
+    def _submit_round(self, fn, tasks, attempts, pending):
+        """Submit one round of tasks, healing a broken executor once."""
+        for _ in range(2):
+            futures = []
+            try:
+                for i in pending:
+                    futures.append(
+                        (i, self._exec.submit(_supervised_call, fn, i, attempts[i], tasks[i]))
+                    )
+                return futures
+            except BrokenProcessPool:
+                for _, fut in futures:
+                    fut.cancel()
+                self._stats["crashes"] += 1
+                self._rebuild()
+        raise WorkerCrashError("executor keeps breaking during submission")
+
+    def _charge(self, i, attempts, requeue, error):
+        """Consume one attempt for task ``i``; requeue or return the fatal error."""
+        attempts[i] += 1
+        if attempts[i] > self.retries:
+            return error
+        requeue.append(i)
+        return None
+
+    # ------------------------------------------------------------------ #
+
+    def health_probe(self, timeout: float = 5.0) -> bool:
+        """Round-trip a trivial task through a worker.
+
+        Returns ``True`` when a worker answers within ``timeout``.  A broken
+        pool is rebuilt and probed once more; a hang or repeated breakage
+        reports ``False`` (after rebuilding, so the pool is usable again).
+        """
+        for _ in range(2):
+            try:
+                fut = self._exec.submit(_ping)
+                return fut.result(timeout=timeout) == "pong"
+            except BrokenProcessPool:
+                self._stats["crashes"] += 1
+                self._rebuild()
+            except cf.TimeoutError:
+                self._stats["timeouts"] += 1
+                self._rebuild()
+                return False
+        return False
+
+    def stats(self) -> dict:
+        """Supervision counters (submissions, retries, rebuilds, ...)."""
+        return dict(self._stats)
+
+    def close(self) -> None:
+        self._exec.shutdown(wait=True, cancel_futures=True)
+
+    def __enter__(self) -> "SupervisedPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,13 +1,25 @@
 """Small shared utilities: errors, RNG helpers, timing."""
 
-from repro.utils.errors import GraphFormatError, ParameterError, ReproError
+from repro.utils.errors import (
+    CircuitOpenError,
+    DeadlineExceeded,
+    ExecutionError,
+    GraphFormatError,
+    ParameterError,
+    ReproError,
+    WorkerCrashError,
+)
 from repro.utils.rng import as_generator, spawn_generators
 from repro.utils.timing import Timer
 
 __all__ = [
+    "CircuitOpenError",
+    "DeadlineExceeded",
+    "ExecutionError",
     "GraphFormatError",
     "ParameterError",
     "ReproError",
+    "WorkerCrashError",
     "Timer",
     "as_generator",
     "spawn_generators",

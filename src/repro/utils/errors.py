@@ -16,3 +16,19 @@ class ParameterError(ReproError, ValueError):
 
 class GraphFormatError(ReproError, ValueError):
     """A graph violates a structural invariant (CSR shape, weights, ids)."""
+
+
+class ExecutionError(ReproError, RuntimeError):
+    """An SSSP execution failed at serving time (crash, corruption, fault)."""
+
+
+class DeadlineExceeded(ExecutionError):
+    """A batch or task blew through its deadline / per-task timeout."""
+
+
+class WorkerCrashError(ExecutionError):
+    """A pool worker process died and the retry budget could not recover it."""
+
+
+class CircuitOpenError(ExecutionError):
+    """The serving circuit breaker is open — failing fast without executing."""

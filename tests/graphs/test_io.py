@@ -31,6 +31,28 @@ class TestNpz:
         assert h.directed == g.directed
         assert h.name == g.name
 
+    def test_missing_arrays_raise_named_format_error(self, g, tmp_path):
+        p = tmp_path / "partial.npz"
+        np.savez_compressed(p, indptr=g.indptr, indices=g.indices)
+        with pytest.raises(GraphFormatError) as excinfo:
+            load_npz(p)
+        msg = str(excinfo.value)
+        assert str(p) in msg and "weights" in msg
+
+    def test_mismatched_shapes_raise_named_format_error(self, g, tmp_path):
+        p = tmp_path / "short.npz"
+        np.savez_compressed(
+            p,
+            indptr=g.indptr,
+            indices=g.indices,
+            weights=g.weights[:-1],  # one weight short of the edge count
+            directed=np.array(g.directed),
+            name=np.array(g.name),
+        )
+        with pytest.raises(GraphFormatError) as excinfo:
+            load_npz(p)
+        assert str(p) in str(excinfo.value)
+
 
 class TestEdgelist:
     def test_roundtrip(self, g, tmp_path):

@@ -83,3 +83,53 @@ class TestValidation:
     def test_delta_requires_param(self, rmat_small):
         with pytest.raises(ParameterError):
             QueryEngine(rmat_small, "delta")
+
+    def test_bad_resilience_params(self, rmat_small):
+        with pytest.raises(ParameterError):
+            QueryEngine(rmat_small, "bf", retries=-1)
+        with pytest.raises(ParameterError):
+            QueryEngine(rmat_small, "bf", failure_threshold=0)
+        with pytest.raises(ParameterError):
+            QueryEngine(rmat_small, "bf", deadline=0)
+
+
+class TestAdmissionValidation:
+    """Bad sources are rejected at admission, by name, never inside kernels."""
+
+    def test_negative_source_rejected(self, rmat_small):
+        eng = QueryEngine(rmat_small, "bf")
+        with pytest.raises(ParameterError, match="-3"):
+            eng.query_batch([0, -3])
+
+    def test_out_of_range_source_rejected(self, rmat_small):
+        eng = QueryEngine(rmat_small, "bf")
+        with pytest.raises(ParameterError, match=str(rmat_small.n)):
+            eng.query_batch([rmat_small.n])
+
+    @pytest.mark.parametrize("bad", [2.5, "7", None, 1.0])
+    def test_non_integer_source_rejected(self, rmat_small, bad):
+        eng = QueryEngine(rmat_small, "bf")
+        with pytest.raises(ParameterError, match="not an integer"):
+            eng.query_batch([bad])
+
+    def test_numpy_integer_sources_admitted(self, rmat_small):
+        eng = QueryEngine(rmat_small, "bf")
+        out = eng.query_batch(np.array([2, 4], dtype=np.int64))
+        assert out.shape == (2, rmat_small.n)
+
+    def test_rejected_batch_executes_nothing(self, rmat_small):
+        eng = QueryEngine(rmat_small, "bf")
+        with pytest.raises(ParameterError):
+            eng.query_batch([1, rmat_small.n + 5])
+        assert eng.stats()["executed"] == 0
+
+
+class TestResilienceStats:
+    def test_stats_expose_resilience_counters(self, rmat_small):
+        eng = QueryEngine(rmat_small, "bf")
+        eng.query_batch([0])
+        st = eng.stats()
+        assert st["circuit_state"] == "closed"
+        assert st["circuit_trips"] == 0
+        assert st["exec_failures"] == 0
+        assert st["degraded"] == 0

@@ -1,0 +1,118 @@
+"""Unit tests for the deterministic fault-injection framework."""
+
+import time
+
+import pytest
+
+from repro.serving.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    get_injector,
+    install_injector,
+)
+from repro.utils.errors import ExecutionError, ParameterError, ReproError
+
+
+@pytest.fixture(autouse=True)
+def _restore_injector():
+    yield
+    install_injector(None)
+
+
+class TestSpecs:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ParameterError):
+            FaultSpec("s", "meltdown")
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ParameterError):
+            FaultSpec("s", "exception", rate=1.5)
+
+    def test_bad_times_rejected(self):
+        with pytest.raises(ParameterError):
+            FaultSpec("s", "exception", times=0)
+
+    def test_at_indices_normalised(self):
+        assert FaultSpec("s", "exception", at=[3, 1]).at == (3, 1)
+
+    def test_empty_plan_is_falsy(self):
+        assert not FaultPlan()
+        assert FaultPlan.single("s", "exception")
+
+
+class TestFire:
+    def test_disabled_injector_is_noop(self):
+        inj = FaultInjector(None)
+        assert inj.fire("anything") is None
+        assert not inj.enabled
+        assert inj.fired == []
+
+    def test_at_matching_uses_per_site_counter(self):
+        inj = FaultInjector(FaultPlan.single("s", "exception", at=(1,)))
+        assert inj.fire("s") is None  # invocation 0
+        with pytest.raises(InjectedFault):
+            inj.fire("s")  # invocation 1
+        assert inj.fire("s") is None  # invocation 2
+        assert inj.fired == [("s", "exception", 1, 0)]
+
+    def test_sites_are_independent(self):
+        inj = FaultInjector(FaultPlan.single("a", "exception", at=(0,)))
+        assert inj.fire("b") is None
+        with pytest.raises(InjectedFault):
+            inj.fire("a")
+
+    def test_times_gates_on_attempt(self):
+        inj = FaultInjector(FaultPlan.single("s", "exception", at=(0,), times=2))
+        with pytest.raises(InjectedFault):
+            inj.fire("s", index=0, attempt=0)
+        with pytest.raises(InjectedFault):
+            inj.fire("s", index=0, attempt=1)
+        assert inj.fire("s", index=0, attempt=2) is None
+
+    def test_corrupt_returns_directive(self):
+        inj = FaultInjector(FaultPlan.single("s", "corrupt", at=(0,)))
+        assert inj.fire("s", index=0) == "corrupt"
+        assert inj.fire("s", index=1) is None
+
+    def test_hang_sleeps_for_delay(self):
+        inj = FaultInjector(FaultPlan.single("s", "hang", at=(0,), delay=0.05))
+        t0 = time.monotonic()
+        inj.fire("s", index=0)
+        assert time.monotonic() - t0 >= 0.04
+
+    def test_rate_is_deterministic_across_instances(self):
+        plan = FaultPlan.single("s", "corrupt", at=None, rate=0.4, seed=13)
+        a = FaultInjector(plan)
+        b = FaultInjector(plan)
+        decisions_a = [a.fire("s", index=i) for i in range(64)]
+        decisions_b = [b.fire("s", index=i) for i in range(64)]
+        assert decisions_a == decisions_b
+        assert "corrupt" in decisions_a and None in decisions_a
+
+    def test_rate_depends_on_seed(self):
+        a = FaultInjector(FaultPlan.single("s", "corrupt", at=None, rate=0.4, seed=1))
+        b = FaultInjector(FaultPlan.single("s", "corrupt", at=None, rate=0.4, seed=2))
+        assert [a.fire("s", index=i) for i in range(64)] != [
+            b.fire("s", index=i) for i in range(64)
+        ]
+
+    def test_injected_fault_is_typed(self):
+        assert issubclass(InjectedFault, ExecutionError)
+        assert issubclass(InjectedFault, ReproError)
+
+
+class TestInstall:
+    def test_default_is_disabled(self):
+        assert not get_injector().enabled
+
+    def test_install_plan_and_reset(self):
+        inj = install_injector(FaultPlan.single("s", "exception", at=(0,)))
+        assert get_injector() is inj and inj.enabled
+        install_injector(None)
+        assert not get_injector().enabled
+
+    def test_install_rejects_garbage(self):
+        with pytest.raises(ParameterError):
+            install_injector("chaos")

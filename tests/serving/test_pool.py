@@ -45,6 +45,16 @@ class TestPool:
                 assert t == ref
 
 
+class TestSupervision:
+    def test_stats_and_probe_on_healthy_pool(self, rmat_small, machine):
+        with SweepPool(rmat_small, jobs=2) as pool:
+            pool.simulated_times("PQ-rho", 64, [0, 1], machine)
+            st = pool.stats()
+            assert pool.health_probe(timeout=30.0)
+        assert st["submitted"] == 2 and st["completed"] == 2
+        assert st["rebuilds"] == 0 and st["retried"] == 0
+
+
 class TestSweepJobs:
     def test_sweep_param_jobs_matches_serial(self, road_small, machine):
         impl = get_implementation("PQ-rho")

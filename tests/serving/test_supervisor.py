@@ -1,0 +1,134 @@
+"""SupervisedPool: retries, timeouts, crash recovery, health probes.
+
+Worker functions must be module-level (pickled by qualified name); the flaky
+ones coordinate across processes through files so the retry schedule is
+deterministic regardless of which worker runs an attempt.
+"""
+
+import os
+
+import pytest
+
+from repro.serving.faults import FaultPlan, InjectedFault
+from repro.serving.supervisor import SupervisedPool
+from repro.utils.errors import (
+    DeadlineExceeded,
+    ExecutionError,
+    ParameterError,
+    ReproError,
+    WorkerCrashError,
+)
+
+
+def _double(x):
+    return 2 * x
+
+
+def _fail_once(marker, x):
+    """Raise on the first call (per marker file), succeed afterwards."""
+    try:
+        with open(marker, "x"):
+            pass
+    except FileExistsError:
+        return x
+    raise RuntimeError(f"transient failure for {x}")
+
+
+def _nonneg(v):
+    return isinstance(v, (int, float)) and v >= 0
+
+
+class TestBasics:
+    def test_results_in_task_order(self):
+        with SupervisedPool(2, backoff=0.01) as pool:
+            out = pool.map_supervised(_double, [(i,) for i in range(7)])
+        assert out == [0, 2, 4, 6, 8, 10, 12]
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ParameterError):
+            SupervisedPool(0)
+        with pytest.raises(ParameterError):
+            SupervisedPool(2, retries=-1)
+        with pytest.raises(ParameterError):
+            SupervisedPool(2, timeout=0)
+
+    def test_health_probe(self):
+        with SupervisedPool(2) as pool:
+            assert pool.health_probe(timeout=30.0)
+
+    def test_stats_counters(self):
+        with SupervisedPool(2, backoff=0.01) as pool:
+            pool.map_supervised(_double, [(1,), (2,)])
+            st = pool.stats()
+        assert st["submitted"] == 2 and st["completed"] == 2
+        assert st["rebuilds"] == 0 and st["retried"] == 0
+
+
+class TestRetries:
+    def test_transient_exception_retried(self, tmp_path):
+        marker = str(tmp_path / "flaky")
+        with SupervisedPool(2, retries=2, backoff=0.01) as pool:
+            out = pool.map_supervised(_fail_once, [(marker, 5)])
+            st = pool.stats()
+        assert out == [5]
+        assert st["task_failures"] == 1 and st["retried"] == 1
+
+    def test_exhausted_retries_reraise_original(self):
+        plan = FaultPlan.single("pool.worker", "exception", at=(1,), times=99)
+        with SupervisedPool(2, retries=1, backoff=0.01, fault_plan=plan) as pool:
+            with pytest.raises(InjectedFault):
+                pool.map_supervised(_double, [(1,), (2,)])
+            # The pool is still usable after a failed map (task indices are
+            # per-call, so a single-task map dodges the at=(1,) spec).
+            assert pool.map_supervised(_double, [(3,)]) == [6]
+
+    def test_invalid_payload_rejected(self):
+        plan = FaultPlan.single("pool.worker", "corrupt", at=(0,), times=1)
+        with SupervisedPool(2, retries=2, backoff=0.01, fault_plan=plan) as pool:
+            out = pool.map_supervised(_double, [(4,), (5,)], validate=_nonneg)
+            st = pool.stats()
+        assert out == [8, 10]
+        assert st["rejected"] == 1 and st["retried"] >= 1
+
+    def test_persistently_invalid_payload_is_fatal(self):
+        plan = FaultPlan.single("pool.worker", "corrupt", at=(0,), times=99)
+        with SupervisedPool(2, retries=1, backoff=0.01, fault_plan=plan) as pool:
+            with pytest.raises(ExecutionError):
+                pool.map_supervised(_double, [(4,)], validate=_nonneg)
+
+
+class TestCrashRecovery:
+    def test_worker_crash_rebuilds_and_recovers(self):
+        plan = FaultPlan.single("pool.worker", "crash", at=(1,), times=1)
+        with SupervisedPool(2, retries=2, backoff=0.01, fault_plan=plan) as pool:
+            out = pool.map_supervised(_double, [(i,) for i in range(4)])
+            st = pool.stats()
+        assert out == [0, 2, 4, 6]
+        assert st["crashes"] >= 1 and st["rebuilds"] >= 1
+
+    def test_unrecoverable_crash_raises_typed_error(self):
+        plan = FaultPlan.single("pool.worker", "crash", at=(0,), times=99)
+        with SupervisedPool(2, retries=1, backoff=0.01, fault_plan=plan) as pool:
+            with pytest.raises(WorkerCrashError) as excinfo:
+                pool.map_supervised(_double, [(1,)])
+        assert isinstance(excinfo.value, ReproError)
+
+
+class TestTimeouts:
+    def test_hung_task_times_out_and_retries(self):
+        plan = FaultPlan.single("pool.worker", "hang", at=(0,), times=1, delay=2.0)
+        with SupervisedPool(
+            2, timeout=0.5, retries=2, backoff=0.01, fault_plan=plan
+        ) as pool:
+            out = pool.map_supervised(_double, [(i,) for i in range(3)])
+            st = pool.stats()
+        assert out == [0, 2, 4]
+        assert st["timeouts"] >= 1 and st["rebuilds"] >= 1
+
+    def test_persistent_hang_raises_deadline_exceeded(self):
+        plan = FaultPlan.single("pool.worker", "hang", at=(0,), times=99, delay=2.0)
+        with SupervisedPool(
+            2, timeout=0.3, retries=1, backoff=0.01, fault_plan=plan
+        ) as pool:
+            with pytest.raises(DeadlineExceeded):
+                pool.map_supervised(_double, [(1,)])

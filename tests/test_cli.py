@@ -104,3 +104,41 @@ class TestCommands:
         monkeypatch.setenv("REPRO_SCALE", "tiny")
         assert main(["info", "OK"]) == 0
         assert "OK" in capsys.readouterr().out
+
+
+class TestErrorPaths:
+    """Serving failures exit nonzero with a one-line ReproError diagnosis."""
+
+    def test_batch_unknown_algo(self, graph_file, capsys):
+        assert main(["batch", graph_file, "--sources", "0", "--algo", "astar"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "astar" in err
+
+    def test_batch_out_of_range_source(self, graph_file, capsys):
+        assert main(["batch", graph_file, "--sources", "999999"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "999999" in err
+
+    def test_batch_negative_source(self, graph_file, capsys):
+        assert main(["batch", graph_file, "--sources", "-4"]) == 2
+        assert "out of range" in capsys.readouterr().err
+
+    def test_batch_tripped_circuit(self, graph_file, capsys):
+        from repro.serving import FaultPlan, install_injector
+
+        # A persistent execution fault: with enough retries the engine's
+        # breaker (threshold 5) trips mid-batch and fails fast, typed.
+        install_injector(
+            FaultPlan.single("engine.execute", "exception", at=None, rate=1.0, times=999)
+        )
+        try:
+            assert main(["batch", graph_file, "--sources", "0", "--retries", "6"]) == 2
+        finally:
+            install_injector(None)
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "circuit" in err
+
+    def test_batch_deadline_flag_accepted(self, graph_file, capsys):
+        assert main(["batch", graph_file, "--sources", "0,1",
+                     "--deadline", "60", "--verify"]) == 0
+        assert "verified 2 rows" in capsys.readouterr().out
