@@ -7,7 +7,13 @@ Commands
 ``run``       run one SSSP algorithm and report work-span stats + simulated time.
 ``batch``     answer a multi-source batch through the serving engine.
 ``sweep``     sweep Δ or ρ over powers of two and print the relative-time curve.
+``trace``     run one algorithm under the tracer and print its span tree.
 ``generate``  write a synthetic graph (rmat / road-grid / road-geo) to .npz.
+
+``run``/``batch``/``sweep``/``trace`` accept ``--metrics PATH`` to dump a
+metrics-registry snapshot (JSON by default; Prometheus text for ``.prom`` /
+``.txt`` paths) covering kernels, the LAB-PQ, the stepping loop and the
+serving layer.
 
 Datasets are the seven paper stand-ins (OK LJ TW FT WB GE USA, sized by
 ``REPRO_SCALE``) or any ``.npz`` / ``.gr`` / edge-list file.
@@ -42,7 +48,16 @@ from repro.graphs import (
     road_grid,
     save_npz,
 )
+from repro.obs import (
+    OBS,
+    MetricsRegistry,
+    Tracer,
+    observed,
+    render_span_tree,
+    write_metrics,
+)
 from repro.runtime import MachineModel
+from repro.runtime.machine import DEFAULT_PROFILE
 from repro.utils.errors import ReproError
 
 __all__ = ["main"]
@@ -160,7 +175,8 @@ def _cmd_sweep(args) -> int:
         from repro.serving import SweepPool
 
         with SweepPool(
-            g, args.jobs, timeout=args.task_timeout, retries=args.retries
+            g, args.jobs, timeout=args.task_timeout, retries=args.retries,
+            collect_metrics=OBS.registry.enabled,
         ) as pool:
             grid = pool.map_cells(impl.key, params, [args.source], machine, seed=args.seed)
         times = [row[0] for row in grid]
@@ -177,6 +193,31 @@ def _cmd_sweep(args) -> int:
     ))
     print(f"best param: 2^{int(np.log2(params[int(np.argmin(times))]))} "
           f"({best * 1e3:.3f} ms simulated)")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    g = _load_graph(args.graph)
+    run = _ALGOS[args.algorithm]
+    tracer = Tracer()
+    # registry=None leaves any installed registry in place (e.g. --metrics).
+    with observed(tracer=tracer):
+        res = run(g, args.source, args.param, args.seed)
+    if not tracer.roots:
+        raise ReproError("no spans recorded (tracing seam did not fire)")
+    root = next((s for s in tracer.roots if s.name == "sssp.run"), tracer.roots[0])
+    machine = MachineModel(P=args.cores)
+    steps = res.stats.steps
+    spans = root.find("sssp.step")
+    total_ns = 0.0
+    for rec, span in zip(steps, spans):
+        ns = machine.step_time_ns(rec, DEFAULT_PROFILE)
+        total_ns += ns
+        span.set(sim_us=round(ns * 1e-3, 2), span_levels=rec.span_levels(g.n))
+    root.set(sim_ms=round(total_ns * 1e-6, 3))
+    print(render_span_tree(root, max_depth=args.depth))
+    print(f"{len(steps)} steps; simulated time (P={args.cores}) "
+          f"{total_ns * 1e-6:.3f} ms; wall {res.wall_seconds * 1e3:.1f} ms")
     return 0
 
 
@@ -215,6 +256,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--cores", type=int, default=96)
     p.add_argument("--verify", action="store_true")
+    p.add_argument("--metrics", default=None, metavar="PATH",
+                   help="write a metrics snapshot (.json, or .prom/.txt for "
+                        "Prometheus text format)")
     p.set_defaults(fn=_cmd_run)
 
     p = sub.add_parser("batch", help="multi-source batch through the serving engine")
@@ -232,6 +276,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="execution retries on transient failure")
     p.add_argument("--verify", action="store_true",
                    help="check every row against sequential Dijkstra")
+    p.add_argument("--metrics", default=None, metavar="PATH",
+                   help="write a metrics snapshot (.json, or .prom/.txt for "
+                        "Prometheus text format)")
     p.set_defaults(fn=_cmd_batch)
 
     p = sub.add_parser("sweep", help="parameter sweep for one implementation")
@@ -248,7 +295,24 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-cell timeout in seconds for pooled sweeps")
     p.add_argument("--retries", type=int, default=2,
                    help="per-cell retry budget for pooled sweeps")
+    p.add_argument("--metrics", default=None, metavar="PATH",
+                   help="write a metrics snapshot (.json, or .prom/.txt for "
+                        "Prometheus text format); pooled sweeps merge "
+                        "worker-side kernel/PQ counters")
     p.set_defaults(fn=_cmd_sweep)
+
+    p = sub.add_parser("trace", help="run one algorithm and print its span tree")
+    p.add_argument("algorithm", choices=sorted(_ALGOS))
+    p.add_argument("graph")
+    p.add_argument("--source", type=int, default=0)
+    p.add_argument("--param", type=float, default=None, help="rho or delta")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--cores", type=int, default=96)
+    p.add_argument("--depth", type=int, default=3,
+                   help="maximum span-tree depth to render")
+    p.add_argument("--metrics", default=None, metavar="PATH",
+                   help="also write a metrics snapshot for the traced run")
+    p.set_defaults(fn=_cmd_trace)
 
     p = sub.add_parser("generate", help="write a synthetic graph to .npz")
     p.add_argument("kind", choices=["rmat", "road-grid", "road-geo"])
@@ -265,8 +329,19 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: "list[str] | None" = None) -> int:
     args = build_parser().parse_args(argv)
+    metrics_path = getattr(args, "metrics", None)
     try:
-        return args.fn(args)
+        if metrics_path is None:
+            return args.fn(args)
+        registry = MetricsRegistry()
+        try:
+            with observed(registry=registry):
+                return args.fn(args)
+        finally:
+            # Written even when the command fails: a chaos-injected run's
+            # partial counters are exactly what the operator wants to see.
+            write_metrics(registry, metrics_path)
+            print(f"metrics written to {metrics_path}", file=sys.stderr)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -40,6 +40,7 @@ import numpy as np
 
 from repro.core.policies import SteppingPolicy
 from repro.core.result import SSSPResult
+from repro.obs import OBS
 from repro.pq.base import LabPQ
 from repro.pq.flat import FlatPQ
 from repro.pq.tournament import TournamentPQ
@@ -121,6 +122,30 @@ class _Ctx:
             return self.dist[live], scanned
         live = pq.live_ids()
         return self.dist[live], self.n
+
+
+def _step_counters(registry, rec: StepRecord) -> None:
+    """Per-step counter rollup (observation only, never control flow)."""
+    registry.inc("core.steps")
+    registry.inc("core.waves", rec.waves)
+    registry.inc("core.frontier", rec.frontier)
+    registry.inc("core.edges", rec.edges)
+    registry.inc("core.relax_success", rec.relax_success)
+
+
+def _step_attrs(rec: StepRecord, extracted: int, substep: bool) -> dict:
+    """Span attributes of one finished step (shared by scalar and batch)."""
+    return {
+        "index": rec.index,
+        "theta": rec.theta,
+        "mode": rec.mode,
+        "extracted": extracted,
+        "frontier": rec.frontier,
+        "edges": rec.edges,
+        "scanned": rec.extract_scanned,
+        "waves": rec.waves,
+        "substep": substep,
+    }
 
 
 def _gather_edges(graph, frontier: np.ndarray):
@@ -207,6 +232,15 @@ def stepping_sssp(
     if policy.needs_aug and aug is None:
         raise ParameterError(f"policy {policy.name} requires an aug array")
 
+    obs = OBS
+    tracer = obs.tracer
+    trace_on = obs.enabled and tracer.enabled
+    run_span = (
+        tracer.begin("sssp.run", algo=policy.name, source=int(source),
+                     n=int(n), m=int(graph.m))
+        if trace_on else None
+    )
+
     rng = as_generator(seed)
     dist = np.full(n, np.inf)
     dist[source] = 0.0
@@ -228,6 +262,7 @@ def stepping_sssp(
     guard = 0
 
     while len(pq) > 0:
+        step_span = tracer.begin("sssp.step") if trace_on else None
         guard += 1
         if options.max_steps and guard > options.max_steps:
             raise RuntimeError(
@@ -294,8 +329,18 @@ def stepping_sssp(
 
         rec.pq_touches = pq_touches
         stats.add(rec)
+        if obs.enabled:
+            if obs.registry.enabled:
+                _step_counters(obs.registry, rec)
+            if step_span is not None:
+                step_span.set(**_step_attrs(rec, len(frontier), bool(decision.substep)))
+                tracer.end(step_span)
         ctx.step_index += 1
 
+    if run_span is not None:
+        run_span.set(steps=stats.num_steps, waves=stats.num_waves,
+                     edges=stats.total_edge_visits)
+        tracer.end(run_span)
     stats.vertex_visits = visits
     return SSSPResult(
         dist=dist,
@@ -325,7 +370,7 @@ class _Lane:
     __slots__ = (
         "lane", "source", "dist", "pq", "policy", "ctx", "stats", "visits",
         "guard", "frontier", "wave", "processed", "decision", "rec",
-        "pq_touches",
+        "pq_touches", "span",
     )
 
     def __init__(self, lane, source, dist_row, pq, policy, ctx, record_visits, n):
@@ -344,6 +389,7 @@ class _Lane:
         self.decision = None
         self.rec = None
         self.pq_touches = 0
+        self.span = None  # the lane's open step span (tracing only)
 
 
 class BatchFrontier:
@@ -400,6 +446,7 @@ class BatchFrontier:
         self._row_bounds = np.arange(K + 1, dtype=np.int64) * n
         self.bidirectional = options.bidirectional and not graph.directed
         self.record_visits = record_visits
+        self._round_span = None  # parent span for this round's lane steps
         self.lanes: list[_Lane] = []
         for k, s in enumerate(sources):
             dist_row = self.dist[k]
@@ -422,6 +469,13 @@ class BatchFrontier:
     def _begin_step(self, lane: _Lane) -> None:
         """One lane's ExtDist + extraction (the scalar loop head, verbatim)."""
         options = self.options
+        if OBS.enabled and OBS.tracer.enabled:
+            # Lane steps overlap (all K open at once inside one round), so
+            # they attach by explicit parent instead of the tracer stack.
+            lane.span = OBS.tracer.open(
+                "sssp.step", parent=self._round_span,
+                lane=lane.lane, source=lane.source,
+            )
         lane.guard += 1
         if options.max_steps and lane.guard > options.max_steps:
             raise RuntimeError(
@@ -548,9 +602,22 @@ class BatchFrontier:
 
     def run(self) -> "list[SSSPResult]":
         """Drive every lane to completion; results in input-source order."""
+        obs = OBS
+        tracer = obs.tracer
+        trace_on = obs.enabled and tracer.enabled
+        batch_span = (
+            tracer.begin("sssp.batch", algo=self.lanes[0].policy.name,
+                         lanes=len(self.lanes), n=int(self.graph.n))
+            if trace_on else None
+        )
         t0 = time.perf_counter()
         active = list(self.lanes)
+        round_no = 0
         while active:
+            if trace_on:
+                self._round_span = tracer.begin(
+                    "sssp.round", index=round_no, lanes=len(active)
+                )
             for lane in active:
                 self._begin_step(lane)
             part = [l for l in active if l.wave.size]
@@ -565,9 +632,25 @@ class BatchFrontier:
             for lane in active:
                 lane.rec.pq_touches = lane.pq_touches
                 lane.stats.add(lane.rec)
+                if obs.enabled:
+                    if obs.registry.enabled:
+                        _step_counters(obs.registry, lane.rec)
+                    if lane.span is not None:
+                        lane.span.set(**_step_attrs(
+                            lane.rec, len(lane.frontier), bool(lane.decision.substep)
+                        ))
+                        tracer.close(lane.span)
+                        lane.span = None
                 lane.ctx.step_index += 1
+            if trace_on:
+                tracer.end(self._round_span)
+                self._round_span = None
+            round_no += 1
             active = [l for l in active if len(l.pq) > 0]
         elapsed = time.perf_counter() - t0
+        if batch_span is not None:
+            batch_span.set(rounds=round_no)
+            tracer.end(batch_span)
 
         results = []
         for lane in self.lanes:

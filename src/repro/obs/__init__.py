@@ -1,0 +1,169 @@
+"""Observability seam: process-global metrics registry + tracer.
+
+Design rule (same as :mod:`repro.serving.faults`): the **disabled** state
+must be indistinguishable from uninstrumented code on the hot path.  The
+whole stack reaches its instruments through one module-global
+:data:`OBS` state object, and every instrumented call site is gated::
+
+    from repro.obs import OBS
+    ...
+    if OBS.enabled:                       # one attribute test when off
+        OBS.registry.inc("pq.extract.sparse")
+
+With the default :class:`~repro.obs.registry.NullRegistry` /
+:class:`~repro.obs.trace.NullTracer` installed, ``OBS.enabled`` is False
+and the gate is the *entire* overhead — no attr dicts, no clock reads, no
+span allocation.  CI greps the hot modules to enforce that no tracer or
+registry call escapes this gate (the "obs seam" guard).
+
+Instrumentation is **observation only**: no instrumented call site may read
+an instrument back into control flow, so distances, ``StepRecord`` streams
+and simulated work–span totals are bit-identical with observability on or
+off (pinned by ``tests/obs/test_offpath.py``).
+
+Install globally with :func:`install`, or scoped with :func:`observed`::
+
+    registry, tracer = MetricsRegistry(), Tracer()
+    with observed(registry=registry, tracer=tracer):
+        rho_stepping(g, 0, 2**13)
+    print(registry.snapshot()["counters"]["core.steps"])
+
+Passing ``None`` to either slot of :func:`observed` leaves that slot
+unchanged (so a tracer can be layered inside an already-installed metrics
+scope); pass the explicit ``NULL_REGISTRY``/``NULL_TRACER`` to disable a
+slot. :func:`reset` restores the all-null default.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+from repro.obs.export import to_prometheus, write_metrics
+from repro.obs.registry import (
+    DEFAULT_TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    render_span_tree,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_TIME_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NULL_TRACER",
+    "NullRegistry",
+    "NullTracer",
+    "OBS",
+    "Span",
+    "Tracer",
+    "get_registry",
+    "get_tracer",
+    "install",
+    "observed",
+    "render_span_tree",
+    "reset",
+    "to_prometheus",
+    "write_metrics",
+]
+
+#: Histogram bounds for single kernel dispatches (1 µs .. 100 ms).
+KERNEL_TIME_BUCKETS = (
+    1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4,
+    2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 1e-1,
+)
+
+
+class ObsState:
+    """The process-global observability slots (registry + tracer)."""
+
+    __slots__ = ("registry", "tracer", "enabled")
+
+    def __init__(self) -> None:
+        self.registry = NULL_REGISTRY
+        self.tracer = NULL_TRACER
+        self.enabled = False
+
+    def _refresh(self) -> None:
+        self.enabled = self.registry.enabled or self.tracer.enabled
+
+    @contextmanager
+    def kernel(self, name: str, size: int = 0):
+        """Span + timing histogram around one kernel dispatch.
+
+        Only ever entered from inside an ``if OBS.enabled:`` gate, so the
+        clock reads and the generator frame cost nothing when observability
+        is off.  ``size`` is the dispatch's batch size (elements counter).
+        """
+        tracer = self.tracer
+        span = tracer.begin("kernel." + name, size=int(size)) if tracer.enabled else None
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            dt = time.perf_counter() - t0
+            if span is not None:
+                tracer.end(span)
+            registry = self.registry
+            if registry.enabled:
+                registry.inc(f"kernel.{name}.calls")
+                registry.inc(f"kernel.{name}.elements", size)
+                registry.observe(f"kernel.{name}.seconds", dt, KERNEL_TIME_BUCKETS)
+
+
+OBS = ObsState()
+
+
+def install(registry=None, tracer=None) -> None:
+    """Install process-global observability.
+
+    ``None`` leaves a slot unchanged; pass :data:`NULL_REGISTRY` /
+    :data:`NULL_TRACER` to explicitly disable one.
+    """
+    if registry is not None:
+        OBS.registry = registry
+    if tracer is not None:
+        OBS.tracer = tracer
+    OBS._refresh()
+
+
+def reset() -> None:
+    """Restore the zero-cost default (null registry, null tracer)."""
+    OBS.registry = NULL_REGISTRY
+    OBS.tracer = NULL_TRACER
+    OBS._refresh()
+
+
+def get_registry():
+    """The active registry (the shared null instance when disabled)."""
+    return OBS.registry
+
+
+def get_tracer():
+    """The active tracer (the shared null instance when disabled)."""
+    return OBS.tracer
+
+
+@contextmanager
+def observed(registry=None, tracer=None):
+    """Scoped :func:`install`: restores the previous slots on exit."""
+    prev_registry, prev_tracer = OBS.registry, OBS.tracer
+    install(registry, tracer)
+    try:
+        yield OBS
+    finally:
+        OBS.registry, OBS.tracer = prev_registry, prev_tracer
+        OBS._refresh()

@@ -1,0 +1,72 @@
+"""Metric exporters: JSON snapshot files and Prometheus-style text.
+
+The JSON form is the :meth:`~repro.obs.registry.MetricsRegistry.snapshot`
+dict verbatim (``{"counters": ..., "gauges": ..., "histograms": ...}``) —
+the schema the CLI tests pin.  The Prometheus form follows the text
+exposition format: dotted metric names rewritten to underscores, counters
+suffixed ``_total``, histograms expanded into cumulative ``_bucket{le=...}``
+series plus ``_sum``/``_count``.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+__all__ = ["to_prometheus", "write_metrics"]
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    out = _NAME_RE.sub("_", name)
+    return "_" + out if out[:1].isdigit() else out
+
+
+def _prom_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def to_prometheus(snapshot: dict) -> str:
+    """Render a registry snapshot as Prometheus exposition text."""
+    lines: "list[str]" = []
+    for name, value in snapshot.get("counters", {}).items():
+        pn = _prom_name(name) + "_total"
+        lines.append(f"# TYPE {pn} counter")
+        lines.append(f"{pn} {_prom_value(value)}")
+    for name, value in snapshot.get("gauges", {}).items():
+        pn = _prom_name(name)
+        lines.append(f"# TYPE {pn} gauge")
+        lines.append(f"{pn} {_prom_value(value)}")
+    for name, payload in snapshot.get("histograms", {}).items():
+        pn = _prom_name(name)
+        lines.append(f"# TYPE {pn} histogram")
+        running = 0
+        for bound, count in zip(
+            list(payload["bounds"]) + [float("inf")], payload["counts"]
+        ):
+            running += count
+            lines.append(f'{pn}_bucket{{le="{_prom_value(bound)}"}} {running}')
+        lines.append(f"{pn}_sum {_prom_value(payload['sum'])}")
+        lines.append(f"{pn}_count {payload['count']}")
+    return "\n".join(lines) + "\n"
+
+
+def write_metrics(registry, path) -> Path:
+    """Write a registry's snapshot to ``path``.
+
+    ``.prom``/``.txt`` suffixes select the Prometheus text format; anything
+    else gets the JSON snapshot.  Returns the written path.
+    """
+    path = Path(path)
+    snap = registry.snapshot()
+    if path.suffix in (".prom", ".txt"):
+        path.write_text(to_prometheus(snap))
+    else:
+        path.write_text(json.dumps(snap, indent=2, sort_keys=True) + "\n")
+    return path

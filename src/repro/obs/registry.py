@@ -1,0 +1,282 @@
+"""Metrics primitives: counters, gauges, fixed-bucket histograms.
+
+The registry follows the same design rule as the fault injector
+(:mod:`repro.serving.faults`): the *disabled* configuration must cost one
+attribute test on the hot path.  :class:`NullRegistry` implements the full
+:class:`MetricsRegistry` surface as no-ops returning shared singletons, and
+every instrumented call site gates on ``OBS.enabled`` (see
+:mod:`repro.obs`) before doing any metric work at all — so with the default
+null registry the relaxation kernels execute exactly the seed code path.
+
+Three instrument kinds, mirroring the Prometheus data model:
+
+* :class:`Counter` — monotonically increasing float (``inc``).
+* :class:`Gauge` — last-write-wins float (``set``), e.g. circuit state.
+* :class:`Histogram` — fixed upper-bound buckets plus an implicit ``+Inf``
+  overflow bucket; ``observe(v)`` lands ``v`` in the first bucket with
+  ``v <= bound`` (Prometheus ``le`` semantics) and accumulates ``sum`` and
+  ``count``.
+
+``snapshot()`` renders everything into plain JSON-able dicts and
+``merge(snapshot)`` folds such a dict back in — the mechanism by which pool
+workers ship their per-task metrics to the parent through the existing
+result channel (:mod:`repro.serving.supervisor`).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+from repro.utils.errors import ParameterError
+
+__all__ = [
+    "Counter",
+    "DEFAULT_TIME_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NullRegistry",
+]
+
+#: Default histogram bounds (seconds), spanning ~0.1 ms to 10 s — wide enough
+#: for both single kernel dispatches and whole serving batches.
+DEFAULT_TIME_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+class Counter:
+    """A monotonically increasing metric."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ParameterError(f"counter {self.name} cannot decrease (inc {amount})")
+        self.value += amount
+
+
+class Gauge:
+    """A last-write-wins metric (e.g. circuit-breaker state)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Fixed-bucket histogram with Prometheus ``le`` (inclusive) semantics.
+
+    ``bounds`` are the finite upper edges, strictly increasing; bucket ``i``
+    counts observations with ``bounds[i-1] < v <= bounds[i]`` and the last
+    bucket (index ``len(bounds)``) is the implicit ``+Inf`` overflow.
+    ``counts`` are per-bucket (non-cumulative); exporters derive the
+    cumulative form.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "sum", "count")
+
+    def __init__(self, name: str, bounds=DEFAULT_TIME_BUCKETS) -> None:
+        bounds = tuple(float(b) for b in bounds)
+        if not bounds:
+            raise ParameterError(f"histogram {name} needs at least one bucket bound")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ParameterError(f"histogram {name} bounds must be strictly increasing")
+        self.name = name
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def cumulative(self) -> "list[int]":
+        """Cumulative counts, parallel to ``bounds + (+Inf,)``."""
+        out, running = [], 0
+        for c in self.counts:
+            running += c
+            out.append(running)
+        return out
+
+
+class MetricsRegistry:
+    """A live registry of named counters, gauges and histograms.
+
+    Instruments are created on first touch and looked up by name thereafter;
+    the convenience forms (``inc``/``set_gauge``/``observe``) do both in one
+    call.  Names are dotted (``serving.cache.hits``); the Prometheus
+    exporter rewrites them to underscore form.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: "dict[str, Counter]" = {}
+        self._gauges: "dict[str, Gauge]" = {}
+        self._histograms: "dict[str, Histogram]" = {}
+
+    # ------------------------------------------------------------------ #
+    # instrument lookup
+
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self._gauges.get(name)
+        if g is None:
+            g = self._gauges[name] = Gauge(name)
+        return g
+
+    def histogram(self, name: str, bounds=DEFAULT_TIME_BUCKETS) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram(name, bounds)
+        elif h.bounds != tuple(float(b) for b in bounds):
+            raise ParameterError(
+                f"histogram {name} re-registered with different bounds"
+            )
+        return h
+
+    # ------------------------------------------------------------------ #
+    # convenience write paths (what instrumented call sites use)
+
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        self.counter(name).inc(amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float, bounds=DEFAULT_TIME_BUCKETS) -> None:
+        self.histogram(name, bounds).observe(value)
+
+    # ------------------------------------------------------------------ #
+    # snapshot / merge
+
+    def snapshot(self) -> dict:
+        """Plain-dict view of every instrument (JSON-able, picklable)."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {
+                n: {
+                    "bounds": list(h.bounds),
+                    "counts": list(h.counts),
+                    "sum": h.sum,
+                    "count": h.count,
+                }
+                for n, h in sorted(self._histograms.items())
+            },
+        }
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold a :meth:`snapshot` dict into this registry.
+
+        Counters and histogram cells add; gauges take the incoming value
+        (last write wins).  This is how worker-process metrics deltas merge
+        into the parent registry.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, payload in snapshot.get("histograms", {}).items():
+            h = self.histogram(name, payload["bounds"])
+            if len(payload["counts"]) != len(h.counts):
+                raise ParameterError(
+                    f"histogram {name} merge with mismatched bucket count"
+                )
+            for i, c in enumerate(payload["counts"]):
+                h.counts[i] += c
+            h.sum += payload["sum"]
+            h.count += payload["count"]
+
+    def clear(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+
+class _NullInstrument:
+    """Shared do-nothing counter/gauge/histogram."""
+
+    __slots__ = ()
+    name = "null"
+    value = 0.0
+    bounds = ()
+    counts = ()
+    sum = 0.0
+    count = 0
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def cumulative(self) -> list:
+        return []
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullRegistry:
+    """The zero-cost default: full registry surface, no state, no work.
+
+    Call sites never need to special-case it — but the hot paths still gate
+    on ``OBS.enabled`` so that with observability off they skip even the
+    no-op calls (that gate, one attribute test, is the entire overhead).
+    """
+
+    enabled = False
+
+    def counter(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, bounds=DEFAULT_TIME_BUCKETS) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        pass
+
+    def set_gauge(self, name: str, value: float) -> None:
+        pass
+
+    def observe(self, name: str, value: float, bounds=DEFAULT_TIME_BUCKETS) -> None:
+        pass
+
+    def snapshot(self) -> dict:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def merge(self, snapshot: dict) -> None:
+        pass
+
+    def clear(self) -> None:
+        pass
+
+
+NULL_REGISTRY = NullRegistry()

@@ -1,0 +1,226 @@
+"""Structured tracing: monotonic-clock spans with parent/child nesting.
+
+A :class:`Span` is one timed region with a name and free-form attributes;
+spans nest into a tree (a run contains steps, a step contains PQ extractions
+and kernel dispatches).  The :class:`Tracer` offers two attachment styles:
+
+* **stack-nested** (``begin``/``end`` or the ``span(...)`` context manager) —
+  the common case; a new span becomes a child of the innermost open span.
+* **explicit-parent** (``open(parent=...)``/``close``) — for regions that
+  overlap instead of nesting, such as the per-lane step spans of the batch
+  engine: all K lanes' steps are open simultaneously under one round span,
+  which a stack cannot represent.
+
+Timing uses ``time.perf_counter`` (monotonic); attributes are attached at
+creation and may be amended with :meth:`Span.set` before the span closes
+(the framework fills step attrs from the finished ``StepRecord``).
+
+:class:`NullTracer` is the zero-cost default — same surface, no allocation;
+call sites additionally gate on ``tracer.enabled`` so the disabled path
+never even builds the attr dict.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+__all__ = ["NULL_TRACER", "NullTracer", "Span", "Tracer", "render_span_tree"]
+
+
+class Span:
+    """One timed region of a trace tree."""
+
+    __slots__ = ("name", "t0", "t1", "attrs", "children")
+
+    def __init__(self, name: str, t0: float, attrs: dict) -> None:
+        self.name = name
+        self.t0 = t0
+        self.t1: "float | None" = None
+        self.attrs = attrs
+        self.children: "list[Span]" = []
+
+    def set(self, **attrs) -> None:
+        """Attach or overwrite attributes (used to fill attrs at span end)."""
+        self.attrs.update(attrs)
+
+    @property
+    def duration(self) -> float:
+        """Seconds between start and end (0.0 while still open)."""
+        return 0.0 if self.t1 is None else self.t1 - self.t0
+
+    def walk(self):
+        """Yield this span and every descendant, preorder."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> "list[Span]":
+        """All descendant spans (preorder, self included) named ``name``."""
+        return [s for s in self.walk() if s.name == name]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, {self.duration * 1e3:.3f}ms, {self.attrs!r})"
+
+
+class Tracer:
+    """Recording tracer building a forest of :class:`Span` trees."""
+
+    enabled = True
+
+    def __init__(self, *, clock=time.perf_counter) -> None:
+        self.roots: "list[Span]" = []
+        self._stack: "list[Span]" = []
+        self._clock = clock
+
+    # ------------------------------------------------------------------ #
+    # stack-nested spans
+
+    def begin(self, name: str, **attrs) -> Span:
+        """Open a span as child of the innermost open span; push it."""
+        s = Span(name, self._clock(), attrs)
+        (self._stack[-1].children if self._stack else self.roots).append(s)
+        self._stack.append(s)
+        return s
+
+    def end(self, span: Span) -> None:
+        """Close ``span``, popping it (and anything left open inside it)."""
+        span.t1 = self._clock()
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+            if top.t1 is None:  # a child left open closes with its parent
+                top.t1 = span.t1
+
+    @contextmanager
+    def span(self, name: str, **attrs):
+        s = self.begin(name, **attrs)
+        try:
+            yield s
+        finally:
+            self.end(s)
+
+    # ------------------------------------------------------------------ #
+    # explicit-parent spans (overlapping regions, e.g. batch lanes)
+
+    def open(self, name: str, parent: "Span | None" = None, **attrs) -> Span:
+        """Open a span under ``parent`` without touching the stack.
+
+        With ``parent=None`` the span attaches under the innermost open
+        stack span (or as a new root).  Close it with :meth:`close`.
+        """
+        s = Span(name, self._clock(), attrs)
+        if parent is not None:
+            parent.children.append(s)
+        elif self._stack:
+            self._stack[-1].children.append(s)
+        else:
+            self.roots.append(s)
+        return s
+
+    def close(self, span: Span) -> None:
+        span.t1 = self._clock()
+
+    def current(self) -> "Span | None":
+        return self._stack[-1] if self._stack else None
+
+
+class _NullSpan:
+    """Shared inert span handed out by :class:`NullTracer`."""
+
+    __slots__ = ()
+    name = "null"
+    t0 = 0.0
+    t1 = 0.0
+    attrs: dict = {}
+    children: list = []
+    duration = 0.0
+
+    def set(self, **attrs) -> None:
+        pass
+
+    def walk(self):
+        return iter(())
+
+    def find(self, name: str) -> list:
+        return []
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Zero-cost tracer: every operation is a no-op on a shared span."""
+
+    enabled = False
+    roots: "tuple" = ()
+
+    def begin(self, name: str, **attrs) -> _NullSpan:
+        return _NULL_SPAN
+
+    def end(self, span) -> None:
+        pass
+
+    @contextmanager
+    def span(self, name: str, **attrs):
+        yield _NULL_SPAN
+
+    def open(self, name: str, parent=None, **attrs) -> _NullSpan:
+        return _NULL_SPAN
+
+    def close(self, span) -> None:
+        pass
+
+    def current(self) -> None:
+        return None
+
+
+NULL_TRACER = NullTracer()
+
+
+# --------------------------------------------------------------------------- #
+# rendering
+# --------------------------------------------------------------------------- #
+
+
+def _fmt_attr(value) -> str:
+    if isinstance(value, float):
+        if value == float("inf"):
+            return "inf"
+        return f"{value:.6g}"
+    return str(value)
+
+
+def _fmt_span(span: Span) -> str:
+    attrs = " ".join(f"{k}={_fmt_attr(v)}" for k, v in span.attrs.items())
+    head = f"{span.name} [{span.duration * 1e3:.3f} ms]"
+    return f"{head} {attrs}" if attrs else head
+
+
+def render_span_tree(span: Span, *, max_depth: "int | None" = None) -> str:
+    """ASCII tree of a span and its descendants.
+
+    ``max_depth`` prunes the tree (0 = just the root); pruned subtrees are
+    summarised as one ``… N spans below`` line so truncation is visible
+    rather than silent.
+    """
+    lines: "list[str]" = []
+
+    def _count(s: Span) -> int:
+        return sum(1 for _ in s.walk())
+
+    def _emit(s: Span, prefix: str, child_prefix: str, depth: int) -> None:
+        lines.append(prefix + _fmt_span(s))
+        if max_depth is not None and depth >= max_depth:
+            hidden = sum(_count(c) for c in s.children)
+            if hidden:
+                lines.append(child_prefix + f"… {hidden} spans below (raise --depth)")
+            return
+        last = len(s.children) - 1
+        for i, child in enumerate(s.children):
+            branch, extend = ("└─ ", "   ") if i == last else ("├─ ", "│  ")
+            _emit(child, child_prefix + branch, child_prefix + extend, depth + 1)
+
+    _emit(span, "", "", 0)
+    return "\n".join(lines)

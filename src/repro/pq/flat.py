@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs import OBS
 from repro.pq.base import LabPQ
 from repro.pq.hashtable import ScatterHashTable
 from repro.runtime.kernels import Workspace, unique_ids
@@ -79,6 +80,22 @@ class FlatPQ(LabPQ):
     # ------------------------------------------------------------------ #
 
     def update(self, ids: np.ndarray) -> None:
+        if OBS.enabled:
+            # Observation only — counts and spans, never control flow.
+            tracer = OBS.tracer
+            span = tracer.begin("pq.update", batch=int(ids.size)) if tracer.enabled else None
+            self._update(ids)
+            registry = OBS.registry
+            if registry.enabled:
+                registry.inc("pq.update.calls")
+                registry.inc("pq.update.touches", self.last_update_touches)
+            if span is not None:
+                span.set(touches=self.last_update_touches)
+                tracer.end(span)
+            return
+        self._update(ids)
+
+    def _update(self, ids: np.ndarray) -> None:
         ids = self._check_ids(ids)
         if ids.size == 0:
             self.last_update_touches = 0
@@ -97,6 +114,26 @@ class FlatPQ(LabPQ):
         self.last_update_touches = int(ids.size) + probes
 
     def extract(self, theta: float) -> np.ndarray:
+        if OBS.enabled:
+            tracer = OBS.tracer
+            span = tracer.begin("pq.extract", theta=float(theta)) if tracer.enabled else None
+            out = self._extract(theta)
+            registry = OBS.registry
+            if registry.enabled:
+                registry.inc("pq.extract." + self.last_extract_mode)
+                registry.inc("pq.extract.scanned", self.last_extract_scanned)
+                registry.inc("pq.extract.extracted", len(out))
+            if span is not None:
+                span.set(
+                    mode=self.last_extract_mode,
+                    scanned=self.last_extract_scanned,
+                    extracted=len(out),
+                )
+                tracer.end(span)
+            return out
+        return self._extract(theta)
+
+    def _extract(self, theta: float) -> np.ndarray:
         n = self.n
         if self._size > self.dense_frac * n:
             out = self._extract_dense(theta)

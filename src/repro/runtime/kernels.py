@@ -47,6 +47,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs import OBS
+
 __all__ = [
     "KernelThresholds",
     "Workspace",
@@ -267,6 +269,13 @@ def scatter_min(values: np.ndarray, targets: np.ndarray, candidates: np.ndarray)
     success mask needs anyway).  Dispatch: ``np.minimum.at`` below the
     autotuned crossover, sort + ``np.minimum.reduceat`` above it.
     """
+    if OBS.enabled:
+        with OBS.kernel("scatter_min", len(targets)):
+            return _scatter_min(values, targets, candidates)
+    return _scatter_min(values, targets, candidates)
+
+
+def _scatter_min(values: np.ndarray, targets: np.ndarray, candidates: np.ndarray) -> np.ndarray:
     old = values[targets]
     k = len(targets)
     if k == 0:
@@ -330,6 +339,15 @@ def unique_ids(
     with word-level scanning and no sort, versus ``np.unique``'s O(k log k).
     Both produce the identical sorted array.
     """
+    if OBS.enabled:
+        with OBS.kernel("unique_ids", len(ids)):
+            return _unique_ids(ids, n, workspace=workspace)
+    return _unique_ids(ids, n, workspace=workspace)
+
+
+def _unique_ids(
+    ids: np.ndarray, n: int, *, workspace: "Workspace | None" = None
+) -> np.ndarray:
     k = len(ids)
     if k == 0:
         return np.zeros(0, dtype=_INT)
@@ -442,6 +460,17 @@ def gather_edges(graph, frontier: np.ndarray):
     (``int64`` ids and positions, ``float64`` weights) so downstream
     concatenations never silently upcast.
     """
+    if OBS.enabled:
+        with OBS.kernel("gather_edges", len(frontier)):
+            out = _gather_edges(graph, frontier)
+        registry = OBS.registry
+        if registry.enabled:
+            registry.inc("kernel.gather_edges.edges", len(out[0]))
+        return out
+    return _gather_edges(graph, frontier)
+
+
+def _gather_edges(graph, frontier: np.ndarray):
     nf = len(frontier)
     if _MODE == "fallback":
         indptr = graph.indptr

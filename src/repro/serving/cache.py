@@ -16,6 +16,7 @@ from collections import OrderedDict
 import numpy as np
 
 from repro.graphs.csr import Graph
+from repro.obs import OBS
 from repro.utils.errors import ParameterError
 
 __all__ = ["ResultCache", "graph_id"]
@@ -42,8 +43,9 @@ class ResultCache:
     """LRU mapping ``(graph_id, algo, param, source) -> distance vector``.
 
     Stored arrays are copies marked read-only; ``get`` returns them directly
-    (callers copy if they need to mutate).  ``hits``/``misses`` counters
-    feed the serving stats endpoint.
+    (callers copy if they need to mutate).  ``hits``/``misses``/``evictions``
+    counters feed the serving stats endpoint, and mirror into the process
+    metrics registry (``serving.cache.*``) when observability is installed.
     """
 
     def __init__(self, capacity: int = 256) -> None:
@@ -53,6 +55,7 @@ class ResultCache:
         self._data: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._data)
@@ -68,9 +71,13 @@ class ResultCache:
         dist = self._data.get(key)
         if dist is None:
             self.misses += 1
+            if OBS.enabled:
+                OBS.registry.inc("serving.cache.misses")
             return None
         self._data.move_to_end(key)
         self.hits += 1
+        if OBS.enabled:
+            OBS.registry.inc("serving.cache.hits")
         return dist
 
     def put(self, key: tuple, dist: np.ndarray) -> np.ndarray:
@@ -82,9 +89,15 @@ class ResultCache:
         self._data[key] = stored
         while len(self._data) > self.capacity:
             self._data.popitem(last=False)
+            self.evictions += 1
+            if OBS.enabled:
+                OBS.registry.inc("serving.cache.evictions")
+        if OBS.enabled:
+            OBS.registry.inc("serving.cache.inserts")
         return stored
 
     def clear(self) -> None:
         self._data.clear()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0

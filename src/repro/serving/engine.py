@@ -46,6 +46,7 @@ lets the chaos suite force a degradation without touching the fallback).
 
 from __future__ import annotations
 
+import copy
 import logging
 import operator
 import time
@@ -59,6 +60,7 @@ from repro.core.algorithms import (
     rho_stepping_batch,
 )
 from repro.graphs.csr import Graph
+from repro.obs import OBS
 from repro.serving.cache import ResultCache
 from repro.serving.fastpath import multi_source_distances
 from repro.serving.faults import get_injector
@@ -159,19 +161,46 @@ class QueryEngine:
         self.failure_threshold = failure_threshold
         self.cooldown = cooldown
         self.cache = ResultCache(cache_size)
-        #: Number of sources answered without execution (cache or in-batch dup).
-        self.deduped = 0
-        #: Number of sources actually executed.
-        self.executed = 0
-        #: Batches served by the fast path after the exact path failed.
-        self.degraded = 0
-        #: Total failed execution attempts over the engine's lifetime.
-        self.exec_failures = 0
-        #: Closed → open transitions of the circuit breaker.
-        self.circuit_trips = 0
+        # Serving counters, updated in place; ``stats()`` hands out a deep
+        # copy so callers can never mutate engine state through the dict.
+        self._counters = {
+            # sources answered without execution (cache or in-batch dup)
+            "deduped": 0,
+            # sources actually executed
+            "executed": 0,
+            # batches served by the fast path after the exact path failed
+            "degraded": 0,
+            # total failed execution attempts over the engine's lifetime
+            "exec_failures": 0,
+            # execution retry attempts (re-runs after a transient failure)
+            "retries": 0,
+            # closed → open transitions of the circuit breaker
+            "circuit_trips": 0,
+        }
         self._consecutive_failures = 0
         self._open_until: "float | None" = None
         self._exec_seq = 0  # execution-batch sequence number (injection index)
+
+    # Read-only views of the counters (the pre-observability attribute API).
+    @property
+    def deduped(self) -> int:
+        return self._counters["deduped"]
+
+    @property
+    def executed(self) -> int:
+        return self._counters["executed"]
+
+    @property
+    def degraded(self) -> int:
+        return self._counters["degraded"]
+
+    @property
+    def exec_failures(self) -> int:
+        return self._counters["exec_failures"]
+
+    @property
+    def circuit_trips(self) -> int:
+        return self._counters["circuit_trips"]
 
     # ------------------------------------------------------------------ #
     # admission
@@ -214,6 +243,7 @@ class QueryEngine:
         sources = self._admit(sources)
         if not sources:
             return np.zeros((0, self.graph.n))
+        t0 = time.perf_counter()
         deadline = self.deadline if deadline is None else deadline
         deadline_at = None if deadline is None else time.monotonic() + float(deadline)
         keys = [ResultCache.key(self.graph, self.algo, self.param, s) for s in sources]
@@ -239,23 +269,31 @@ class QueryEngine:
             for i, s in enumerate(missing):
                 key = ResultCache.key(self.graph, self.algo, self.param, s)
                 rows[key] = self.cache.put(key, dist[i])
-        self.executed += len(missing)
-        self.deduped += len(sources) - len(missing)
+        self._counters["executed"] += len(missing)
+        self._counters["deduped"] += len(sources) - len(missing)
+        if OBS.enabled:
+            registry = OBS.registry
+            registry.inc("serving.engine.batches")
+            registry.inc("serving.engine.executed", len(missing))
+            registry.inc("serving.engine.deduped", len(sources) - len(missing))
+            registry.observe("serving.batch.seconds", time.perf_counter() - t0)
         return np.stack([rows[key] for key in keys])
 
     def stats(self) -> dict:
-        """Serving counters for dashboards and tests."""
-        return {
-            "cache_hits": self.cache.hits,
-            "cache_misses": self.cache.misses,
-            "cache_size": len(self.cache),
-            "deduped": self.deduped,
-            "executed": self.executed,
-            "degraded": self.degraded,
-            "exec_failures": self.exec_failures,
-            "circuit_state": self._circuit_state(),
-            "circuit_trips": self.circuit_trips,
-        }
+        """Serving counters for dashboards and tests.
+
+        The returned dict is a deep copy — callers may mutate it freely
+        without corrupting engine state (pinned by a regression test).
+        """
+        out = copy.deepcopy(self._counters)
+        out.update(
+            cache_hits=self.cache.hits,
+            cache_misses=self.cache.misses,
+            cache_evictions=self.cache.evictions,
+            cache_size=len(self.cache),
+            circuit_state=self._circuit_state(),
+        )
+        return out
 
     # ------------------------------------------------------------------ #
     # circuit breaker
@@ -268,15 +306,19 @@ class QueryEngine:
         return "open"
 
     def _record_failure(self) -> None:
-        self.exec_failures += 1
+        self._counters["exec_failures"] += 1
         self._consecutive_failures += 1
+        if OBS.enabled:
+            OBS.registry.inc("serving.engine.exec_failures")
         if self._open_until is not None:
             # A half-open trial failed: re-open for another cooldown.
             self._open_until = time.monotonic() + self.cooldown
+            self._note_circuit("open")
             _LOG.warning("circuit re-opened after failed half-open trial")
         elif self._consecutive_failures >= self.failure_threshold:
             self._open_until = time.monotonic() + self.cooldown
-            self.circuit_trips += 1
+            self._counters["circuit_trips"] += 1
+            self._note_circuit("open")
             _LOG.warning(
                 "circuit opened after %d consecutive failures (cooldown %.3gs)",
                 self._consecutive_failures, self.cooldown,
@@ -284,9 +326,19 @@ class QueryEngine:
 
     def _record_success(self) -> None:
         if self._open_until is not None:
+            self._note_circuit("closed")
             _LOG.info("circuit closed after successful half-open trial")
         self._consecutive_failures = 0
         self._open_until = None
+
+    #: gauge encoding of the breaker state (``serving.circuit.state``)
+    _CIRCUIT_LEVEL = {"closed": 0, "half-open": 1, "open": 2}
+
+    def _note_circuit(self, state: str) -> None:
+        """Mirror a breaker transition into the metrics registry."""
+        if OBS.enabled:
+            OBS.registry.inc(f"serving.circuit.{state}_transitions")
+            OBS.registry.set_gauge("serving.circuit.state", self._CIRCUIT_LEVEL[state])
 
     # ------------------------------------------------------------------ #
     # execution
@@ -315,7 +367,9 @@ class QueryEngine:
                 if isinstance(fast_exc, ReproError):
                     raise
                 raise ExecutionError(f"batch execution failed: {fast_exc}") from exc
-            self.degraded += 1
+            self._counters["degraded"] += 1
+            if OBS.enabled:
+                OBS.registry.inc("serving.engine.degraded")
         self._record_success()
         return dist
 
@@ -324,6 +378,10 @@ class QueryEngine:
         self._exec_seq += 1
         last: "Exception | None" = None
         for attempt in range(self.retries + 1):
+            if attempt > 0:
+                self._counters["retries"] += 1
+                if OBS.enabled:
+                    OBS.registry.inc("serving.engine.retries")
             try:
                 return self._execute_once(sources, deadline_at, index, attempt, exact=exact)
             except DeadlineExceeded:

@@ -84,6 +84,7 @@ class SweepPool:
         backoff: float = 0.05,
         seed: int = 0,
         fault_plan: "FaultPlan | None" = None,
+        collect_metrics: bool = False,
     ) -> None:
         if jobs < 2:
             raise ParameterError(f"SweepPool needs jobs >= 2, got {jobs} (use the serial path)")
@@ -98,6 +99,7 @@ class SweepPool:
             backoff=backoff,
             seed=seed,
             fault_plan=fault_plan,
+            collect_metrics=collect_metrics,
         )
 
     def simulated_times(

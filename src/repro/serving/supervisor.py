@@ -41,6 +41,7 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 
+from repro.obs import OBS, MetricsRegistry, observed
 from repro.serving.faults import FaultPlan, FaultInjector, get_injector, install_injector
 from repro.utils.errors import (
     DeadlineExceeded,
@@ -70,17 +71,37 @@ def _corrupt_payload(result):
     return -abs(float(result)) - 1.0
 
 
-def _supervised_call(fn, index, attempt, args):
+class _MetricsEnvelope:
+    """Picklable carrier shipping a worker's metrics delta with its result."""
+
+    __slots__ = ("result", "metrics")
+
+    def __init__(self, result, metrics: dict) -> None:
+        self.result = result
+        self.metrics = metrics
+
+
+def _supervised_call(fn, index, attempt, args, collect=False):
     """Worker-side wrapper around every supervised task.
 
     Fires the ``pool.worker`` injection site with the task's stable identity
-    before running it, and applies payload corruption when directed.
+    before running it, and applies payload corruption when directed.  With
+    ``collect`` the task runs under a fresh worker-local
+    :class:`~repro.obs.MetricsRegistry` and the result comes back wrapped in
+    a :class:`_MetricsEnvelope` for the parent to merge.
     """
     directive = get_injector().fire("pool.worker", index=index, attempt=attempt)
-    result = fn(*args)
+    if not collect:
+        result = fn(*args)
+        if directive == "corrupt":
+            result = _corrupt_payload(result)
+        return result
+    registry = MetricsRegistry()
+    with observed(registry=registry):
+        result = fn(*args)
     if directive == "corrupt":
         result = _corrupt_payload(result)
-    return result
+    return _MetricsEnvelope(result, registry.snapshot())
 
 
 def _ping() -> str:
@@ -108,6 +129,9 @@ class SupervisedPool:
         Seed for the jitter stream.
     fault_plan:
         Optional :class:`~repro.serving.faults.FaultPlan` shipped to workers.
+    collect_metrics:
+        Run each task under a worker-local metrics registry and merge the
+        per-task deltas back into the parent's registry with the result.
     """
 
     def __init__(
@@ -123,6 +147,7 @@ class SupervisedPool:
         max_backoff: float = 2.0,
         seed: int = 0,
         fault_plan: "FaultPlan | None" = None,
+        collect_metrics: bool = False,
     ) -> None:
         if jobs < 1:
             raise ParameterError(f"SupervisedPool needs jobs >= 1, got {jobs}")
@@ -139,6 +164,7 @@ class SupervisedPool:
         self._initializer = initializer
         self._initargs = tuple(initargs)
         self._plan = fault_plan if fault_plan else None
+        self._collect_metrics = bool(collect_metrics)
         self._rng = random.Random(seed)
         self._stats = {
             "submitted": 0,
@@ -151,6 +177,13 @@ class SupervisedPool:
             "rebuilds": 0,
         }
         self._exec = self._build_executor()
+
+    def _bump(self, key: str, amount: int = 1) -> None:
+        """Advance a supervision counter, mirroring it into the metrics
+        registry (``serving.pool.<key>``) when observability is installed."""
+        self._stats[key] += amount
+        if OBS.enabled:
+            OBS.registry.inc(f"serving.pool.{key}", amount)
 
     # ------------------------------------------------------------------ #
 
@@ -167,7 +200,7 @@ class SupervisedPool:
         ``wait=False`` because the whole point is that a worker may be hung
         or dead; ``cancel_futures=True`` drops anything still queued.
         """
-        self._stats["rebuilds"] += 1
+        self._bump("rebuilds")
         _LOG.warning("supervised pool rebuild #%d (jobs=%d)", self._stats["rebuilds"], self.jobs)
         try:
             self._exec.shutdown(wait=False, cancel_futures=True)
@@ -201,7 +234,7 @@ class SupervisedPool:
         finished = [False] * len(tasks)
         attempts = [0] * len(tasks)
         pending = list(range(len(tasks)))
-        self._stats["submitted"] += len(tasks)
+        self._bump("submitted", len(tasks))
         round_no = 0
         while pending:
             futures = self._submit_round(fn, tasks, attempts, pending)
@@ -222,7 +255,7 @@ class SupervisedPool:
                 try:
                     result = fut.result(timeout=None if fut.done() else self.timeout)
                 except cf.TimeoutError:
-                    self._stats["timeouts"] += 1
+                    self._bump("timeouts")
                     _LOG.warning("task %d timed out after %.3gs (attempt %d)", i, self.timeout, attempts[i])
                     need_rebuild = True  # the hung worker cannot be reclaimed
                     fatal = self._charge(i, attempts, requeue, DeadlineExceeded(
@@ -230,7 +263,7 @@ class SupervisedPool:
                         f" (attempt {attempts[i] + 1}/{self.retries + 1})"))
                     continue
                 except BrokenProcessPool as exc:
-                    self._stats["crashes"] += 1
+                    self._bump("crashes")
                     _LOG.warning("worker crash broke the pool at task %d: %s", i, exc)
                     need_rebuild = True
                     fatal = self._charge(i, attempts, requeue, WorkerCrashError(
@@ -241,18 +274,23 @@ class SupervisedPool:
                     requeue.append(i)
                     continue
                 except Exception as exc:
-                    self._stats["task_failures"] += 1
+                    self._bump("task_failures")
                     fatal = self._charge(i, attempts, requeue, exc)
                     continue
+                if isinstance(result, _MetricsEnvelope):
+                    # Worker metrics fold into the parent registry before the
+                    # payload is validated — the work happened either way.
+                    OBS.registry.merge(result.metrics)
+                    result = result.result
                 if validate is not None and not validate(result):
-                    self._stats["rejected"] += 1
+                    self._bump("rejected")
                     _LOG.warning("task %d returned invalid payload %r (attempt %d)", i, result, attempts[i])
                     fatal = self._charge(i, attempts, requeue, ExecutionError(
                         f"task {i} returned an invalid payload: {result!r}"))
                     continue
                 results[i] = result
                 finished[i] = True
-                self._stats["completed"] += 1
+                self._bump("completed")
             if fatal is not None:
                 for _, fut in futures:
                     fut.cancel()
@@ -263,7 +301,7 @@ class SupervisedPool:
                 self._rebuild()
             pending = requeue
             if pending:
-                self._stats["retried"] += len(pending)
+                self._bump("retried", len(pending))
                 self._sleep_backoff(round_no)
             round_no += 1
         return results
@@ -275,13 +313,16 @@ class SupervisedPool:
             try:
                 for i in pending:
                     futures.append(
-                        (i, self._exec.submit(_supervised_call, fn, i, attempts[i], tasks[i]))
+                        (i, self._exec.submit(
+                            _supervised_call, fn, i, attempts[i], tasks[i],
+                            self._collect_metrics,
+                        ))
                     )
                 return futures
             except BrokenProcessPool:
                 for _, fut in futures:
                     fut.cancel()
-                self._stats["crashes"] += 1
+                self._bump("crashes")
                 self._rebuild()
         raise WorkerCrashError("executor keeps breaking during submission")
 
@@ -307,10 +348,10 @@ class SupervisedPool:
                 fut = self._exec.submit(_ping)
                 return fut.result(timeout=timeout) == "pong"
             except BrokenProcessPool:
-                self._stats["crashes"] += 1
+                self._bump("crashes")
                 self._rebuild()
             except cf.TimeoutError:
-                self._stats["timeouts"] += 1
+                self._bump("timeouts")
                 self._rebuild()
                 return False
         return False

@@ -1,0 +1,11 @@
+"""Observability test fixtures: never leak an installed registry/tracer."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _reset_obs():
+    yield
+    obs.reset()

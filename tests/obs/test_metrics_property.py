@@ -1,0 +1,182 @@
+"""Property tests: the metrics registry against a pure-python model.
+
+Hypothesis drives random interleavings of counter / gauge / histogram
+operations into both :class:`~repro.obs.MetricsRegistry` and a trivially
+correct dict-based model, then compares snapshots.  Amounts are dyadic
+rationals (integers scaled by 1/4) so float addition is exact and the
+model comparison — including the split/merge property — can demand strict
+equality rather than approximation.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.obs import Histogram, MetricsRegistry
+from repro.utils.errors import ParameterError
+
+#: One shared bound set for generated histograms (re-registering a name with
+#: different bounds is an error, tested separately).
+BOUNDS = (0.5, 1.0, 2.0, 4.0, 8.0)
+
+NAMES = st.sampled_from(["a", "b", "c.d", "kernel.x.calls"])
+AMOUNTS = st.integers(min_value=0, max_value=2**20).map(lambda v: v / 4.0)
+VALUES = st.integers(min_value=-(2**12), max_value=2**12).map(lambda v: v / 4.0)
+
+OPS = st.one_of(
+    st.tuples(st.just("inc"), NAMES, AMOUNTS),
+    st.tuples(st.just("gauge"), NAMES, VALUES),
+    st.tuples(st.just("observe"), NAMES, VALUES),
+)
+
+
+class ModelRegistry:
+    """The obviously-correct reference: plain dicts, linear bucket search."""
+
+    def __init__(self):
+        self.counters = {}
+        self.gauges = {}
+        self.observations = {}
+
+    def apply(self, op):
+        kind, name, value = op
+        if kind == "inc":
+            self.counters[name] = self.counters.get(name, 0.0) + value
+        elif kind == "gauge":
+            self.gauges[name] = float(value)
+        else:
+            self.observations.setdefault(name, []).append(float(value))
+
+    def snapshot(self):
+        hists = {}
+        for name, obs in sorted(self.observations.items()):
+            counts = [0] * (len(BOUNDS) + 1)
+            for v in obs:
+                for i, bound in enumerate(BOUNDS):
+                    if v <= bound:  # first bucket with v <= bound (le semantics)
+                        counts[i] += 1
+                        break
+                else:
+                    counts[len(BOUNDS)] += 1
+            hists[name] = {
+                "bounds": list(BOUNDS),
+                "counts": counts,
+                "sum": math.fsum(obs),
+                "count": len(obs),
+            }
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "histograms": hists,
+        }
+
+
+def _apply(registry: MetricsRegistry, op):
+    kind, name, value = op
+    if kind == "inc":
+        registry.inc(name, value)
+    elif kind == "gauge":
+        registry.set_gauge(name, value)
+    else:
+        registry.observe(name, value, BOUNDS)
+
+
+def _approx_sums(snapshot):
+    """Histogram sums compared via fsum may differ in the last ulp."""
+    for payload in snapshot["histograms"].values():
+        payload["sum"] = pytest.approx(payload["sum"])
+    return snapshot
+
+
+@given(ops=st.lists(OPS, max_size=200))
+@settings(max_examples=200, deadline=None)
+def test_registry_matches_model(ops):
+    registry, model = MetricsRegistry(), ModelRegistry()
+    for op in ops:
+        _apply(registry, op)
+        model.apply(op)
+    assert registry.snapshot() == _approx_sums(model.snapshot())
+
+
+@given(ops=st.lists(OPS, max_size=120), split=st.integers(min_value=0, max_value=120))
+@settings(max_examples=150, deadline=None)
+def test_merge_equals_sequential_application(ops, split):
+    """registry(ops) == registry(first) ⊕ merge(snapshot(registry(rest)))."""
+    split = min(split, len(ops))
+    sequential = MetricsRegistry()
+    for op in ops:
+        _apply(sequential, op)
+    first, second = MetricsRegistry(), MetricsRegistry()
+    for op in ops[:split]:
+        _apply(first, op)
+    for op in ops[split:]:
+        _apply(second, op)
+    first.merge(second.snapshot())
+    merged, expected = first.snapshot(), sequential.snapshot()
+    # Gauges are last-write-wins: the merge takes the second registry's value
+    # only for gauges the second half actually set — which matches sequential
+    # order, so the full snapshots must agree.
+    assert merged == _approx_sums(expected)
+
+
+@given(values=st.lists(VALUES, min_size=1, max_size=200))
+@settings(max_examples=200, deadline=None)
+def test_histogram_invariants(values):
+    h = Histogram("h", BOUNDS)
+    for v in values:
+        h.observe(v)
+    cum = h.cumulative()
+    # Cumulative counts are monotone non-decreasing and end at the total.
+    assert all(a <= b for a, b in zip(cum, cum[1:]))
+    assert cum[-1] == h.count == len(values) == sum(h.counts)
+    assert h.sum == pytest.approx(math.fsum(values))
+    # Every observation landed in exactly one bucket.
+    assert len(h.counts) == len(BOUNDS) + 1
+
+
+@given(value=st.sampled_from(BOUNDS))
+def test_histogram_le_is_inclusive(value):
+    """Observing exactly a bound lands in that bound's bucket (le semantics)."""
+    h = Histogram("h", BOUNDS)
+    h.observe(value)
+    assert h.counts[BOUNDS.index(value)] == 1
+
+
+class TestValidation:
+    def test_counter_rejects_negative(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ParameterError):
+            registry.inc("x", -1.0)
+        assert registry.counter("x").value == 0.0
+
+    def test_histogram_rejects_bad_bounds(self):
+        with pytest.raises(ParameterError):
+            Histogram("h", ())
+        with pytest.raises(ParameterError):
+            Histogram("h", (1.0, 1.0))
+        with pytest.raises(ParameterError):
+            Histogram("h", (2.0, 1.0))
+
+    def test_histogram_reregister_different_bounds(self):
+        registry = MetricsRegistry()
+        registry.observe("h", 0.3, BOUNDS)
+        with pytest.raises(ParameterError):
+            registry.histogram("h", (9.0, 10.0))
+
+    def test_merge_rejects_mismatched_buckets(self):
+        registry = MetricsRegistry()
+        registry.observe("h", 0.3, BOUNDS)
+        bad = {"histograms": {"h": {"bounds": list(BOUNDS),
+                                    "counts": [1], "sum": 0.3, "count": 1}}}
+        with pytest.raises(ParameterError):
+            registry.merge(bad)
+
+    def test_clear_empties_everything(self):
+        registry = MetricsRegistry()
+        registry.inc("c")
+        registry.set_gauge("g", 2.0)
+        registry.observe("h", 0.1, BOUNDS)
+        registry.clear()
+        assert registry.snapshot() == {"counters": {}, "gauges": {},
+                                       "histograms": {}}

@@ -1,0 +1,111 @@
+"""Observability must be provably off-path.
+
+Instrumentation is observation-only: with a recording registry + tracer
+installed, every algorithm must produce **bit-identical** distances,
+``StepRecord`` streams (golden snapshots — dataclass equality covers every
+field) and simulated work–span totals compared to a run with the null
+instruments.  Any drift means a call site read an instrument back into
+control flow, which is the one thing the seam forbids.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    bellman_ford,
+    delta_star_stepping,
+    rho_stepping,
+)
+from repro.core.algorithms import (
+    bellman_ford_batch,
+    delta_star_stepping_batch,
+    rho_stepping_batch,
+)
+from repro.obs import MetricsRegistry, Tracer, observed
+from repro.runtime import MachineModel
+
+SCALARS = {
+    "rho": lambda g, s: rho_stepping(g, s, 2**10, seed=5),
+    "delta-star": lambda g, s: delta_star_stepping(g, s, 2**12, seed=5),
+    "bf": lambda g, s: bellman_ford(g, s, seed=5),
+}
+BATCHES = {
+    "rho": lambda g, ss: rho_stepping_batch(g, ss, 2**10, seed=5),
+    "delta-star": lambda g, ss: delta_star_stepping_batch(g, ss, 2**12, seed=5),
+    "bf": lambda g, ss: bellman_ford_batch(g, ss, seed=5),
+}
+
+
+def _assert_identical(res_off, res_on, machine):
+    assert np.array_equal(res_off.dist, res_on.dist)
+    assert res_off.stats.steps == res_on.stats.steps  # golden StepRecord stream
+    assert res_off.stats.total_edge_visits == res_on.stats.total_edge_visits
+    assert machine.time_seconds(res_off.stats) == machine.time_seconds(res_on.stats)
+
+
+@pytest.mark.parametrize("algo", sorted(SCALARS))
+def test_scalar_bit_identical_with_obs(rmat_small, algo):
+    machine = MachineModel()
+    res_off = SCALARS[algo](rmat_small, 3)
+    registry, tracer = MetricsRegistry(), Tracer()
+    with observed(registry=registry, tracer=tracer):
+        res_on = SCALARS[algo](rmat_small, 3)
+    _assert_identical(res_off, res_on, machine)
+    # ...and the instruments actually recorded the run.
+    snap = registry.snapshot()
+    assert snap["counters"]["core.steps"] == res_on.stats.num_steps
+    run_span = next(s for s in tracer.roots if s.name == "sssp.run")
+    assert len(run_span.find("sssp.step")) == res_on.stats.num_steps
+
+
+@pytest.mark.parametrize("algo", sorted(BATCHES))
+def test_batch_bit_identical_with_obs(rmat_small, algo):
+    machine = MachineModel()
+    sources = [0, 2, 7, 11]
+    offs = BATCHES[algo](rmat_small, sources)
+    with observed(registry=MetricsRegistry(), tracer=Tracer()):
+        ons = BATCHES[algo](rmat_small, sources)
+    for res_off, res_on in zip(offs, ons):
+        _assert_identical(res_off, res_on, machine)
+
+
+@pytest.mark.parametrize("algo", sorted(SCALARS))
+def test_metrics_only_and_trace_only_also_identical(road_small, algo):
+    """Each instrument alone must be as off-path as both together."""
+    res_off = SCALARS[algo](road_small, 1)
+    with observed(registry=MetricsRegistry()):
+        res_metrics = SCALARS[algo](road_small, 1)
+    with observed(tracer=Tracer()):
+        res_trace = SCALARS[algo](road_small, 1)
+    machine = MachineModel()
+    _assert_identical(res_off, res_metrics, machine)
+    _assert_identical(res_off, res_trace, machine)
+
+
+def test_counters_match_step_records(rmat_small):
+    """Core counters are exactly the StepRecord totals, independently summed."""
+    registry = MetricsRegistry()
+    with observed(registry=registry):
+        res = rho_stepping(rmat_small, 0, 2**10, seed=5)
+    counters = registry.snapshot()["counters"]
+    steps = res.stats.steps
+    assert counters["core.steps"] == len(steps)
+    assert counters["core.waves"] == sum(s.waves for s in steps)
+    assert counters["core.edges"] == sum(s.edges for s in steps)
+    assert counters["core.relax_success"] == sum(s.relax_success for s in steps)
+    extracts = counters.get("pq.extract.sparse", 0) + counters.get("pq.extract.dense", 0)
+    assert extracts >= len(steps)  # at least one Extract per step
+
+
+def test_batch_trace_has_lane_spans_per_round(rmat_small):
+    tracer = Tracer()
+    sources = [0, 1, 2]
+    with observed(tracer=tracer):
+        rho_stepping_batch(rmat_small, sources, 2**10, seed=5)
+    batch = next(s for s in tracer.roots if s.name == "sssp.batch")
+    rounds = batch.find("sssp.round")
+    assert rounds, "batch trace must contain round spans"
+    for rnd in rounds:
+        lane_steps = [c for c in rnd.children if c.name == "sssp.step"]
+        assert 0 < len(lane_steps) <= len(sources)
+        assert all(s.t1 is not None for s in lane_steps)

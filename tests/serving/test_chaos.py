@@ -16,6 +16,7 @@ import pytest
 from repro.analysis import get_implementation, simulated_time
 from repro.graphs import rmat, save_npz
 from repro.graphs.io import load_npz
+from repro.obs import MetricsRegistry, observed
 from repro.runtime import MachineModel
 from repro.serving import (
     FaultPlan,
@@ -214,6 +215,94 @@ class TestCircuitBreaker:
             eng.query_batch([4])
         assert eng.stats()["circuit_state"] == "open"
         assert eng.stats()["circuit_trips"] == 1  # a re-open is not a new trip
+
+
+class TestChaosMetrics:
+    """Injected faults must show up in the metrics registry, exactly.
+
+    The seeded FaultPlan makes every recovery event deterministic, so the
+    counters are asserted against the plan (and against ``stats()``, which
+    the metrics must mirror 1:1) rather than with loose ``>=`` bounds.
+    """
+
+    @pytest.mark.parametrize("kind", ["crash", "hang", "corrupt"])
+    def test_sweep_fault_counters_match_plan_and_stats(self, rmat_small, machine, kind):
+        registry = MetricsRegistry()
+        timeout = 0.6 if kind == "hang" else None
+        with observed(registry=registry):
+            with SweepPool(
+                rmat_small, 2, timeout=timeout, retries=3, backoff=0.01,
+                fault_plan=SWEEP_PLANS[kind],
+            ) as pool:
+                pool.simulated_times("PQ-rho", 64, [0, 1, 2, 3], machine)
+                st = pool.stats()
+        counters = registry.snapshot()["counters"]
+        # Every supervision counter mirrors into serving.pool.* exactly.
+        for key, value in st.items():
+            assert counters.get(f"serving.pool.{key}", 0) == value
+        # The plan injects exactly one fault, so all 4 cells still complete
+        # and the recovery events are the plan's, precisely.
+        assert counters["serving.pool.submitted"] == 4
+        assert counters["serving.pool.completed"] == 4
+        assert counters["serving.pool.retried"] >= 1
+        if kind == "crash":
+            # One crash poisons every in-flight future, so the counter is
+            # per affected task; the rebuild is one event.
+            assert counters["serving.pool.crashes"] >= 1
+            assert counters["serving.pool.rebuilds"] == 1
+        if kind == "hang":
+            assert counters["serving.pool.timeouts"] == 1
+            assert counters["serving.pool.rebuilds"] == 1
+        if kind == "corrupt":
+            # Parent-side validation is serial: exactly one reject, one retry.
+            assert counters["serving.pool.rejected"] == 1
+            assert counters["serving.pool.retried"] == 1
+
+    def test_engine_retry_counters_match_plan(self, rmat_small):
+        plan = FaultPlan.single("engine.execute", "exception", at=(0,), times=2)
+        install_injector(plan)
+        registry = MetricsRegistry()
+        eng = QueryEngine(rmat_small, "bf", retries=2)
+        with observed(registry=registry):
+            eng.query_batch([0, 1])
+        counters = registry.snapshot()["counters"]
+        st = eng.stats()
+        # times=2 at the first execution: exactly 2 failures, 2 retries.
+        assert counters["serving.engine.exec_failures"] == 2 == st["exec_failures"]
+        assert counters["serving.engine.retries"] == 2 == st["retries"]
+        assert counters["serving.engine.executed"] == 2 == st["executed"]
+        assert "serving.engine.degraded" not in counters
+
+    def test_circuit_transitions_recorded(self, rmat_small):
+        install_injector(
+            FaultPlan.single("engine.execute", "exception", at=None, rate=1.0, times=999)
+        )
+        registry = MetricsRegistry()
+        eng = QueryEngine(rmat_small, "bf", retries=0, failure_threshold=2, cooldown=30.0)
+        with observed(registry=registry):
+            with pytest.raises(InjectedFault):
+                eng.query_batch([0])
+            with pytest.raises(CircuitOpenError):  # second failure trips mid-call
+                eng.query_batch([1])
+        snap = registry.snapshot()
+        assert snap["counters"]["serving.circuit.open_transitions"] == 1
+        assert snap["gauges"]["serving.circuit.state"] == 2  # open
+        assert eng.stats()["circuit_trips"] == 1
+
+    def test_cache_counters_match_engine_stats(self, rmat_small):
+        registry = MetricsRegistry()
+        eng = QueryEngine(rmat_small, "bf", cache_size=2)
+        with observed(registry=registry):
+            eng.query_batch([0, 1])   # 2 misses, 2 inserts
+            eng.query_batch([0, 1])   # 2 hits
+            eng.query_batch([2])      # miss + insert -> evicts source 0
+        counters = registry.snapshot()["counters"]
+        st = eng.stats()
+        assert counters["serving.cache.hits"] == 2 == st["cache_hits"]
+        assert counters["serving.cache.misses"] == 3 == st["cache_misses"]
+        assert counters["serving.cache.inserts"] == 3
+        assert counters["serving.cache.evictions"] == 1 == st["cache_evictions"]
+        assert counters["serving.engine.deduped"] == 2 == st["deduped"]
 
 
 class TestGraphLoadChaos:

@@ -133,3 +133,26 @@ class TestResilienceStats:
         assert st["circuit_trips"] == 0
         assert st["exec_failures"] == 0
         assert st["degraded"] == 0
+        assert st["retries"] == 0
+
+    def test_stats_is_a_deep_copy(self, rmat_small):
+        """Mutating the stats() dict must never corrupt engine state."""
+        eng = QueryEngine(rmat_small, "bf")
+        eng.query_batch([0, 1])
+        st = eng.stats()
+        st["executed"] = 10**6
+        st["circuit_state"] = "open"
+        st.clear()
+        fresh = eng.stats()
+        assert fresh["executed"] == 2
+        assert fresh["circuit_state"] == "closed"
+        # Two calls hand out independent dicts.
+        assert eng.stats() is not eng.stats()
+
+    def test_counter_attributes_are_read_only(self, rmat_small):
+        """The legacy attribute API stays readable but cannot be assigned."""
+        eng = QueryEngine(rmat_small, "bf")
+        eng.query_batch([0])
+        assert eng.executed == 1 and eng.deduped == 0
+        with pytest.raises(AttributeError):
+            eng.executed = 99

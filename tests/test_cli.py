@@ -18,7 +18,7 @@ class TestParser:
     def test_all_subcommands_present(self):
         parser = build_parser()
         sub = next(a for a in parser._actions if a.dest == "command")
-        assert set(sub.choices) == {"info", "run", "batch", "sweep", "generate"}
+        assert set(sub.choices) == {"info", "run", "batch", "sweep", "trace", "generate"}
 
     def test_run_requires_known_algorithm(self):
         with pytest.raises(SystemExit):
@@ -104,6 +104,103 @@ class TestCommands:
         monkeypatch.setenv("REPRO_SCALE", "tiny")
         assert main(["info", "OK"]) == 0
         assert "OK" in capsys.readouterr().out
+
+
+class TestObservability:
+    """--metrics on run/batch/sweep and the trace subcommand."""
+
+    def _load_metrics(self, path):
+        import json
+
+        snap = json.loads(path.read_text())
+        assert set(snap) == {"counters", "gauges", "histograms"}
+        return snap
+
+    def test_run_metrics_json_schema(self, graph_file, tmp_path, capsys):
+        out = tmp_path / "m.json"
+        assert main(["run", "rho", graph_file, "--metrics", str(out)]) == 0
+        snap = self._load_metrics(out)
+        counters = snap["counters"]
+        assert counters["core.steps"] >= 1
+        assert counters["kernel.scatter_min.calls"] >= 1
+        assert counters["pq.update.calls"] >= 1
+        hist = snap["histograms"]["kernel.scatter_min.seconds"]
+        assert hist["count"] == counters["kernel.scatter_min.calls"]
+        assert sum(hist["counts"]) == hist["count"]
+        assert "metrics written" in capsys.readouterr().err
+
+    def test_batch_metrics_covers_serving(self, graph_file, tmp_path, capsys):
+        out = tmp_path / "m.json"
+        assert main(["batch", graph_file, "--sources", "0,1,0",
+                     "--metrics", str(out)]) == 0
+        counters = self._load_metrics(out)["counters"]
+        assert counters["serving.cache.misses"] == 2
+        assert counters.get("serving.cache.hits", 0) == 0
+        assert counters["serving.engine.executed"] == 2
+        assert counters["serving.engine.deduped"] == 1
+        assert "serving.batch.seconds" in self._load_metrics(out)["histograms"]
+
+    def test_metrics_prometheus_extension(self, graph_file, tmp_path):
+        out = tmp_path / "m.prom"
+        assert main(["run", "bf", graph_file, "--metrics", str(out)]) == 0
+        text = out.read_text()
+        assert "# TYPE core_steps_total counter" in text
+        assert "kernel_scatter_min_seconds_bucket" in text
+
+    def test_sweep_metrics_serial(self, graph_file, tmp_path, capsys):
+        out = tmp_path / "m.json"
+        assert main(["sweep", "PQ-rho", graph_file, "--lo", "6", "--hi", "7",
+                     "--metrics", str(out)]) == 0
+        counters = self._load_metrics(out)["counters"]
+        assert counters["core.steps"] >= 2  # one run per grid cell
+
+    def test_sweep_metrics_pooled_merges_workers(self, graph_file, tmp_path, capsys):
+        out = tmp_path / "m.json"
+        assert main(["sweep", "PQ-rho", graph_file, "--lo", "6", "--hi", "7",
+                     "--jobs", "2", "--metrics", str(out)]) == 0
+        counters = self._load_metrics(out)["counters"]
+        assert counters["serving.pool.submitted"] == 2
+        assert counters["serving.pool.completed"] == 2
+        # Worker-side kernel counters shipped home through the result channel.
+        assert counters["kernel.scatter_min.calls"] >= 1
+
+    def test_trace_renders_span_tree(self, graph_file, capsys):
+        assert main(["trace", "rho", graph_file, "--depth", "2"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("sssp.run")
+        assert "sssp.step" in out and "sim_us=" in out
+        assert "├─" in out or "└─" in out
+        assert "simulated time" in out
+
+    def test_trace_depth_prunes(self, graph_file, capsys):
+        assert main(["trace", "rho", graph_file, "--depth", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "spans below" in out
+        assert "kernel." not in out
+
+    def test_trace_with_metrics(self, graph_file, tmp_path, capsys):
+        out = tmp_path / "m.json"
+        assert main(["trace", "bf", graph_file, "--metrics", str(out)]) == 0
+        counters = self._load_metrics(out)["counters"]
+        assert counters["core.steps"] >= 1
+
+    def test_trace_unknown_algorithm_exits(self, graph_file):
+        with pytest.raises(SystemExit):
+            main(["trace", "astar", graph_file])
+
+    def test_metrics_written_even_on_failure(self, graph_file, tmp_path, capsys):
+        out = tmp_path / "m.json"
+        assert main(["batch", graph_file, "--sources", "0", "--algo", "delta",
+                     "--metrics", str(out)]) == 2  # delta requires a param
+        assert out.exists()
+        assert "error:" in capsys.readouterr().err
+
+    def test_obs_seam_restored_after_command(self, graph_file, tmp_path):
+        from repro.obs import OBS
+
+        out = tmp_path / "m.json"
+        assert main(["run", "bf", graph_file, "--metrics", str(out)]) == 0
+        assert OBS.enabled is False
 
 
 class TestErrorPaths:
