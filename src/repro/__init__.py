@@ -15,6 +15,9 @@ Layers (see DESIGN.md for the full inventory):
   and the gold sequential Dijkstra.
 * :mod:`repro.datasets` / :mod:`repro.analysis` — stand-in benchmark graphs
   and the sweep/report harness driving every table and figure.
+* :mod:`repro.shard` — graph partitioners, the validated/reassemblable
+  :class:`~repro.shard.ShardedGraph`, and the BSP halo-exchange executor
+  :func:`~repro.shard.sharded_sssp` (bit-identical distances).
 
 Quickstart::
 
@@ -40,6 +43,7 @@ from repro.core import (
 from repro.graphs import Graph, estimate_k_rho, rmat, road_geometric, road_grid
 from repro.pq import FlatPQ, LabPQ, TournamentPQ
 from repro.runtime import CostProfile, MachineModel
+from repro.shard import ShardedGraph, partition_graph, sharded_sssp
 
 __version__ = "1.0.0"
 
@@ -51,6 +55,7 @@ __all__ = [
     "LabPQ",
     "MachineModel",
     "SSSPResult",
+    "ShardedGraph",
     "SteppingOptions",
     "TournamentPQ",
     "bellman_ford",
@@ -59,10 +64,12 @@ __all__ = [
     "dijkstra_reference",
     "dijkstra_stepping",
     "estimate_k_rho",
+    "partition_graph",
     "radius_stepping",
     "rho_stepping",
     "rmat",
     "road_geometric",
     "road_grid",
+    "sharded_sssp",
     "stepping_sssp",
 ]

@@ -3,12 +3,17 @@
 Commands
 --------
 
-``info``      graph statistics and the (k, ρ) signature of a dataset or file.
-``run``       run one SSSP algorithm and report work-span stats + simulated time.
-``batch``     answer a multi-source batch through the serving engine.
-``sweep``     sweep Δ or ρ over powers of two and print the relative-time curve.
-``trace``     run one algorithm under the tracer and print its span tree.
-``generate``  write a synthetic graph (rmat / road-grid / road-geo) to .npz.
+``info``       graph statistics and the (k, ρ) signature of a dataset or file.
+``run``        run one SSSP algorithm and report work-span stats + simulated time.
+``batch``      answer a multi-source batch through the serving engine.
+``sweep``      sweep Δ or ρ over powers of two and print the relative-time curve.
+``trace``      run one algorithm under the tracer and print its span tree.
+``generate``   write a synthetic graph (rmat / road-grid / road-geo) to .npz.
+``partition``  split a graph into shards and report cut/halo/balance numbers.
+
+``run`` and ``batch`` accept ``--shards N`` (plus ``--partitioner P``) to
+execute through the sharded BSP driver — distances are bit-identical to the
+unsharded paths, so ``--verify`` still holds.
 
 ``run``/``batch``/``sweep``/``trace`` accept ``--metrics PATH`` to dump a
 metrics-registry snapshot (JSON by default; Prometheus text for ``.prom`` /
@@ -103,10 +108,39 @@ def _cmd_info(args) -> int:
     return 0
 
 
+def _shard_policy(algorithm: str, param):
+    """A fresh stepping policy matching a ``run`` algorithm name."""
+    from repro.core.policies import (
+        BellmanFordPolicy,
+        DeltaPolicy,
+        DeltaStarPolicy,
+        DijkstraPolicy,
+        RhoPolicy,
+    )
+
+    if algorithm == "rho":
+        return RhoPolicy(int(param or DEFAULT_RHO))
+    if algorithm == "delta-star":
+        return DeltaStarPolicy(float(param or 2**14))
+    if algorithm == "delta":
+        return DeltaPolicy(float(param or 2**14))
+    if algorithm == "dijkstra":
+        return DijkstraPolicy()
+    return BellmanFordPolicy()
+
+
 def _cmd_run(args) -> int:
     g = _load_graph(args.graph)
-    run = _ALGOS[args.algorithm]
-    res = run(g, args.source, args.param, args.seed)
+    if args.shards:
+        from repro.shard import sharded_sssp
+
+        res = sharded_sssp(
+            g, args.source, _shard_policy(args.algorithm, args.param),
+            num_shards=args.shards, method=args.partitioner, seed=args.seed,
+        )
+    else:
+        run = _ALGOS[args.algorithm]
+        res = run(g, args.source, args.param, args.seed)
     if args.verify:
         res.check_against(dijkstra_reference(g, args.source))
         print("verified against sequential Dijkstra")
@@ -122,6 +156,12 @@ def _cmd_run(args) -> int:
         ["simulated self-speedup", f"{machine.self_speedup(s):.1f}x"],
         ["wall time (this host)", f"{res.wall_seconds * 1e3:.1f} ms"],
     ]
+    if args.shards:
+        rows.extend([
+            ["shards", f"{res.params['num_shards']} ({res.params['partitioner']})"],
+            ["cut edges", res.params["cut_edges"]],
+            ["halo messages", res.params["halo_messages"]],
+        ])
     print(format_table(["metric", "value"], rows,
                        title=f"{res.algorithm} on {args.graph} from source {args.source}"))
     return 0
@@ -140,7 +180,8 @@ def _cmd_batch(args) -> int:
     if not sources:
         raise ReproError("--sources is empty")
     engine = QueryEngine(
-        g, args.algo, args.param, mode=args.mode, seed=args.seed, retries=args.retries
+        g, args.algo, args.param, mode=args.mode, seed=args.seed,
+        retries=args.retries, shards=args.shards, partitioner=args.partitioner,
     )
     t0 = time.perf_counter()
     dist = engine.query_batch(sources, deadline=args.deadline)
@@ -161,8 +202,9 @@ def _cmd_batch(args) -> int:
         ["wall time", f"{elapsed * 1e3:.1f} ms"],
         ["throughput", f"{len(sources) / elapsed:.1f} queries/s"],
     ]
+    label = f"sharded[{args.shards}]" if args.shards else args.mode
     print(format_table(["metric", "value"], rows,
-                       title=f"{args.mode} batch ({args.algo}) on {args.graph}"))
+                       title=f"{label} batch ({args.algo}) on {args.graph}"))
     return 0
 
 
@@ -221,6 +263,34 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_partition(args) -> int:
+    from repro.shard import ShardedGraph
+
+    g = _load_graph(args.graph)
+    sg = ShardedGraph.build(g, args.shards, args.partitioner, seed=args.seed)
+    rows = [
+        [r["shard"], r["vertices"], r["edges"], r["halo"], r["cut_edges"]]
+        for r in sg.shard_sizes()
+    ]
+    print(format_table(
+        ["shard", "vertices", "edges", "halo", "cut edges"], rows,
+        title=f"{args.partitioner} partition of {args.graph} into {args.shards}",
+    ))
+    print(f"cut edges: {sg.cut_edges} ({sg.cut_ratio:.1%} of {g.m})")
+    print(f"edge imbalance: {sg.edge_imbalance:.3f}  "
+          f"vertex imbalance: {sg.partition.vertex_imbalance:.3f}")
+    if args.check_roundtrip:
+        r = sg.reassemble()
+        if not (
+            np.array_equal(r.indptr, g.indptr)
+            and np.array_equal(r.indices, g.indices)
+            and np.array_equal(r.weights, g.weights)
+        ):
+            raise ReproError("reassembled CSR differs from the input graph")
+        print("reassemble round-trip: exact")
+    return 0
+
+
 def _cmd_generate(args) -> int:
     if args.kind == "rmat":
         g = rmat(args.scale, args.degree, seed=args.seed, directed=args.directed)
@@ -256,6 +326,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--cores", type=int, default=96)
     p.add_argument("--verify", action="store_true")
+    p.add_argument("--shards", type=int, default=0,
+                   help="run through the sharded BSP executor with N shards")
+    p.add_argument("--partitioner", choices=["contiguous", "degree", "ldg"],
+                   default="contiguous", help="partition method for --shards")
     p.add_argument("--metrics", default=None, metavar="PATH",
                    help="write a metrics snapshot (.json, or .prom/.txt for "
                         "Prometheus text format)")
@@ -276,6 +350,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="execution retries on transient failure")
     p.add_argument("--verify", action="store_true",
                    help="check every row against sequential Dijkstra")
+    p.add_argument("--shards", type=int, default=0,
+                   help="serve through the sharded BSP executor with N shards")
+    p.add_argument("--partitioner", choices=["contiguous", "degree", "ldg"],
+                   default="contiguous", help="partition method for --shards")
     p.add_argument("--metrics", default=None, metavar="PATH",
                    help="write a metrics snapshot (.json, or .prom/.txt for "
                         "Prometheus text format)")
@@ -313,6 +391,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics", default=None, metavar="PATH",
                    help="also write a metrics snapshot for the traced run")
     p.set_defaults(fn=_cmd_trace)
+
+    p = sub.add_parser("partition", help="shard a graph and report cut/halo stats")
+    p.add_argument("graph")
+    p.add_argument("--shards", type=int, required=True, help="number of shards")
+    p.add_argument("--partitioner", choices=["contiguous", "degree", "ldg"],
+                   default="contiguous")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--check-roundtrip", action="store_true",
+                   help="also reassemble the shards and compare with the input")
+    p.set_defaults(fn=_cmd_partition)
 
     p = sub.add_parser("generate", help="write a synthetic graph to .npz")
     p.add_argument("kind", choices=["rmat", "road-grid", "road-geo"])

@@ -14,6 +14,7 @@ representable, and float keeps the API open to arbitrary positive weights.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from functools import cached_property
 
@@ -155,6 +156,25 @@ class Graph:
         arithmetic."""
         return np.repeat(np.arange(self.n, dtype=_INDEX_DTYPE), self.degrees)
 
+    @cached_property
+    def fingerprint(self) -> str:
+        """Content hash over ``(indptr, indices, weights, directed)``.
+
+        Two graphs share a fingerprint iff they are the same CSR bit for bit,
+        regardless of ``name`` or object identity — which is what makes it a
+        safe cache-key component: two differently-weighted graphs that happen
+        to share a name (and even a shape) can never alias each other's
+        cached distance vectors.  Computed once per object (``Graph`` is
+        immutable) and reused by :class:`repro.serving.cache.ResultCache`.
+        """
+        h = hashlib.blake2b(digest_size=16)
+        h.update(b"directed" if self.directed else b"undirected")
+        h.update(np.int64(self.n).tobytes())
+        h.update(np.ascontiguousarray(self.indptr, dtype=_INDEX_DTYPE).tobytes())
+        h.update(np.ascontiguousarray(self.indices, dtype=_INDEX_DTYPE).tobytes())
+        h.update(np.ascontiguousarray(self.weights, dtype=_WEIGHT_DTYPE).tobytes())
+        return h.hexdigest()
+
     @property
     def max_weight(self) -> float:
         """The paper's ``L`` — the heaviest edge weight (0.0 if no edges)."""
@@ -195,26 +215,58 @@ class Graph:
         symmetric (every edge has a same-weight reverse edge).
         """
         if self.indptr.ndim != 1 or len(self.indptr) < 1:
-            raise GraphFormatError("indptr must be a 1-D array of length n+1 >= 1")
+            raise GraphFormatError(
+                f"indptr must be a 1-D array of length n+1 >= 1, got shape {self.indptr.shape}"
+            )
         if self.indptr[0] != 0:
-            raise GraphFormatError("indptr[0] must be 0")
-        if np.any(np.diff(self.indptr) < 0):
-            raise GraphFormatError("indptr must be non-decreasing")
+            raise GraphFormatError(f"indptr[0] must be 0, got {int(self.indptr[0])}")
+        drops = np.flatnonzero(np.diff(self.indptr) < 0)
+        if drops.size:
+            v = int(drops[0])
+            raise GraphFormatError(
+                f"indptr must be non-decreasing: indptr[{v}]={int(self.indptr[v])} > "
+                f"indptr[{v + 1}]={int(self.indptr[v + 1])} (vertex {v})"
+            )
         if self.indptr[-1] != len(self.indices):
             raise GraphFormatError(
                 f"indptr[-1]={self.indptr[-1]} does not match len(indices)={len(self.indices)}"
             )
         if len(self.weights) != len(self.indices):
-            raise GraphFormatError("weights and indices must have equal length")
+            raise GraphFormatError(
+                f"weights and indices must have equal length, got "
+                f"{len(self.weights)} weights for {len(self.indices)} edges"
+            )
         if self.m:
-            if self.indices.min() < 0 or self.indices.max() >= self.n:
-                raise GraphFormatError("edge target out of range")
-            if not np.all(np.isfinite(self.weights)) or self.weights.min() <= 0:
-                raise GraphFormatError("edge weights must be positive and finite")
-        if not self.directed and not self._is_symmetric():
-            raise GraphFormatError("directed=False but the CSR is not symmetric")
+            bad = np.flatnonzero((self.indices < 0) | (self.indices >= self.n))
+            if bad.size:
+                e = int(bad[0])
+                raise GraphFormatError(
+                    f"edge target out of range [0, {self.n}): indices[{e}]="
+                    f"{int(self.indices[e])} (edge {e} of vertex {int(self.edge_sources[e])})"
+                )
+            bad = np.flatnonzero(~np.isfinite(self.weights) | (self.weights <= 0))
+            if bad.size:
+                e = int(bad[0])
+                raise GraphFormatError(
+                    f"edge weights must be positive and finite: weights[{e}]="
+                    f"{self.weights[e]!r} (edge {e} of vertex {int(self.edge_sources[e])})"
+                )
+        if not self.directed and not self.is_symmetric:
+            u, v = self._first_asymmetric_edge()
+            raise GraphFormatError(
+                f"directed=False but the CSR is not symmetric: edge "
+                f"({u}, {v}) has no same-weight reverse edge"
+            )
 
-    def _is_symmetric(self) -> bool:
+    @cached_property
+    def is_symmetric(self) -> bool:
+        """Whether every edge has a same-weight reverse edge (cached).
+
+        The check re-sorts all ``m`` edges twice, so it is computed at most
+        once per object — ``Graph`` is immutable, which makes the cached
+        answer permanently valid.  Repeated :meth:`validate` calls on
+        undirected graphs therefore pay the sort only the first time.
+        """
         src, dst, w = self.edges()
         fwd = np.lexsort((w, dst, src))
         rev = np.lexsort((w, src, dst))
@@ -223,6 +275,22 @@ class Graph:
             and np.array_equal(dst[fwd], src[rev])
             and np.allclose(w[fwd], w[rev])
         )
+
+    def _first_asymmetric_edge(self) -> tuple[int, int]:
+        """The lexically first edge whose reverse is missing or misweighted."""
+        src, dst, w = self.edges()
+        fwd = np.lexsort((w, dst, src))
+        rev = np.lexsort((w, src, dst))
+        mismatch = (
+            (src[fwd] != dst[rev])
+            | (dst[fwd] != src[rev])
+            | ~np.isclose(w[fwd], w[rev])
+        )
+        bad = np.flatnonzero(mismatch)
+        if not bad.size:  # pragma: no cover - only called when asymmetric
+            return (-1, -1)
+        e = fwd[bad[0]]
+        return int(src[e]), int(dst[e])
 
     # ------------------------------------------------------------------ #
     # Misc

@@ -1,10 +1,15 @@
 """Keyed LRU cache for SSSP query results.
 
-Keys are ``(graph_id, algo, param, source)`` — everything that determines a
-distance vector.  ``graph_id`` is a process-stable identity token handed out
-per :class:`~repro.graphs.csr.Graph` object (weakly held, never reused), so
-two engines over the same loaded graph share cache lines while a reloaded
-or mutated-copy graph gets a fresh namespace.
+Keys are ``(graph_id, fingerprint, algo, param, source)`` — everything that
+determines a distance vector.  ``graph_id`` is a process-stable identity
+token handed out per :class:`~repro.graphs.csr.Graph` object (weakly held,
+never reused), so two engines over the same loaded graph share cache lines
+while a reloaded or mutated-copy graph gets a fresh namespace.  The
+``fingerprint`` component is the graph's content hash
+(:attr:`~repro.graphs.csr.Graph.fingerprint`): even if two distinct graphs
+were ever handed the same identity token (same name, same shape), their
+differing CSR content keeps their cache lines apart, so a stale distance
+array can never be served for the wrong graph.
 """
 
 from __future__ import annotations
@@ -40,7 +45,7 @@ def graph_id(graph: Graph) -> str:
 
 
 class ResultCache:
-    """LRU mapping ``(graph_id, algo, param, source) -> distance vector``.
+    """LRU mapping ``(graph_id, fingerprint, algo, param, source) -> distances``.
 
     Stored arrays are copies marked read-only; ``get`` returns them directly
     (callers copy if they need to mutate).  ``hits``/``misses``/``evictions``
@@ -65,7 +70,7 @@ class ResultCache:
 
     @staticmethod
     def key(graph: Graph, algo: str, param, source: int) -> tuple:
-        return (graph_id(graph), algo, param, int(source))
+        return (graph_id(graph), graph.fingerprint, algo, param, int(source))
 
     def get(self, key: tuple) -> "np.ndarray | None":
         dist = self._data.get(key)

@@ -17,6 +17,14 @@ Two execution modes:
   bit-for-bit; use it when the caller needs metered results (the analysis
   layer) rather than raw answers.
 
+Sharded serving: constructing the engine with ``shards >= 1`` routes every
+execution through :func:`~repro.shard.executor.sharded_sssp` over a
+partition built once at construction (``partitioner`` picks the method,
+``shard_jobs`` optionally runs shard windows on a supervised pool).  The
+sharded executor's distances are bit-identical to the unsharded engines, so
+the cache, validation, and degradation story is unchanged — a failing
+sharded path degrades to the fast path exactly like a failing exact path.
+
 Resilience (all off the hot path unless something goes wrong):
 
 * **admission validation** — non-integer, negative or out-of-range sources
@@ -40,8 +48,9 @@ Resilience (all off the hot path unless something goes wrong):
   and counts the event in ``stats()["degraded"]``.
 
 Fault-injection sites: ``engine.execute`` fires on every execution attempt;
-``engine.exact`` additionally fires on the exact path only (which is what
-lets the chaos suite force a degradation without touching the fallback).
+``engine.exact`` (resp. ``engine.sharded``) additionally fires on the exact
+(resp. sharded) path only — which is what lets the chaos suite force a
+degradation without touching the fallback.
 """
 
 from __future__ import annotations
@@ -115,6 +124,19 @@ class QueryEngine:
         Consecutive execution failures that trip the circuit breaker.
     cooldown:
         Seconds the circuit stays open before half-opening for a trial.
+    shards:
+        ``0`` (default) serves from the unsharded engines; ``>= 1`` builds a
+        validated :class:`~repro.shard.sharded_graph.ShardedGraph` once and
+        serves every execution through the BSP sharded executor
+        (bit-identical distances).  Incompatible with ``mode="exact"`` —
+        the metered lockstep replay and the sharded driver are different
+        execution paths.
+    partitioner:
+        Partition method when ``shards >= 1`` (see
+        :data:`repro.shard.partition.PARTITIONERS`).
+    shard_jobs:
+        ``>= 2`` runs each superstep's shard windows on a supervised
+        process pool of that many workers; ``0``/``1`` runs them serially.
     """
 
     def __init__(
@@ -130,11 +152,23 @@ class QueryEngine:
         deadline: "float | None" = None,
         failure_threshold: int = 5,
         cooldown: float = 30.0,
+        shards: int = 0,
+        partitioner: str = "contiguous",
+        shard_jobs: int = 0,
     ) -> None:
         if algo not in ("rho", "delta", "bf"):
             raise ParameterError(f"unknown algo {algo!r}; choose rho, delta or bf")
         if mode not in ("fast", "exact"):
             raise ParameterError(f"unknown mode {mode!r}; choose fast or exact")
+        if shards < 0:
+            raise ParameterError(f"shards must be >= 0, got {shards}")
+        if shards and mode == "exact":
+            raise ParameterError(
+                "shards and mode='exact' are mutually exclusive: the sharded "
+                "executor is its own execution path, not a metered replay"
+            )
+        if shard_jobs < 0:
+            raise ParameterError(f"shard_jobs must be >= 0, got {shard_jobs}")
         if retries < 0:
             raise ParameterError(f"retries must be >= 0, got {retries}")
         if failure_threshold < 1:
@@ -155,6 +189,16 @@ class QueryEngine:
         self.algo = algo
         self.param = param
         self.mode = mode
+        self.shards = int(shards)
+        self.partitioner = partitioner
+        self.shard_jobs = int(shard_jobs)
+        self._sharded = None
+        if self.shards:
+            from repro.shard import ShardedGraph
+
+            self._sharded = ShardedGraph.build(
+                graph, self.shards, partitioner, seed=seed
+            )
         self.seed = seed
         self.retries = retries
         self.deadline = deadline
@@ -174,6 +218,8 @@ class QueryEngine:
             "exec_failures": 0,
             # execution retry attempts (re-runs after a transient failure)
             "retries": 0,
+            # batches executed through the sharded BSP path
+            "sharded_execs": 0,
             # closed → open transitions of the circuit breaker
             "circuit_trips": 0,
         }
@@ -344,23 +390,28 @@ class QueryEngine:
     # execution
 
     def _execute_resilient(self, sources: list[int], deadline_at) -> np.ndarray:
-        """Execute with retries, circuit accounting, and exact→fast fallback."""
-        exact = self.mode == "exact"
+        """Execute with retries, circuit accounting, and path→fast fallback."""
+        if self.shards:
+            path = "sharded"
+        elif self.mode == "exact":
+            path = "exact"
+        else:
+            path = "fast"
         try:
-            dist = self._attempts(sources, deadline_at, exact=exact)
+            dist = self._attempts(sources, deadline_at, path=path)
         except (DeadlineExceeded, CircuitOpenError):
             raise
         except Exception as exc:
-            if not exact:
+            if path == "fast":
                 if isinstance(exc, ReproError):
                     raise
                 raise ExecutionError(f"batch execution failed: {exc}") from exc
-            # Graceful degradation: the exact (metered replay) path is down;
-            # the fast path produces bit-identical distances, so serve those
-            # rather than failing the batch.
-            _LOG.warning("exact path failed (%s); degrading batch to the fast path", exc)
+            # Graceful degradation: the exact (metered replay) or sharded
+            # (BSP) path is down; the fast path produces bit-identical
+            # distances, so serve those rather than failing the batch.
+            _LOG.warning("%s path failed (%s); degrading batch to the fast path", path, exc)
             try:
-                dist = self._attempts(sources, deadline_at, exact=False)
+                dist = self._attempts(sources, deadline_at, path="fast")
             except (DeadlineExceeded, CircuitOpenError):
                 raise
             except Exception as fast_exc:
@@ -373,7 +424,7 @@ class QueryEngine:
         self._record_success()
         return dist
 
-    def _attempts(self, sources: list[int], deadline_at, *, exact: bool) -> np.ndarray:
+    def _attempts(self, sources: list[int], deadline_at, *, path: str) -> np.ndarray:
         index = self._exec_seq
         self._exec_seq += 1
         last: "Exception | None" = None
@@ -383,7 +434,7 @@ class QueryEngine:
                 if OBS.enabled:
                     OBS.registry.inc("serving.engine.retries")
             try:
-                return self._execute_once(sources, deadline_at, index, attempt, exact=exact)
+                return self._execute_once(sources, deadline_at, index, attempt, path=path)
             except DeadlineExceeded:
                 self._record_failure()
                 raise
@@ -401,20 +452,20 @@ class QueryEngine:
         raise last
 
     def _execute_once(
-        self, sources: list[int], deadline_at, index: int, attempt: int, *, exact: bool
+        self, sources: list[int], deadline_at, index: int, attempt: int, *, path: str
     ) -> np.ndarray:
         injector = get_injector()
         directive = injector.fire("engine.execute", index=index, attempt=attempt)
-        if exact:
-            exact_directive = injector.fire("engine.exact", index=index, attempt=attempt)
-            directive = directive or exact_directive
+        if path != "fast":
+            path_directive = injector.fire(f"engine.{path}", index=index, attempt=attempt)
+            directive = directive or path_directive
         _check_deadline(deadline_at)
         if deadline_at is None:
-            dist = self._run_chunk(sources, exact=exact)
+            dist = self._run_chunk(sources, path=path)
         else:
             outs = []
             for lo in range(0, len(sources), _DEADLINE_CHUNK):
-                outs.append(self._run_chunk(sources[lo : lo + _DEADLINE_CHUNK], exact=exact))
+                outs.append(self._run_chunk(sources[lo : lo + _DEADLINE_CHUNK], path=path))
                 _check_deadline(deadline_at)
             dist = outs[0] if len(outs) == 1 else np.vstack(outs)
         if directive == "corrupt":
@@ -423,11 +474,13 @@ class QueryEngine:
         self._validate_result(dist, sources)
         return dist
 
-    def _run_chunk(self, sources: list[int], *, exact: bool) -> np.ndarray:
-        if not exact:
+    def _run_chunk(self, sources: list[int], *, path: str) -> np.ndarray:
+        if path == "fast":
             return multi_source_distances(
                 self.graph, sources, algo=self.algo, param=self.param
             )
+        if path == "sharded":
+            return self._run_sharded(sources)
         if self.algo == "rho":
             results = rho_stepping_batch(self.graph, sources, self.param, seed=self.seed)
         elif self.algo == "delta":
@@ -437,6 +490,36 @@ class QueryEngine:
         else:
             results = bellman_ford_batch(self.graph, sources, seed=self.seed)
         return np.stack([r.dist for r in results])
+
+    def _make_policy(self):
+        """A fresh stepping policy for the sharded path (policies are stateful)."""
+        from repro.core.policies import (
+            BellmanFordPolicy,
+            DeltaStarPolicy,
+            RhoPolicy,
+        )
+
+        if self.algo == "rho":
+            return RhoPolicy(self.param)
+        if self.algo == "delta":
+            return DeltaStarPolicy(self.param)
+        return BellmanFordPolicy()
+
+    def _run_sharded(self, sources: list[int]) -> np.ndarray:
+        """One sharded BSP run per source over the prebuilt partition."""
+        from repro.shard import sharded_sssp
+
+        rows = [
+            sharded_sssp(
+                self.graph, s, self._make_policy(),
+                sharded=self._sharded, seed=self.seed, jobs=self.shard_jobs,
+            ).dist
+            for s in sources
+        ]
+        self._counters["sharded_execs"] += 1
+        if OBS.enabled:
+            OBS.registry.inc("serving.engine.sharded")
+        return np.stack(rows)
 
     def _validate_result(self, dist: np.ndarray, sources: list[int]) -> None:
         """Reject corrupted execution payloads before they reach the cache."""

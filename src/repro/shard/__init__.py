@@ -1,0 +1,34 @@
+"""Sharded-graph subsystem: partitioners, halo exchange, BSP execution.
+
+``repro.shard`` splits a CSR graph into vertex-disjoint shards (each a valid
+local :class:`~repro.graphs.csr.Graph` with renumbered vertices and halo
+rows for remote targets), validates and losslessly reassembles the pieces,
+and runs the stepping framework bulk-synchronously across them with
+bit-identical distances — see :mod:`repro.shard.executor` for the argument.
+"""
+
+from repro.shard.executor import sharded_sssp
+from repro.shard.partition import (
+    PARTITIONERS,
+    Partition,
+    Shard,
+    contiguous_partition,
+    degree_balanced_partition,
+    get_partitioner,
+    ldg_partition,
+    partition_graph,
+)
+from repro.shard.sharded_graph import ShardedGraph
+
+__all__ = [
+    "PARTITIONERS",
+    "Partition",
+    "Shard",
+    "ShardedGraph",
+    "contiguous_partition",
+    "degree_balanced_partition",
+    "get_partitioner",
+    "ldg_partition",
+    "partition_graph",
+    "sharded_sssp",
+]

@@ -1,0 +1,498 @@
+"""BSP sharded SSSP: per-shard θ-windows with halo exchange between them.
+
+The driver runs paper Algorithm 1 bulk-synchronously over a
+:class:`~repro.shard.sharded_graph.ShardedGraph`: every **superstep** picks
+one global threshold θ (reusing the *unchanged* scalar policies — Δ*, ρ,
+Bellman-Ford, ...), lets every shard extract and fully drain its local
+frontier inside the window (serially or on a
+:class:`~repro.serving.supervisor.SupervisedPool`), then exchanges the
+improved boundary distances along the precomputed halo routing tables.
+
+**Why the distances are bit-identical to an unsharded run.**  Every value a
+relaxation ever writes is a left-to-right IEEE-754 sum of edge weights along
+some source path, and float addition of a positive weight is monotone
+(``a <= b  ⇒  fl(a+w) <= fl(b+w)``).  Chaotic relaxation run to quiescence
+(no edge can improve its target) therefore converges to the *unique*
+fixpoint ``δ[v] = min over paths P of float-sum(P)`` — independent of the
+relaxation schedule.  The scalar framework terminates at that fixpoint; this
+executor terminates when every shard queue is empty and every halo message
+has been applied, i.e. at the same fixpoint.  Neither the θ sequence, the
+partitioner, nor the shard count can change a single bit of the result
+(``tests/shard/test_executor.py`` pins this for every algorithm ×
+partitioner × shard count).
+
+Policies see the sharded run through two small adapters: :class:`_GlobalPQ`
+aggregates the per-shard LAB-PQs (``__len__``, ``min_key``) and
+:class:`_ShardedCtx` mirrors the scalar ``_Ctx`` surface (``pq_live_keys``,
+``n``, ``L``, ``rng``, ...), so ``policy.decide`` runs verbatim.
+Augmented policies (Radius-Stepping) are rejected: their per-vertex ``r_ρ``
+Collect would need an augmented global queue this executor does not build.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.framework import SteppingOptions, _relax_wave
+from repro.core.policies import SteppingPolicy
+from repro.core.result import SSSPResult
+from repro.obs import OBS
+from repro.pq.flat import FlatPQ
+from repro.pq.tournament import TournamentPQ
+from repro.runtime.atomics import write_min
+from repro.runtime.kernels import Workspace
+from repro.runtime.workspan import RunStats, StepRecord
+from repro.shard.sharded_graph import ShardedGraph
+from repro.utils.errors import ParameterError
+from repro.utils.rng import as_generator
+
+__all__ = ["sharded_sssp"]
+
+_INT = np.int64
+
+
+# --------------------------------------------------------------------------- #
+# Per-shard state and the local θ-window
+# --------------------------------------------------------------------------- #
+
+
+class _ShardState:
+    """One shard's mutable run state: local distances, LAB-PQ, scratch."""
+
+    __slots__ = ("shard", "dist", "pq", "ws", "touched_halo")
+
+    def __init__(self, shard, options: SteppingOptions, rng) -> None:
+        self.shard = shard
+        self.dist = np.full(shard.n_local, np.inf)
+        if options.pq == "flat":
+            self.pq = FlatPQ(self.dist, None, dense_frac=options.dense_frac, seed=rng)
+        else:
+            self.pq = TournamentPQ(self.dist, None)
+        self.ws = Workspace(max(1, shard.n_local))
+        self.touched_halo = np.zeros(shard.n_halo, dtype=bool)
+
+
+def _local_window(local, n_owned, dist, frontier, theta, workspace):
+    """Drain relaxation waves on one shard until the θ-window is quiet.
+
+    Owned vertices whose tentative distance lands at or below ``theta``
+    rejoin the next wave, so on return every in-window owned vertex has been
+    relaxed *at its final in-window value*; improvements beyond θ (and every
+    halo touch) are only recorded.  Returns
+    ``(owned_touched, halo_touched, edges, successes, waves, max_task)``
+    with the touched sets as boolean masks over owned / halo locals.
+    """
+    owned_touched = np.zeros(n_owned, dtype=bool)
+    halo_touched = np.zeros(local.n - n_owned, dtype=bool)
+    edges = successes = waves = max_task = 0
+    wave = frontier
+    while wave.size:
+        waves += 1
+        updated, e, sc, mt, _ = _relax_wave(
+            local, dist, wave, bidirectional=False, workspace=workspace
+        )
+        edges += e
+        successes += sc
+        max_task = max(max_task, mt)
+        owned_upd = updated[updated < n_owned]
+        halo_upd = updated[updated >= n_owned]
+        owned_touched[owned_upd] = True
+        halo_touched[halo_upd - n_owned] = True
+        if np.isfinite(theta):
+            wave = owned_upd[dist[owned_upd] <= theta]
+        else:
+            wave = owned_upd
+    return owned_touched, halo_touched, edges, successes, waves, max_task
+
+
+# --------------------------------------------------------------------------- #
+# Pool workers (stateless, idempotent: pure function of their arguments)
+# --------------------------------------------------------------------------- #
+
+_WORKER_SHARDS: "list[tuple] | None" = None
+
+
+def _install_worker_shards(shard_data) -> None:
+    """Pool initializer: pin every shard's local CSR in the worker process."""
+    global _WORKER_SHARDS
+    _WORKER_SHARDS = [
+        (local, n_owned, Workspace(max(1, local.n))) for local, n_owned in shard_data
+    ]
+
+
+def _worker_window(shard_index, dist_loc, frontier, theta):
+    """Run one shard's θ-window on a private distance copy.
+
+    Pure function of its arguments (the pickled ``dist_loc`` is already a
+    private copy), so the supervised pool may re-execute it after a crash or
+    timeout without changing the outcome.  Returns the touched owned/halo
+    locals with their final values plus the window's work counters.
+    """
+    local, n_owned, workspace = _WORKER_SHARDS[shard_index]
+    dist = np.asarray(dist_loc)
+    owned_t, halo_t, edges, successes, waves, max_task = _local_window(
+        local, n_owned, dist, frontier, theta, workspace
+    )
+    oid = np.flatnonzero(owned_t)
+    hid = np.flatnonzero(halo_t) + n_owned
+    return (oid, dist[oid], hid, dist[hid], edges, successes, waves, max_task)
+
+
+def _valid_window_payload(payload) -> bool:
+    """Parent-side validation for supervised workers: shape and finiteness.
+
+    Catches the fault injector's payload corruption (``None`` / negative
+    scalars) as well as any truncated pickle before the result is applied.
+    """
+    if not isinstance(payload, tuple) or len(payload) != 8:
+        return False
+    oid, ovals, hid, hvals = payload[:4]
+    return (
+        isinstance(oid, np.ndarray)
+        and isinstance(hid, np.ndarray)
+        and len(oid) == len(ovals)
+        and len(hid) == len(hvals)
+        and (len(ovals) == 0 or bool(np.isfinite(ovals).all() and (ovals >= 0).all()))
+        and (len(hvals) == 0 or bool(np.isfinite(hvals).all() and (hvals >= 0).all()))
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Policy adapters
+# --------------------------------------------------------------------------- #
+
+
+class _GlobalPQ:
+    """The union of the per-shard LAB-PQs, as policies expect to see it."""
+
+    def __init__(self, states: "list[_ShardState]") -> None:
+        self._states = states
+        self.last_collect_scanned = 0
+
+    def __len__(self) -> int:
+        return sum(len(st.pq) for st in self._states)
+
+    def min_key(self) -> float:
+        best = float("inf")
+        scanned = 0
+        for st in self._states:
+            key = st.pq.min_key()
+            scanned += st.pq.last_collect_scanned
+            if key < best:
+                best = key
+        self.last_collect_scanned = scanned
+        return best
+
+
+class _ShardedCtx:
+    """The scalar ``_Ctx`` surface, backed by the shard states."""
+
+    def __init__(self, graph, states, pq: _GlobalPQ, rng, dense_frac: float) -> None:
+        self.graph = graph
+        self.states = states
+        self.pq = pq
+        self.rng = rng
+        self.n = graph.n
+        self.L = graph.max_weight
+        self.dense_frac = dense_frac
+        self.step_index = 0
+
+    def pq_live_keys(self) -> "tuple[np.ndarray, int]":
+        keys = []
+        scanned = 0
+        for st in self.states:
+            live = st.pq.live_ids()
+            if live.size:
+                keys.append(st.dist[live])
+            scanned += st.shard.n_local
+        if not keys:
+            return np.zeros(0, dtype=np.float64), scanned
+        return np.concatenate(keys), scanned
+
+
+# --------------------------------------------------------------------------- #
+# The driver
+# --------------------------------------------------------------------------- #
+
+
+def _exchange_halos(states: "list[_ShardState]") -> int:
+    """Route every improved halo distance to its owner shard.
+
+    Applies the messages with ``write_min`` (idempotent, order-independent)
+    and enqueues owner vertices whose distance actually improved.  Returns
+    the number of messages sent.
+    """
+    messages = 0
+    for st in states:
+        touched = np.flatnonzero(st.touched_halo)
+        if not touched.size:
+            continue
+        st.touched_halo[:] = False
+        shard = st.shard
+        values = st.dist[shard.n_owned + touched]
+        owners = shard.halo_owner[touched]
+        owner_locals = shard.halo_owner_local[touched]
+        messages += int(touched.size)
+        for o in np.unique(owners):
+            sel = owners == o
+            target = states[int(o)]
+            success = write_min(target.dist, owner_locals[sel], values[sel])
+            improved = owner_locals[sel][success]
+            if improved.size:
+                target.pq.update(improved)
+    return messages
+
+
+def sharded_sssp(
+    graph,
+    source: int,
+    policy: SteppingPolicy,
+    *,
+    num_shards: int = 0,
+    method: str = "contiguous",
+    sharded: "ShardedGraph | None" = None,
+    options: "SteppingOptions | None" = None,
+    seed=None,
+    jobs: int = 0,
+    pool_timeout: "float | None" = None,
+    pool_retries: int = 2,
+    fault_plan=None,
+) -> SSSPResult:
+    """Run Algorithm 1 over a sharded graph, superstep by superstep.
+
+    Parameters
+    ----------
+    graph:
+        The global :class:`~repro.graphs.csr.Graph` (ignored when
+        ``sharded`` is given — the partition's graph is authoritative).
+    source:
+        Source vertex id (global numbering).
+    policy:
+        Any non-augmented :class:`~repro.core.policies.SteppingPolicy`
+        (Δ*, ρ, Bellman-Ford, Δ, Dijkstra) — reused *unchanged*.
+    num_shards, method:
+        Partition to build when ``sharded`` is not supplied (see
+        :mod:`repro.shard.partition` for the methods).
+    sharded:
+        A prebuilt (validated) :class:`ShardedGraph` to execute on.
+    options:
+        The scalar :class:`~repro.core.framework.SteppingOptions`; ``pq``
+        and ``dense_frac`` select the per-shard LAB-PQ, ``max_steps`` bounds
+        the superstep count.  Fusion switches are moot — a BSP window always
+        drains fully (that is what makes its distances schedule-free).
+    seed:
+        Seed for partitioning (LDG), per-shard PQ scattering, and policy
+        sampling (ρ-stepping's θ estimate).
+    jobs:
+        ``0``/``1`` runs shards serially in-process; ``>= 2`` runs each
+        superstep's shard windows on a :class:`SupervisedPool` with that
+        many workers (timeouts/retries/crash rebuilds per
+        ``pool_timeout``/``pool_retries``/``fault_plan``).  Both paths apply
+        the same state transitions, so distances are identical.
+    """
+    options = options or SteppingOptions()
+    if policy.needs_aug:
+        raise ParameterError(
+            f"policy {policy.name} needs per-vertex augmentation; the sharded "
+            "executor supports only non-augmented policies"
+        )
+    if sharded is None:
+        if num_shards < 1:
+            raise ParameterError(f"num_shards must be >= 1, got {num_shards}")
+        sharded = ShardedGraph.build(graph, num_shards, method, seed=seed)
+    part = sharded.partition
+    graph = part.graph
+    n = graph.n
+    if not 0 <= source < n:
+        raise ParameterError(f"source {source} out of range [0, {n})")
+
+    tracer = OBS.tracer
+    trace_on = OBS.enabled and tracer.enabled
+    run_span = (
+        tracer.begin(
+            "shard.run", algo=policy.name, source=int(source),
+            shards=part.num_shards, method=part.method, n=int(n), m=int(graph.m),
+        )
+        if trace_on else None
+    )
+    if OBS.enabled and OBS.registry.enabled:
+        OBS.registry.set_gauge("shard.partition.cut_edges", float(part.cut_edges))
+        OBS.registry.set_gauge("shard.partition.edge_imbalance", part.edge_imbalance)
+
+    rng = as_generator(seed)
+    states = [_ShardState(s, options, rng) for s in part.shards]
+    owner = int(part.assign[source])
+    src_local = int(states[owner].shard.to_local(np.array([source], dtype=_INT))[0])
+    states[owner].dist[src_local] = 0.0
+    states[owner].pq.update(np.array([src_local], dtype=_INT))
+
+    global_pq = _GlobalPQ(states)
+    ctx = _ShardedCtx(graph, states, global_pq, rng, options.dense_frac)
+    policy.reset(ctx)
+
+    pool = None
+    if jobs >= 2:
+        from repro.serving.supervisor import SupervisedPool
+
+        shard_data = [(st.shard.local, st.shard.n_owned) for st in states]
+        pool = SupervisedPool(
+            jobs,
+            initializer=_install_worker_shards,
+            initargs=(shard_data,),
+            timeout=pool_timeout,
+            retries=pool_retries,
+            seed=0 if seed is None else int(seed) if np.isscalar(seed) else 0,
+            fault_plan=fault_plan,
+        )
+
+    stats = RunStats()
+    halo_messages = 0
+    t0 = time.perf_counter()
+    guard = 0
+    try:
+        while len(global_pq) > 0:
+            step_span = tracer.begin("shard.superstep") if trace_on else None
+            guard += 1
+            if options.max_steps and guard > options.max_steps:
+                raise RuntimeError(
+                    f"{policy.name}: exceeded max_steps={options.max_steps} "
+                    "supersteps; likely a policy that fails to advance θ"
+                )
+            decision = policy.decide(ctx)
+            theta = decision.theta
+            frontiers = [st.pq.extract(theta) for st in states]
+            extracted = sum(f.size for f in frontiers)
+            if extracted == 0:
+                # θ from any supported policy is >= the global minimum key
+                # and extraction uses <=, so *some* shard must extract.
+                raise RuntimeError(
+                    f"{policy.name}: empty superstep at theta={theta} with "
+                    f"|Q|={len(global_pq)}"
+                )
+            active = [i for i, f in enumerate(frontiers) if f.size]
+            rec = StepRecord(
+                index=ctx.step_index,
+                theta=float(theta),
+                mode="bsp",
+                extract_scanned=sum(st.pq.last_extract_scanned for st in states),
+                sample_work=decision.sample_work,
+            )
+            if decision.substep and stats.steps:
+                rec.index = stats.steps[-1].index  # substeps share the index
+
+            shard_edges = np.zeros(part.num_shards, dtype=_INT)
+            if pool is None:
+                for i in active:
+                    st = states[i]
+                    owned_t, halo_t, edges, succ, waves, max_task = _local_window(
+                        st.shard.local, st.shard.n_owned, st.dist,
+                        frontiers[i], theta, st.ws,
+                    )
+                    _apply_window(st, owned_t, halo_t, theta)
+                    shard_edges[i] = edges
+                    rec.edges += edges
+                    rec.relax_success += succ
+                    rec.waves = max(rec.waves, waves)
+                    rec.max_task = max(rec.max_task, max_task)
+            else:
+                tasks = [
+                    (i, states[i].dist.copy(), frontiers[i], float(theta))
+                    for i in active
+                ]
+                payloads = pool.map_supervised(
+                    _worker_window, tasks, validate=_valid_window_payload
+                )
+                for i, payload in zip(active, payloads):
+                    st = states[i]
+                    oid, ovals, hid, hvals, edges, succ, waves, max_task = payload
+                    owned_t = np.zeros(st.shard.n_owned, dtype=bool)
+                    halo_t = np.zeros(st.shard.n_halo, dtype=bool)
+                    # The worker improved from an identical snapshot, so the
+                    # min-writes land exactly the serial path's values.
+                    owned_t[oid[write_min(st.dist, oid, ovals)]] = True
+                    halo_t[hid[write_min(st.dist, hid, hvals)] - st.shard.n_owned] = True
+                    _apply_window(st, owned_t, halo_t, theta)
+                    shard_edges[i] = edges
+                    rec.edges += edges
+                    rec.relax_success += succ
+                    rec.waves = max(rec.waves, waves)
+                    rec.max_task = max(rec.max_task, max_task)
+
+            rec.frontier = extracted
+            messages = _exchange_halos(states)
+            halo_messages += messages
+            stats.add(rec)
+            if OBS.enabled:
+                if OBS.registry.enabled:
+                    reg = OBS.registry
+                    reg.inc("shard.supersteps")
+                    reg.inc("shard.frontier", rec.frontier)
+                    reg.inc("shard.edges", rec.edges)
+                    reg.inc("shard.halo.messages", messages)
+                    reg.inc("shard.active_shards", len(active))
+                    work = shard_edges[shard_edges > 0]
+                    if work.size:
+                        reg.set_gauge(
+                            "shard.superstep.imbalance",
+                            float(work.max() / work.mean()),
+                        )
+                if step_span is not None:
+                    step_span.set(
+                        index=rec.index, theta=rec.theta, frontier=rec.frontier,
+                        edges=rec.edges, active_shards=len(active),
+                        halo_messages=messages, waves=rec.waves,
+                        shard_edges=[int(v) for v in shard_edges],
+                    )
+                    tracer.end(step_span)
+            ctx.step_index += 1
+    finally:
+        if pool is not None:
+            pool.close()
+
+    dist = np.full(n, np.inf)
+    for st in states:
+        if st.shard.n_owned:
+            dist[st.shard.owned] = st.dist[: st.shard.n_owned]
+
+    if run_span is not None:
+        run_span.set(
+            supersteps=stats.num_steps, edges=stats.total_edge_visits,
+            halo_messages=halo_messages,
+        )
+        tracer.end(run_span)
+    return SSSPResult(
+        dist=dist,
+        source=source,
+        algorithm=policy.name,
+        params={
+            "options": options,
+            "num_shards": part.num_shards,
+            "partitioner": part.method,
+            "jobs": int(jobs),
+            "cut_edges": part.cut_edges,
+            "halo_messages": halo_messages,
+        },
+        stats=stats,
+        wall_seconds=time.perf_counter() - t0,
+    )
+
+
+def _apply_window(st: _ShardState, owned_t, halo_t, theta: float) -> None:
+    """Fold one finished window back into the shard's queue state.
+
+    Owned vertices that settled inside the window were fully relaxed by the
+    drain, so any stale queue membership is cleared; improvements beyond θ
+    wait in the queue for a later superstep.  Halo touches accumulate for
+    the exchange.
+    """
+    ids = np.flatnonzero(owned_t)
+    if ids.size:
+        if np.isfinite(theta):
+            beyond = st.dist[ids] > theta
+            st.pq.update(ids[beyond])
+            st.pq.remove(ids[~beyond])
+        else:
+            st.pq.remove(ids)
+    st.touched_halo |= halo_t

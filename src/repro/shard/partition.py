@@ -1,0 +1,398 @@
+"""Graph partitioners: split a CSR graph into shards with halo tables.
+
+A *partition* assigns every vertex to exactly one of ``k`` shards.  Each
+shard then owns the CSR rows of its vertices; edges whose target lives on
+another shard are *cut* edges, and the set of remote targets a shard's edges
+point at is its **halo** — the only vertices whose tentative distances ever
+cross shard boundaries during a sharded SSSP run (see
+:mod:`repro.shard.executor`).
+
+Three partitioners, in increasing sophistication:
+
+* :func:`contiguous_partition` — equal-count contiguous vertex ranges.  The
+  zero-thought baseline; on generator graphs whose vertex ids carry locality
+  (road grids) it is surprisingly competitive.
+* :func:`degree_balanced_partition` — contiguous ranges with boundaries
+  placed on the degree prefix sum, so every shard relaxes roughly ``m/k``
+  edges.  Fixes the work imbalance that vertex-count splitting suffers on
+  power-law graphs.
+* :func:`ldg_partition` — streaming Linear Deterministic Greedy
+  [Stanton & Kliot, KDD 2012]: vertices arrive one at a time and each goes
+  to the shard holding most of its already-placed neighbours, damped by a
+  capacity penalty.  One pass, deterministic, and typically the lowest cut
+  of the three on scale-free graphs.
+
+All three produce a :class:`Partition`: the vertex→shard map, one renumbered
+local CSR per shard, and the halo tables (remote-target ids, their owner
+shards, and their local ids *within* the owner) that the halo exchange
+routes messages with.
+
+Local vertex numbering
+----------------------
+
+Shard ``s`` with ``n_s`` owned and ``h_s`` halo vertices uses local ids
+``[0, n_s)`` for its owned vertices (in ascending global order) and
+``[n_s, n_s + h_s)`` for its halo (also ascending global order).  The local
+CSR is a full :class:`~repro.graphs.csr.Graph` over ``n_s + h_s`` vertices
+in which halo rows are empty — a shard only ever relaxes *out of* vertices
+it owns, but it writes tentative distances *into* halo slots, which the
+exchange then ships to the owners.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graphs.csr import Graph
+from repro.utils.errors import ParameterError, PartitionError
+
+__all__ = [
+    "PARTITIONERS",
+    "Partition",
+    "Shard",
+    "contiguous_partition",
+    "degree_balanced_partition",
+    "get_partitioner",
+    "ldg_partition",
+    "partition_graph",
+]
+
+_INT = np.int64
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One shard of a partitioned graph (all arrays read-only by convention).
+
+    Attributes
+    ----------
+    index:
+        This shard's id in ``[0, k)``.
+    owned:
+        Sorted global ids of the vertices this shard owns.
+    halo:
+        Sorted global ids of remote vertices targeted by this shard's edges.
+    local:
+        The renumbered local CSR (see module docstring): ``n_owned + n_halo``
+        vertices, halo rows empty, weights identical to the global graph.
+    halo_owner:
+        ``halo_owner[j]`` is the shard owning global vertex ``halo[j]``.
+    halo_owner_local:
+        ``halo_owner_local[j]`` is ``halo[j]``'s local id *inside its owner
+        shard* — the precomputed routing table of the halo exchange.
+    cut_edges:
+        Number of this shard's edges whose target is remote.
+    """
+
+    index: int
+    owned: np.ndarray
+    halo: np.ndarray
+    local: Graph
+    halo_owner: np.ndarray
+    halo_owner_local: np.ndarray
+    cut_edges: int
+
+    @property
+    def n_owned(self) -> int:
+        return len(self.owned)
+
+    @property
+    def n_halo(self) -> int:
+        return len(self.halo)
+
+    @property
+    def n_local(self) -> int:
+        return len(self.owned) + len(self.halo)
+
+    @property
+    def edges(self) -> int:
+        """Edges this shard relaxes (its owned rows' total out-degree)."""
+        return self.local.m
+
+    def to_global(self, local_ids: np.ndarray) -> np.ndarray:
+        """Map local ids (owned or halo) back to global vertex ids."""
+        local_ids = np.asarray(local_ids, dtype=_INT)
+        out = np.empty(len(local_ids), dtype=_INT)
+        is_owned = local_ids < self.n_owned
+        out[is_owned] = self.owned[local_ids[is_owned]]
+        out[~is_owned] = self.halo[local_ids[~is_owned] - self.n_owned]
+        return out
+
+    def to_local(self, global_ids: np.ndarray) -> np.ndarray:
+        """Map global ids of *owned* vertices to local ids."""
+        global_ids = np.asarray(global_ids, dtype=_INT)
+        if global_ids.size == 0:
+            return global_ids.copy()
+        local = np.searchsorted(self.owned, global_ids)
+        ok = local < self.n_owned
+        if ok.all():
+            ok &= self.owned[local] == global_ids
+        if not ok.all():
+            raise PartitionError(
+                f"vertex {int(global_ids[~ok][0])} is not owned by shard {self.index}"
+            )
+        return local
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<Shard {self.index} owned={self.n_owned} halo={self.n_halo} "
+            f"edges={self.edges} cut={self.cut_edges}>"
+        )
+
+
+@dataclass(frozen=True)
+class Partition:
+    """A complete k-way partition of one graph.
+
+    Produced by the partitioners in this module; consumed by
+    :class:`~repro.shard.sharded_graph.ShardedGraph` (which validates it)
+    and :func:`~repro.shard.executor.sharded_sssp` (which runs on it).
+    """
+
+    graph: Graph
+    num_shards: int
+    method: str
+    assign: np.ndarray = field(repr=False)
+    shards: "tuple[Shard, ...]" = field(repr=False)
+
+    @property
+    def cut_edges(self) -> int:
+        """Total edges whose endpoints live on different shards."""
+        return sum(s.cut_edges for s in self.shards)
+
+    @property
+    def cut_ratio(self) -> float:
+        """Cut edges as a fraction of all edges (0.0 on an edgeless graph)."""
+        return self.cut_edges / self.graph.m if self.graph.m else 0.0
+
+    @property
+    def edge_imbalance(self) -> float:
+        """Max shard edge load over the mean (1.0 = perfectly balanced)."""
+        loads = [s.edges for s in self.shards]
+        mean = sum(loads) / len(loads) if loads else 0.0
+        return max(loads) / mean if mean else 1.0
+
+    @property
+    def vertex_imbalance(self) -> float:
+        """Max shard vertex count over the mean (1.0 = perfectly balanced)."""
+        sizes = [s.n_owned for s in self.shards]
+        mean = sum(sizes) / len(sizes) if sizes else 0.0
+        return max(sizes) / mean if mean else 1.0
+
+    def shard_of(self, vertex: int) -> int:
+        """The shard owning ``vertex``."""
+        return int(self.assign[vertex])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<Partition {self.method} k={self.num_shards} "
+            f"cut={self.cut_edges}/{self.graph.m} "
+            f"imbalance={self.edge_imbalance:.2f}>"
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Assignment -> Partition materialisation
+# --------------------------------------------------------------------------- #
+
+
+def _check_k(graph: Graph, k: int) -> None:
+    if k < 1:
+        raise ParameterError(f"num_shards must be >= 1, got {k}")
+
+
+def _build_partition(graph: Graph, assign: np.ndarray, k: int, method: str) -> Partition:
+    """Materialise shards (local CSRs + halo tables) from a vertex→shard map."""
+    assign = np.asarray(assign, dtype=_INT)
+    if assign.shape != (graph.n,):
+        raise PartitionError(
+            f"assignment has shape {assign.shape}, expected ({graph.n},)"
+        )
+    if graph.n and (assign.min() < 0 or assign.max() >= k):
+        bad = np.flatnonzero((assign < 0) | (assign >= k))[0]
+        raise PartitionError(
+            f"assign[{int(bad)}]={int(assign[bad])} outside shard range [0, {k})"
+        )
+
+    owned_lists = [np.flatnonzero(assign == s).astype(_INT) for s in range(k)]
+    indptr, indices, weights = graph.indptr, graph.indices, graph.weights
+
+    raw = []
+    for s, owned in enumerate(owned_lists):
+        n_owned = len(owned)
+        degs = np.diff(indptr)[owned] if n_owned else np.zeros(0, dtype=_INT)
+        m_s = int(degs.sum())
+        # Flatten the owned rows' CSR slices into one edge block.
+        if m_s:
+            starts = indptr[owned]
+            pos = np.repeat(starts, degs) + (
+                np.arange(m_s, dtype=_INT)
+                - np.repeat(np.cumsum(degs) - degs, degs)
+            )
+            targets = indices[pos]
+            w = weights[pos]
+        else:
+            targets = np.zeros(0, dtype=_INT)
+            w = np.zeros(0, dtype=np.float64)
+        remote = assign[targets] != s if m_s else np.zeros(0, dtype=bool)
+        halo = np.unique(targets[remote]) if m_s else np.zeros(0, dtype=_INT)
+
+        loc_targets = np.empty(m_s, dtype=_INT)
+        if m_s:
+            loc_targets[~remote] = np.searchsorted(owned, targets[~remote])
+            loc_targets[remote] = n_owned + np.searchsorted(halo, targets[remote])
+
+        n_local = n_owned + len(halo)
+        loc_indptr = np.full(n_local + 1, m_s, dtype=_INT)
+        loc_indptr[0] = 0
+        if n_owned:
+            np.cumsum(degs, out=loc_indptr[1 : n_owned + 1])
+        local = Graph(
+            indptr=loc_indptr,
+            indices=loc_targets,
+            weights=w,
+            directed=True,  # a shard-local CSR is never symmetric on its own
+            name=f"{graph.name or 'graph'}/shard{s}",
+        )
+        raw.append((owned, halo, local, int(remote.sum())))
+
+    shards = []
+    for s, (owned, halo, local, cut) in enumerate(raw):
+        halo_owner = assign[halo] if len(halo) else np.zeros(0, dtype=_INT)
+        halo_owner_local = np.empty(len(halo), dtype=_INT)
+        for o in np.unique(halo_owner):
+            sel = halo_owner == o
+            halo_owner_local[sel] = np.searchsorted(owned_lists[o], halo[sel])
+        shards.append(
+            Shard(
+                index=s,
+                owned=owned,
+                halo=halo,
+                local=local,
+                halo_owner=halo_owner,
+                halo_owner_local=halo_owner_local,
+                cut_edges=cut,
+            )
+        )
+    return Partition(
+        graph=graph, num_shards=k, method=method, assign=assign,
+        shards=tuple(shards),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Partitioners
+# --------------------------------------------------------------------------- #
+
+
+def contiguous_partition(graph: Graph, num_shards: int, *, seed=None) -> Partition:
+    """Equal-count contiguous vertex ranges (``np.array_split`` semantics).
+
+    Shard ``s`` owns a contiguous id range; the first ``n % k`` shards get
+    one extra vertex.  ``seed`` is accepted for interface uniformity and
+    ignored (the split is deterministic).
+    """
+    _check_k(graph, num_shards)
+    n, k = graph.n, num_shards
+    assign = np.empty(n, dtype=_INT)
+    sizes = np.full(k, n // k, dtype=_INT)
+    sizes[: n % k] += 1
+    bounds = np.zeros(k + 1, dtype=_INT)
+    np.cumsum(sizes, out=bounds[1:])
+    for s in range(k):
+        assign[bounds[s] : bounds[s + 1]] = s
+    return _build_partition(graph, assign, k, "contiguous")
+
+
+def degree_balanced_partition(graph: Graph, num_shards: int, *, seed=None) -> Partition:
+    """Contiguous ranges balanced by *edge* load instead of vertex count.
+
+    Boundaries are placed on the out-degree prefix sum at multiples of
+    ``m/k``, so every shard gathers roughly the same number of edges per
+    dense frontier — the quantity that actually bounds a superstep's
+    relaxation work.  ``seed`` is ignored (deterministic).
+    """
+    _check_k(graph, num_shards)
+    n, k = graph.n, num_shards
+    if n == 0:
+        return _build_partition(graph, np.zeros(0, dtype=_INT), k, "degree")
+    cum = np.cumsum(graph.degrees)  # cum[v] = edges of vertices [0, v]
+    m = int(cum[-1]) if n else 0
+    if m == 0:
+        # No edges to balance: fall back to vertex-count splitting.
+        assign = contiguous_partition(graph, k).assign
+    else:
+        # Boundary s is placed *after* the vertex whose row completes the
+        # s-th edge quota (searchsorted alone would strand a heavy first
+        # vertex — e.g. a star hub — on the wrong side, emptying shard 0).
+        cuts = np.searchsorted(cum, m * np.arange(1, k) / k, side="left") + 1
+        bounds = np.concatenate(([0], cuts, [n]))
+        bounds = np.maximum.accumulate(bounds)  # keep monotone on degree spikes
+        assign = np.empty(n, dtype=_INT)
+        for s in range(k):
+            assign[bounds[s] : bounds[s + 1]] = s
+    return _build_partition(graph, assign, k, "degree")
+
+
+def ldg_partition(graph: Graph, num_shards: int, *, seed=None, slack: float = 1.0) -> Partition:
+    """Streaming Linear Deterministic Greedy [Stanton & Kliot 2012].
+
+    Vertices stream in id order (or a seeded random order when ``seed`` is
+    given) and each is placed on the shard maximising
+    ``|N(v) ∩ V_s| * (1 - |V_s| / C)`` with capacity
+    ``C = ceil(n/k) * slack``; ties break toward the lighter shard, then the
+    lower index — fully deterministic for a given ``(graph, k, seed)``.
+    """
+    _check_k(graph, num_shards)
+    if slack < 1.0:
+        raise ParameterError(f"slack must be >= 1.0, got {slack}")
+    n, k = graph.n, num_shards
+    assign = np.full(n, -1, dtype=_INT)
+    if n == 0:
+        return _build_partition(graph, assign + 1, k, "ldg")
+    capacity = max(1.0, np.ceil(n / k) * slack)
+    sizes = np.zeros(k, dtype=_INT)
+    if seed is None:
+        order = np.arange(n)
+    else:
+        order = np.random.default_rng(seed).permutation(n)
+    for v in order:
+        nbrs = graph.neighbors(v)
+        placed = assign[nbrs]
+        placed = placed[placed >= 0]
+        scores = np.bincount(placed, minlength=k) * (1.0 - sizes / capacity)
+        best = scores.max() if k else 0.0
+        candidates = np.flatnonzero((scores >= best) & (sizes < capacity))
+        if candidates.size == 0:
+            candidates = np.flatnonzero(sizes < capacity)
+        if candidates.size == 0:  # every shard full (rounding): least loaded
+            candidates = np.flatnonzero(sizes == sizes.min())
+        s = int(candidates[np.argmin(sizes[candidates])])
+        assign[v] = s
+        sizes[s] += 1
+    return _build_partition(graph, assign, k, "ldg")
+
+
+#: Registry of partitioner names accepted by the CLI and the serving layer.
+PARTITIONERS = {
+    "contiguous": contiguous_partition,
+    "degree": degree_balanced_partition,
+    "ldg": ldg_partition,
+}
+
+
+def get_partitioner(name: str):
+    """Look up a partitioner by registry name; raises a named error."""
+    try:
+        return PARTITIONERS[name]
+    except KeyError:
+        raise ParameterError(
+            f"unknown partitioner {name!r}; choose one of {sorted(PARTITIONERS)}"
+        ) from None
+
+
+def partition_graph(graph: Graph, num_shards: int, method: str = "contiguous", *, seed=None) -> Partition:
+    """Partition ``graph`` into ``num_shards`` shards with the named method."""
+    return get_partitioner(method)(graph, num_shards, seed=seed)

@@ -1,0 +1,284 @@
+"""ShardedGraph: a validated, reassemblable view of a partitioned graph.
+
+:class:`ShardedGraph` wraps a :class:`~repro.shard.partition.Partition` and
+enforces the invariants the sharded executor relies on:
+
+* **cover / disjointness** — every global vertex is owned by exactly one
+  shard (the ``assign`` map and the shards' ``owned`` lists agree);
+* **row fidelity** — each shard's local CSR holds exactly its owned rows of
+  the global CSR: same out-degrees, same targets (through the local→global
+  map), same weights, same within-row order;
+* **halo consistency** — a shard's halo is exactly the set of remote targets
+  of its edges, its ``cut_edges`` count matches, and the precomputed routing
+  table (``halo_owner``, ``halo_owner_local``) points at the true owner
+  rows.
+
+Because the local CSRs preserve row order and within-row edge order,
+:meth:`ShardedGraph.reassemble` can reconstruct the global CSR **exactly**
+(``np.array_equal`` on ``indptr``/``indices``/``weights``) from shard-local
+data alone — the lossless round-trip that the property tests pin down.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.csr import Graph
+from repro.shard.partition import Partition, Shard, partition_graph
+from repro.utils.errors import PartitionError
+
+__all__ = ["ShardedGraph"]
+
+_INT = np.int64
+
+
+class ShardedGraph:
+    """A partitioned graph: per-shard views plus global bookkeeping.
+
+    Parameters
+    ----------
+    partition:
+        A :class:`~repro.shard.partition.Partition` from one of the
+        partitioners.
+    validate:
+        Check all partition invariants at construction (default).  Disable
+        only for partitions that were just produced *and* validated — e.g.
+        when rebuilding engine state from a trusted source.
+    """
+
+    def __init__(self, partition: Partition, *, validate: bool = True) -> None:
+        self.partition = partition
+        if validate:
+            self.validate()
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def build(
+        cls, graph: Graph, num_shards: int, method: str = "contiguous", *, seed=None
+    ) -> "ShardedGraph":
+        """Partition ``graph`` and wrap the result (validated)."""
+        return cls(partition_graph(graph, num_shards, method, seed=seed))
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def graph(self) -> Graph:
+        return self.partition.graph
+
+    @property
+    def num_shards(self) -> int:
+        return self.partition.num_shards
+
+    @property
+    def shards(self) -> "tuple[Shard, ...]":
+        return self.partition.shards
+
+    @property
+    def assign(self) -> np.ndarray:
+        return self.partition.assign
+
+    def shard(self, index: int) -> Shard:
+        return self.partition.shards[index]
+
+    @property
+    def cut_edges(self) -> int:
+        return self.partition.cut_edges
+
+    @property
+    def cut_ratio(self) -> float:
+        return self.partition.cut_ratio
+
+    @property
+    def edge_imbalance(self) -> float:
+        return self.partition.edge_imbalance
+
+    def shard_sizes(self) -> "list[dict]":
+        """Per-shard size summary rows (for the CLI table and benchmarks)."""
+        return [
+            {
+                "shard": s.index,
+                "vertices": s.n_owned,
+                "edges": s.edges,
+                "halo": s.n_halo,
+                "cut_edges": s.cut_edges,
+            }
+            for s in self.shards
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Validation
+    # ------------------------------------------------------------------ #
+
+    def validate(self) -> None:
+        """Check every partition invariant; raise :class:`PartitionError`."""
+        part = self.partition
+        graph = part.graph
+        n, k = graph.n, part.num_shards
+        assign = part.assign
+        if assign.shape != (n,):
+            raise PartitionError(f"assign has shape {assign.shape}, expected ({n},)")
+        if len(part.shards) != k:
+            raise PartitionError(
+                f"partition has {len(part.shards)} shards, expected {k}"
+            )
+        if n and (assign.min() < 0 or assign.max() >= k):
+            bad = int(np.flatnonzero((assign < 0) | (assign >= k))[0])
+            raise PartitionError(
+                f"assign[{bad}]={int(assign[bad])} outside shard range [0, {k})"
+            )
+
+        # Cover / disjointness: the owned lists tile [0, n) exactly once.
+        counts = np.zeros(n, dtype=_INT)
+        for s in part.shards:
+            if s.owned.size and np.any(np.diff(s.owned) <= 0):
+                raise PartitionError(f"shard {s.index} owned list is not sorted-unique")
+            np.add.at(counts, s.owned, 1)
+            if not np.array_equal(assign[s.owned], np.full(s.n_owned, s.index)):
+                v = int(s.owned[assign[s.owned] != s.index][0])
+                raise PartitionError(
+                    f"vertex {v} is in shard {s.index}'s owned list but "
+                    f"assign[{v}]={int(assign[v])}"
+                )
+        missing = np.flatnonzero(counts == 0)
+        dup = np.flatnonzero(counts > 1)
+        if missing.size:
+            raise PartitionError(
+                f"vertex {int(missing[0])} is owned by no shard "
+                f"({missing.size} uncovered vertices)"
+            )
+        if dup.size:
+            raise PartitionError(
+                f"vertex {int(dup[0])} is owned by {int(counts[dup[0]])} shards"
+            )
+
+        for s in part.shards:
+            self._validate_shard(s, graph, assign, part)
+
+    def _validate_shard(self, s: Shard, graph: Graph, assign: np.ndarray, part: Partition) -> None:
+        s.local.validate()
+        if s.local.n != s.n_local:
+            raise PartitionError(
+                f"shard {s.index} local CSR has {s.local.n} vertices, "
+                f"expected {s.n_owned} owned + {s.n_halo} halo"
+            )
+        # Halo rows must be empty; owned rows must match global degrees.
+        local_degs = np.diff(s.local.indptr)
+        if s.n_halo and np.any(local_degs[s.n_owned :] != 0):
+            h = int(np.flatnonzero(local_degs[s.n_owned :] != 0)[0])
+            raise PartitionError(
+                f"shard {s.index} halo vertex {int(s.halo[h])} has a non-empty "
+                "local row (halo rows must be empty)"
+            )
+        global_degs = np.diff(graph.indptr)[s.owned] if s.n_owned else np.zeros(0, dtype=_INT)
+        if not np.array_equal(local_degs[: s.n_owned], global_degs):
+            v = int(s.owned[np.flatnonzero(local_degs[: s.n_owned] != global_degs)[0]])
+            raise PartitionError(
+                f"shard {s.index} local degree of vertex {v} disagrees with the "
+                "global CSR"
+            )
+        # Targets and weights must round-trip through the local→global map.
+        if s.local.m:
+            got_targets = s.to_global(s.local.indices)
+            starts = graph.indptr[s.owned]
+            pos = np.repeat(starts, global_degs) + (
+                np.arange(s.local.m, dtype=_INT)
+                - np.repeat(np.cumsum(global_degs) - global_degs, global_degs)
+            )
+            want_targets = graph.indices[pos]
+            if not np.array_equal(got_targets, want_targets):
+                e = int(np.flatnonzero(got_targets != want_targets)[0])
+                raise PartitionError(
+                    f"shard {s.index} edge {e} targets global vertex "
+                    f"{int(got_targets[e])}, expected {int(want_targets[e])}"
+                )
+            if not np.array_equal(s.local.weights, graph.weights[pos]):
+                e = int(np.flatnonzero(s.local.weights != graph.weights[pos])[0])
+                raise PartitionError(
+                    f"shard {s.index} edge {e} weight {s.local.weights[e]!r} "
+                    f"disagrees with the global CSR ({graph.weights[pos][e]!r})"
+                )
+            # Halo consistency: the halo is exactly the remote-target set.
+            remote = assign[want_targets] != s.index
+            want_halo = np.unique(want_targets[remote])
+            if not np.array_equal(s.halo, want_halo):
+                raise PartitionError(
+                    f"shard {s.index} halo table does not match its remote "
+                    f"targets ({s.n_halo} listed, {len(want_halo)} actual)"
+                )
+            if int(remote.sum()) != s.cut_edges:
+                raise PartitionError(
+                    f"shard {s.index} cut_edges={s.cut_edges} but "
+                    f"{int(remote.sum())} edges have remote targets"
+                )
+        elif s.n_halo or s.cut_edges:
+            raise PartitionError(
+                f"shard {s.index} has no edges but lists {s.n_halo} halo "
+                f"vertices / {s.cut_edges} cut edges"
+            )
+        # Routing table: halo_owner / halo_owner_local point at owner rows.
+        if s.n_halo:
+            if not np.array_equal(s.halo_owner, assign[s.halo]):
+                h = int(np.flatnonzero(s.halo_owner != assign[s.halo])[0])
+                raise PartitionError(
+                    f"shard {s.index} halo vertex {int(s.halo[h])} routed to "
+                    f"shard {int(s.halo_owner[h])} but assign says "
+                    f"{int(assign[s.halo[h]])}"
+                )
+            for o in np.unique(s.halo_owner):
+                sel = s.halo_owner == o
+                owner = part.shards[int(o)]
+                if np.any(s.halo_owner_local[sel] >= owner.n_owned) or not np.array_equal(
+                    owner.owned[s.halo_owner_local[sel]], s.halo[sel]
+                ):
+                    raise PartitionError(
+                        f"shard {s.index} halo routing into shard {int(o)} does "
+                        "not land on the owned rows"
+                    )
+
+    # ------------------------------------------------------------------ #
+    # Reassembly
+    # ------------------------------------------------------------------ #
+
+    def reassemble(self) -> Graph:
+        """Reconstruct the global CSR from shard-local data alone.
+
+        Lossless: the result's ``indptr``/``indices``/``weights`` are
+        ``np.array_equal`` to the original graph's (shards preserve row and
+        within-row edge order), and ``directed``/``name`` carry over.
+        """
+        part = self.partition
+        n = len(part.assign)
+        degs = np.zeros(n, dtype=_INT)
+        for s in part.shards:
+            if s.n_owned:
+                degs[s.owned] = np.diff(s.local.indptr[: s.n_owned + 1])
+        indptr = np.zeros(n + 1, dtype=_INT)
+        np.cumsum(degs, out=indptr[1:])
+        m = int(indptr[-1])
+        indices = np.empty(m, dtype=_INT)
+        weights = np.empty(m, dtype=np.float64)
+        for s in part.shards:
+            if not s.local.m:
+                continue
+            row_degs = degs[s.owned]
+            pos = np.repeat(indptr[s.owned], row_degs) + (
+                np.arange(s.local.m, dtype=_INT)
+                - np.repeat(np.cumsum(row_degs) - row_degs, row_degs)
+            )
+            indices[pos] = s.to_global(s.local.indices)
+            weights[pos] = s.local.weights
+        return Graph(
+            indptr=indptr,
+            indices=indices,
+            weights=weights,
+            directed=part.graph.directed,
+            name=part.graph.name,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<ShardedGraph {self.partition!r}>"

@@ -18,6 +18,10 @@ class GraphFormatError(ReproError, ValueError):
     """A graph violates a structural invariant (CSR shape, weights, ids)."""
 
 
+class PartitionError(ReproError, ValueError):
+    """A graph partition violates an invariant (cover, halo tables, shards)."""
+
+
 class ExecutionError(ReproError, RuntimeError):
     """An SSSP execution failed at serving time (crash, corruption, fault)."""
 

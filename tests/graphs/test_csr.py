@@ -105,6 +105,58 @@ class TestAccessors:
         assert g.indices is _triangle().indices or g.m == 3  # arrays shared
 
 
+class TestFingerprint:
+    def test_stable_across_calls(self):
+        g = _triangle()
+        assert g.fingerprint == g.fingerprint
+        assert "fingerprint" in g.__dict__  # cached after first access
+
+    def test_equal_for_identical_content(self):
+        # Same CSR content, different objects and names -> same fingerprint.
+        a = _triangle()
+        b = _triangle().with_name("other")
+        assert a.fingerprint == b.fingerprint
+
+    def test_differs_when_weights_differ(self):
+        a = _triangle()
+        w = a.weights.copy()
+        w[0] += 1.0
+        b = Graph(a.indptr, a.indices, w, directed=True)
+        assert a.fingerprint != b.fingerprint
+
+    def test_differs_when_structure_differs(self):
+        a = _triangle()
+        b = Graph.from_edges(
+            3, np.array([0, 1, 2]), np.array([2, 0, 1]), np.array([1.0, 2.0, 3.0])
+        )
+        assert a.fingerprint != b.fingerprint
+
+    def test_differs_on_directedness(self):
+        g = Graph.from_edges(
+            2, np.array([0]), np.array([1]), np.array([1.0]), symmetrize=True
+        )
+        flipped = Graph(g.indptr, g.indices, g.weights, directed=True)
+        assert g.fingerprint != flipped.fingerprint
+
+
+class TestSymmetryCache:
+    def test_is_symmetric_computed_once(self):
+        g = Graph.from_edges(
+            3, np.array([0, 1]), np.array([1, 2]), np.array([1.0, 2.0]),
+            symmetrize=True,
+        )
+        assert "is_symmetric" not in g.__dict__
+        assert g.is_symmetric
+        assert "is_symmetric" in g.__dict__  # repeated validate() reuses it
+        g.validate()
+        g.validate()
+
+    def test_asymmetric_cached_false(self):
+        g = _triangle(directed=False)
+        assert g.is_symmetric is False
+        assert g.__dict__["is_symmetric"] is False
+
+
 class TestValidate:
     def test_negative_weight_rejected(self):
         g = _triangle()
@@ -136,3 +188,29 @@ class TestValidate:
             symmetrize=True,
         )
         g.validate()
+
+    def test_error_names_offending_weight(self):
+        g = _triangle()
+        w = g.weights.copy()
+        w[2] = -4.0
+        with pytest.raises(GraphFormatError, match=r"weights\[2\]=.*-4\.0"):
+            Graph(g.indptr, g.indices, w).validate()
+
+    def test_error_names_offending_target(self):
+        g = _triangle()
+        idx = g.indices.copy()
+        idx[1] = 9
+        with pytest.raises(GraphFormatError, match=r"indices\[1\]=9"):
+            Graph(g.indptr, idx, g.weights).validate()
+
+    def test_error_names_offending_vertex(self):
+        g = _triangle()
+        bad = g.indptr.copy()
+        bad[1], bad[2] = bad[2], bad[1]  # indptr dips at vertex 1
+        with pytest.raises(GraphFormatError, match="vertex 1"):
+            Graph(bad, g.indices, g.weights).validate()
+
+    def test_error_names_asymmetric_edge(self):
+        g = _triangle(directed=False)
+        with pytest.raises(GraphFormatError, match=r"\(0, 1\)"):
+            g.validate()

@@ -27,6 +27,46 @@ class TestGraphId:
         assert f"{g.n}v" in graph_id(g) and f"{g.m}e" in graph_id(g)
 
 
+class TestFingerprintKey:
+    """Regression: cache keys must embed the graph's content hash.
+
+    ``graph_id`` alone is an object-identity token; if two different graphs
+    were ever handed the same token (the regression this pins), the content
+    fingerprint component must still keep their cache lines apart.
+    """
+
+    def test_key_contains_fingerprint(self):
+        g = path(5)
+        key = ResultCache.key(g, "bf", None, 0)
+        assert g.fingerprint in key
+        assert graph_id(g) in key
+
+    def test_same_content_different_objects_share_fingerprint_not_id(self):
+        a, b = path(6), path(6)
+        ka = ResultCache.key(a, "bf", None, 1)
+        kb = ResultCache.key(b, "bf", None, 1)
+        assert a.fingerprint == b.fingerprint
+        assert ka != kb  # identity token still separates live objects
+
+    def test_colliding_graph_ids_cannot_alias(self, monkeypatch):
+        # Force the identity-token collision the fingerprint guards against.
+        import repro.serving.cache as cache_mod
+
+        a = path(7)
+        b = path(7).with_name("heavier")
+        b = type(b)(b.indptr, b.indices, b.weights * 2.0, b.directed, b.name)
+        monkeypatch.setattr(
+            cache_mod, "_GRAPH_IDS", {a: "g#same", b: "g#same"}, raising=True
+        )
+        ka = ResultCache.key(a, "bf", None, 0)
+        kb = ResultCache.key(b, "bf", None, 0)
+        assert ka[0] == kb[0] == "g#same"  # the collision is in force
+        assert ka != kb  # ...and the fingerprint still disambiguates
+        c = ResultCache(4)
+        c.put(ka, np.zeros(7))
+        assert c.get(kb) is None  # no cross-graph cache hit
+
+
 class TestLRU:
     def test_put_get_roundtrip(self):
         c = ResultCache(4)

@@ -1,0 +1,84 @@
+"""QueryEngine sharded path: identical rows, counters, faults, degradation."""
+
+import numpy as np
+import pytest
+
+from repro.serving import FaultPlan, QueryEngine, install_injector
+from repro.utils.errors import ParameterError
+
+
+@pytest.fixture(autouse=True)
+def _restore_injector():
+    yield
+    install_injector(None)
+
+
+@pytest.mark.parametrize("algo,param", [("rho", 64), ("delta", 2.0**14), ("bf", None)])
+def test_sharded_rows_match_fast(rmat_small, algo, param):
+    plain = QueryEngine(rmat_small, algo, param)
+    sharded = QueryEngine(rmat_small, algo, param, shards=4, partitioner="ldg")
+    sources = [0, 9, 17]
+    assert np.array_equal(plain.query_batch(sources), sharded.query_batch(sources))
+    st = sharded.stats()
+    assert st["sharded_execs"] >= 1
+    assert st["degraded"] == 0
+
+
+@pytest.mark.parametrize("partitioner", ["contiguous", "degree", "ldg"])
+def test_every_partitioner_serves(road_small, partitioner):
+    plain = QueryEngine(road_small, "bf")
+    sharded = QueryEngine(road_small, "bf", shards=3, partitioner=partitioner)
+    assert np.array_equal(plain.query_batch([2, 8]), sharded.query_batch([2, 8]))
+
+
+def test_sharded_caches_like_any_path(rmat_small):
+    eng = QueryEngine(rmat_small, "bf", shards=2)
+    eng.query_batch([4, 4, 6])
+    eng.query_batch([6])
+    st = eng.stats()
+    assert st["executed"] == 2
+    assert st["cache_hits"] == 1
+    assert st["sharded_execs"] == 1  # the second batch was fully cached
+
+
+def test_exact_mode_conflicts_with_shards(rmat_small):
+    with pytest.raises(ParameterError, match="exact"):
+        QueryEngine(rmat_small, "rho", 64, mode="exact", shards=2)
+
+
+def test_invalid_shard_params(rmat_small):
+    with pytest.raises(ParameterError):
+        QueryEngine(rmat_small, "bf", shards=-1)
+    with pytest.raises(ParameterError):
+        QueryEngine(rmat_small, "bf", shards=2, shard_jobs=-1)
+    with pytest.raises(ParameterError, match="unknown partitioner"):
+        QueryEngine(rmat_small, "bf", shards=2, partitioner="metis")
+
+
+def test_sharded_fault_degrades_to_fast(rmat_small):
+    # A fault injected at the sharded site on every attempt exhausts the
+    # retry budget; the engine must then serve the fast path (identical
+    # rows) and count the degradation.
+    fault_free = QueryEngine(rmat_small, "bf").query_batch([3, 11])
+    install_injector(
+        FaultPlan.single("engine.sharded", "exception", at=None, rate=1.0, times=99)
+    )
+    eng = QueryEngine(rmat_small, "bf", shards=2, retries=1)
+    out = eng.query_batch([3, 11])
+    assert np.array_equal(out, fault_free)
+    st = eng.stats()
+    assert st["degraded"] == 1
+    assert st["exec_failures"] == 2
+    assert st["circuit_state"] == "closed"  # the degraded serve is a success
+
+
+def test_transient_sharded_fault_is_retried(rmat_small):
+    fault_free = QueryEngine(rmat_small, "bf").query_batch([5])
+    install_injector(FaultPlan.single("engine.sharded", "exception", at=(0,), times=1))
+    eng = QueryEngine(rmat_small, "bf", shards=2, retries=2)
+    out = eng.query_batch([5])
+    assert np.array_equal(out, fault_free)
+    st = eng.stats()
+    assert st["degraded"] == 0
+    assert st["retries"] == 1
+    assert st["sharded_execs"] >= 1  # the healed attempt still went sharded

@@ -1,0 +1,80 @@
+"""Property-based partition invariants: every partitioner, random graphs.
+
+Three properties pin the partition contract for arbitrary inputs:
+
+* **cover exactly once** — each vertex appears in exactly one shard's owned
+  list, agreeing with the assignment map;
+* **halo consistency** — a shard's halo is exactly its remote-target set and
+  its routing table points at the true owner rows;
+* **reassemble round-trip** — the shard-local CSRs reconstruct the global
+  CSR bit for bit (indptr, indices, weights).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import Graph
+from repro.shard import PARTITIONERS, ShardedGraph, partition_graph
+
+METHODS = sorted(PARTITIONERS)
+
+
+@st.composite
+def graphs_and_partitions(draw):
+    n = draw(st.integers(1, 40))
+    m = draw(st.integers(0, 120))
+    src = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    dst = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    w = draw(st.lists(st.integers(1, 32), min_size=m, max_size=m))
+    directed = draw(st.booleans())
+    g = Graph.from_edges(
+        n, np.array(src, dtype=np.int64), np.array(dst, dtype=np.int64),
+        np.array(w, dtype=float), directed=directed, symmetrize=not directed,
+    )
+    k = draw(st.integers(1, 6))
+    method = draw(st.sampled_from(METHODS))
+    seed = draw(st.integers(0, 3))
+    return g, k, method, seed
+
+
+@given(graphs_and_partitions())
+@settings(max_examples=60, deadline=None)
+def test_cover_exactly_once(case):
+    g, k, method, seed = case
+    part = partition_graph(g, k, method, seed=seed)
+    counts = np.zeros(g.n, dtype=np.int64)
+    for s in part.shards:
+        np.add.at(counts, s.owned, 1)
+        assert np.array_equal(part.assign[s.owned], np.full(s.n_owned, s.index))
+    assert np.array_equal(counts, np.ones(g.n, dtype=np.int64))
+
+
+@given(graphs_and_partitions())
+@settings(max_examples=60, deadline=None)
+def test_halo_consistency(case):
+    g, k, method, seed = case
+    part = partition_graph(g, k, method, seed=seed)
+    for s in part.shards:
+        # Halo = exactly the remote targets of this shard's edges.
+        targets = s.to_global(s.local.indices) if s.local.m else np.zeros(0, np.int64)
+        remote = targets[part.assign[targets] != s.index] if s.local.m else targets
+        assert np.array_equal(s.halo, np.unique(remote))
+        assert s.cut_edges == len(remote)
+        # Routing table lands on the owner's owned rows.
+        for j in range(s.n_halo):
+            owner = part.shards[int(s.halo_owner[j])]
+            assert owner.index != s.index
+            assert owner.owned[s.halo_owner_local[j]] == s.halo[j]
+
+
+@given(graphs_and_partitions())
+@settings(max_examples=60, deadline=None)
+def test_reassemble_roundtrip(case):
+    g, k, method, seed = case
+    sg = ShardedGraph.build(g, k, method, seed=seed)  # build() also validates
+    r = sg.reassemble()
+    assert np.array_equal(r.indptr, g.indptr)
+    assert np.array_equal(r.indices, g.indices)
+    assert np.array_equal(r.weights, g.weights)
+    assert r.directed == g.directed

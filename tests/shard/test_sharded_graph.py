@@ -1,0 +1,106 @@
+"""ShardedGraph validation and the lossless reassemble round-trip."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.graphs import rmat
+from repro.shard import PARTITIONERS, ShardedGraph, partition_graph
+from repro.utils.errors import PartitionError
+
+METHODS = sorted(PARTITIONERS)
+
+
+def assert_same_csr(a, b):
+    assert np.array_equal(a.indptr, b.indptr)
+    assert np.array_equal(a.indices, b.indices)
+    assert np.array_equal(a.weights, b.weights)
+    assert a.directed == b.directed
+
+
+@pytest.mark.parametrize("method", METHODS)
+@pytest.mark.parametrize("k", [1, 2, 4, 7])
+def test_reassemble_is_lossless(rmat_small, method, k):
+    sg = ShardedGraph.build(rmat_small, k, method, seed=11)
+    assert_same_csr(sg.reassemble(), rmat_small)
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_reassemble_directed(rmat_directed, method):
+    sg = ShardedGraph.build(rmat_directed, 3, method, seed=1)
+    assert_same_csr(sg.reassemble(), rmat_directed)
+
+
+def test_build_validates(rmat_small):
+    sg = ShardedGraph.build(rmat_small, 4, "ldg", seed=0)
+    sg.validate()  # idempotent
+    assert sg.num_shards == 4
+    assert sg.cut_edges == sg.partition.cut_edges
+    sizes = sg.shard_sizes()
+    assert len(sizes) == 4
+    assert sum(r["vertices"] for r in sizes) == rmat_small.n
+    assert sum(r["edges"] for r in sizes) == rmat_small.m
+
+
+def test_validate_catches_duplicate_ownership(rmat_small):
+    part = partition_graph(rmat_small, 2, "contiguous")
+    # Claim one of shard 1's vertices for shard 0 as well.
+    s0 = part.shards[0]
+    stolen = np.append(s0.owned, part.shards[1].owned[0])
+    bad_shard = dataclasses.replace(s0, owned=np.sort(stolen))
+    bad = dataclasses.replace(part, shards=(bad_shard, part.shards[1]))
+    with pytest.raises(PartitionError, match="owned"):
+        ShardedGraph(bad)
+
+
+def test_validate_catches_missing_vertex(rmat_small):
+    part = partition_graph(rmat_small, 2, "contiguous")
+    s0 = part.shards[0]
+    bad_shard = dataclasses.replace(s0, owned=s0.owned[:-1])
+    bad = dataclasses.replace(part, shards=(bad_shard, part.shards[1]))
+    with pytest.raises(PartitionError):
+        ShardedGraph(bad)
+
+
+def test_validate_catches_corrupt_halo_routing(rmat_small):
+    part = partition_graph(rmat_small, 3, "degree")
+    victim = next(s for s in part.shards if s.n_halo)
+    routed = victim.halo_owner_local.copy()
+    routed[0] = (routed[0] + 1) % part.shards[int(victim.halo_owner[0])].n_owned
+    bad_shard = dataclasses.replace(victim, halo_owner_local=routed)
+    shards = list(part.shards)
+    shards[victim.index] = bad_shard
+    bad = dataclasses.replace(part, shards=tuple(shards))
+    with pytest.raises(PartitionError, match="routing|routed"):
+        ShardedGraph(bad)
+
+
+def test_validate_catches_corrupt_weights(rmat_small):
+    part = partition_graph(rmat_small, 2, "contiguous")
+    victim = next(s for s in part.shards if s.local.m)
+    w = victim.local.weights.copy()
+    w[0] += 1.0
+    bad_local = dataclasses.replace(victim.local, weights=w)
+    bad_shard = dataclasses.replace(victim, local=bad_local)
+    shards = list(part.shards)
+    shards[victim.index] = bad_shard
+    bad = dataclasses.replace(part, shards=tuple(shards))
+    with pytest.raises(PartitionError, match="weight"):
+        ShardedGraph(bad)
+
+
+def test_validate_can_be_skipped(rmat_small):
+    part = partition_graph(rmat_small, 2, "contiguous")
+    sg = ShardedGraph(part, validate=False)
+    assert sg.partition is part
+
+
+def test_errors_name_the_offender(rmat_small):
+    part = partition_graph(rmat_small, 2, "contiguous")
+    s0 = part.shards[0]
+    bad_shard = dataclasses.replace(s0, owned=s0.owned[:-1])
+    bad = dataclasses.replace(part, shards=(bad_shard, part.shards[1]))
+    missing = int(s0.owned[-1])
+    with pytest.raises(PartitionError, match=str(missing)):
+        ShardedGraph(bad)

@@ -18,7 +18,9 @@ class TestParser:
     def test_all_subcommands_present(self):
         parser = build_parser()
         sub = next(a for a in parser._actions if a.dest == "command")
-        assert set(sub.choices) == {"info", "run", "batch", "sweep", "trace", "generate"}
+        assert set(sub.choices) == {
+            "info", "run", "batch", "sweep", "trace", "generate", "partition",
+        }
 
     def test_run_requires_known_algorithm(self):
         with pytest.raises(SystemExit):
@@ -99,6 +101,30 @@ class TestCommands:
         from repro.graphs import load_npz
 
         load_npz(out).validate()
+
+    def test_partition_summary(self, graph_file, capsys):
+        assert main(["partition", graph_file, "--shards", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "shard" in out and "cut edges" in out
+
+    def test_partition_roundtrip_check(self, graph_file, capsys):
+        assert main(["partition", graph_file, "--shards", "3",
+                     "--partitioner", "ldg", "--check-roundtrip"]) == 0
+        assert "round-trip" in capsys.readouterr().out
+
+    def test_run_sharded_matches_verify(self, graph_file, capsys):
+        assert main(["run", "rho", graph_file, "--shards", "4",
+                     "--partitioner", "degree", "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "verified against sequential Dijkstra" in out
+        assert "shards" in out and "halo messages" in out
+
+    def test_batch_sharded_verified(self, graph_file, capsys):
+        assert main(["batch", graph_file, "--sources", "0,2", "--shards", "2",
+                     "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "verified 2 rows" in out
+        assert "sharded[2]" in out
 
     def test_dataset_name_resolution(self, capsys, monkeypatch):
         monkeypatch.setenv("REPRO_SCALE", "tiny")
