@@ -182,10 +182,13 @@ def _cmd_batch(args) -> int:
     engine = QueryEngine(
         g, args.algo, args.param, mode=args.mode, seed=args.seed,
         retries=args.retries, shards=args.shards, partitioner=args.partitioner,
+        pool_jobs=args.jobs, use_shm=args.shm,
     )
-    t0 = time.perf_counter()
-    dist = engine.query_batch(sources, deadline=args.deadline)
-    elapsed = time.perf_counter() - t0
+    with engine:
+        t0 = time.perf_counter()
+        dist = engine.query_batch(sources, deadline=args.deadline)
+        elapsed = time.perf_counter() - t0
+        transport = engine.stats().get("transport") or "local"
     if args.verify:
         for i, s in enumerate(sources):
             ref = dijkstra_reference(g, s)
@@ -199,10 +202,16 @@ def _cmd_batch(args) -> int:
         ["executed", st["executed"]],
         ["deduped", st["deduped"]],
         ["min reached/row", reached],
+        ["transport", transport],
         ["wall time", f"{elapsed * 1e3:.1f} ms"],
         ["throughput", f"{len(sources) / elapsed:.1f} queries/s"],
     ]
-    label = f"sharded[{args.shards}]" if args.shards else args.mode
+    if args.jobs >= 2:
+        label = f"pooled[{args.jobs}]"
+    elif args.shards:
+        label = f"sharded[{args.shards}]"
+    else:
+        label = args.mode
     print(format_table(["metric", "value"], rows,
                        title=f"{label} batch ({args.algo}) on {args.graph}"))
     return 0
@@ -218,7 +227,7 @@ def _cmd_sweep(args) -> int:
 
         with SweepPool(
             g, args.jobs, timeout=args.task_timeout, retries=args.retries,
-            collect_metrics=OBS.registry.enabled,
+            collect_metrics=OBS.registry.enabled, use_shm=args.shm,
         ) as pool:
             grid = pool.map_cells(impl.key, params, [args.source], machine, seed=args.seed)
         times = [row[0] for row in grid]
@@ -348,6 +357,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-batch deadline in seconds (default: unbounded)")
     p.add_argument("--retries", type=int, default=2,
                    help="execution retries on transient failure")
+    p.add_argument("--jobs", type=int, default=0,
+                   help="serve the batch through a pool of N worker processes "
+                        "(fast mode only; 0 = in-process)")
+    p.add_argument("--shm", action=argparse.BooleanOptionalAction, default=None,
+                   help="ship graphs/results to pool workers via shared memory "
+                        "(default: auto-detect; --no-shm forces pickle)")
     p.add_argument("--verify", action="store_true",
                    help="check every row against sequential Dijkstra")
     p.add_argument("--shards", type=int, default=0,
@@ -373,6 +388,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-cell timeout in seconds for pooled sweeps")
     p.add_argument("--retries", type=int, default=2,
                    help="per-cell retry budget for pooled sweeps")
+    p.add_argument("--shm", action=argparse.BooleanOptionalAction, default=None,
+                   help="ship the graph to sweep workers via shared memory "
+                        "(default: auto-detect; --no-shm forces pickle)")
     p.add_argument("--metrics", default=None, metavar="PATH",
                    help="write a metrics snapshot (.json, or .prom/.txt for "
                         "Prometheus text format); pooled sweeps merge "

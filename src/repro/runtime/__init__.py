@@ -1,9 +1,21 @@
-"""Simulated fork-join runtime: atomics, work-span accounting, machine model."""
+"""Simulated fork-join runtime: atomics, work-span accounting, machine model,
+and the zero-copy shared-memory execution plane for process pools."""
 
 from repro.runtime.atomics import test_and_set, write_min, write_min_2d
 from repro.runtime.parallel import PartitionedRelaxer
 from repro.runtime.machine import DEFAULT_PROFILE, CostProfile, MachineModel
 from repro.runtime.scheduler import brent_bound, greedy_makespan, lpt_makespan
+from repro.runtime.shm import (
+    SHM_PREFIX,
+    SharedArrayHandle,
+    SharedGraphHandle,
+    ShmManager,
+    ShmUnavailable,
+    close_manager,
+    get_manager,
+    leaked_segments,
+    shm_available,
+)
 from repro.runtime.workspan import RunStats, StepRecord
 
 __all__ = [
@@ -12,10 +24,19 @@ __all__ = [
     "MachineModel",
     "PartitionedRelaxer",
     "RunStats",
+    "SHM_PREFIX",
+    "SharedArrayHandle",
+    "SharedGraphHandle",
+    "ShmManager",
+    "ShmUnavailable",
     "StepRecord",
     "brent_bound",
+    "close_manager",
+    "get_manager",
     "greedy_makespan",
+    "leaked_segments",
     "lpt_makespan",
+    "shm_available",
     "test_and_set",
     "write_min",
     "write_min_2d",

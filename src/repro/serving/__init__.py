@@ -17,8 +17,11 @@ SSSP queries at wall-clock speed and keeps serving them when things break:
 * :mod:`repro.serving.supervisor` — :class:`SupervisedPool`: self-healing
   process-pool execution (timeouts, retries with backoff, rebuild on worker
   crash, health probe).
-* :mod:`repro.serving.pool` — persistent sweep orchestrator
-  (pickle-once/fork CSR sharing) routed through the supervisor.
+* :mod:`repro.serving.pool` — persistent pools routed through the
+  supervisor and the zero-copy shared-memory plane
+  (:mod:`repro.runtime.shm`): :class:`SweepPool` for the sweep grid and
+  :class:`BatchPool` for pooled multi-source serving (chunked fast path,
+  results written into a shared arena instead of pickled home).
 * :mod:`repro.serving.faults` — deterministic fault injection
   (:class:`FaultPlan`/:class:`FaultInjector`) driving the chaos suite;
   a no-op unless explicitly installed.
@@ -35,10 +38,11 @@ from repro.serving.faults import (
     get_injector,
     install_injector,
 )
-from repro.serving.pool import SweepPool
+from repro.serving.pool import BatchPool, SweepPool
 from repro.serving.supervisor import SupervisedPool
 
 __all__ = [
+    "BatchPool",
     "FaultInjector",
     "FaultPlan",
     "FaultSpec",

@@ -25,6 +25,19 @@ sharded executor's distances are bit-identical to the unsharded engines, so
 the cache, validation, and degradation story is unchanged — a failing
 sharded path degrades to the fast path exactly like a failing exact path.
 
+Pooled serving: ``pool_jobs >= 2`` (fast mode only) executes every batch
+through a persistent :class:`~repro.serving.pool.BatchPool` — the graph
+lives in shared memory (one registration, O(1) handles) and result rows
+come home through a shared arena instead of pickles when the platform has
+the shm plane (``use_shm`` selects; see :mod:`repro.runtime.shm`).  A
+failing pooled batch falls back to the in-process fast path (identical
+distances) and the event is counted in ``stats()["pool_fallbacks"]``.
+Every executed batch records the transport that produced it
+(``"shm"``/``"pickle"`` from the pool, ``"local"`` for in-process
+execution) in ``stats()["transports"]``; ``stats()["transport"]`` is the
+most recent batch's, so benchmark rows are attributable to their data
+plane.
+
 Resilience (all off the hot path unless something goes wrong):
 
 * **admission validation** — non-integer, negative or out-of-range sources
@@ -137,6 +150,17 @@ class QueryEngine:
     shard_jobs:
         ``>= 2`` runs each superstep's shard windows on a supervised
         process pool of that many workers; ``0``/``1`` runs them serially.
+    pool_jobs:
+        ``>= 2`` serves every fast-mode batch through a persistent
+        :class:`~repro.serving.pool.BatchPool` of that many workers;
+        ``0``/``1`` (default) executes in process.  Incompatible with
+        ``mode="exact"`` and with ``shards >= 1`` (those are different
+        execution paths).
+    use_shm:
+        Transport for the pooled path: ``None`` auto-probes the
+        shared-memory plane, ``True`` prefers it (degrading with a warning
+        if registration fails), ``False`` forces the pickle transport.
+        Ignored without ``pool_jobs``.
     """
 
     def __init__(
@@ -155,6 +179,8 @@ class QueryEngine:
         shards: int = 0,
         partitioner: str = "contiguous",
         shard_jobs: int = 0,
+        pool_jobs: int = 0,
+        use_shm: "bool | None" = None,
     ) -> None:
         if algo not in ("rho", "delta", "bf"):
             raise ParameterError(f"unknown algo {algo!r}; choose rho, delta or bf")
@@ -169,6 +195,13 @@ class QueryEngine:
             )
         if shard_jobs < 0:
             raise ParameterError(f"shard_jobs must be >= 0, got {shard_jobs}")
+        if pool_jobs < 0:
+            raise ParameterError(f"pool_jobs must be >= 0, got {pool_jobs}")
+        if pool_jobs >= 2 and (mode == "exact" or shards):
+            raise ParameterError(
+                "pool_jobs requires the fast path: the exact replay and the "
+                "sharded executor are their own execution planes"
+            )
         if retries < 0:
             raise ParameterError(f"retries must be >= 0, got {retries}")
         if failure_threshold < 1:
@@ -204,6 +237,15 @@ class QueryEngine:
         self.deadline = deadline
         self.failure_threshold = failure_threshold
         self.cooldown = cooldown
+        self.pool_jobs = int(pool_jobs)
+        self._pool = None
+        if self.pool_jobs >= 2:
+            from repro.serving.pool import BatchPool
+
+            self._pool = BatchPool(
+                graph, self.pool_jobs, algo=self.algo, param=self.param,
+                use_shm=use_shm, retries=retries,
+            )
         self.cache = ResultCache(cache_size)
         # Serving counters, updated in place; ``stats()`` hands out a deep
         # copy so callers can never mutate engine state through the dict.
@@ -222,10 +264,15 @@ class QueryEngine:
             "sharded_execs": 0,
             # closed → open transitions of the circuit breaker
             "circuit_trips": 0,
+            # pooled fast-path batches degraded to in-process execution
+            "pool_fallbacks": 0,
+            # executed batches by the transport that produced them
+            "transports": {"local": 0, "shm": 0, "pickle": 0},
         }
         self._consecutive_failures = 0
         self._open_until: "float | None" = None
         self._exec_seq = 0  # execution-batch sequence number (injection index)
+        self._last_transport: "str | None" = None
 
     # Read-only views of the counters (the pre-observability attribute API).
     @property
@@ -312,6 +359,12 @@ class QueryEngine:
                     "(cache hits are still served)"
                 )
             dist = self._execute_resilient(missing, deadline_at)
+            # Attribute the executed batch to the transport that produced it
+            # ("shm"/"pickle" from the pool, "local" for in-process).
+            transport = self._last_transport or "local"
+            self._counters["transports"][transport] += 1
+            if OBS.enabled:
+                OBS.registry.inc(f"serving.engine.transport.{transport}")
             for i, s in enumerate(missing):
                 key = ResultCache.key(self.graph, self.algo, self.param, s)
                 rows[key] = self.cache.put(key, dist[i])
@@ -338,6 +391,7 @@ class QueryEngine:
             cache_evictions=self.cache.evictions,
             cache_size=len(self.cache),
             circuit_state=self._circuit_state(),
+            transport=self._last_transport,
         )
         return out
 
@@ -476,11 +530,11 @@ class QueryEngine:
 
     def _run_chunk(self, sources: list[int], *, path: str) -> np.ndarray:
         if path == "fast":
-            return multi_source_distances(
-                self.graph, sources, algo=self.algo, param=self.param
-            )
+            return self._run_fast(sources)
         if path == "sharded":
+            self._last_transport = "local"
             return self._run_sharded(sources)
+        self._last_transport = "local"
         if self.algo == "rho":
             results = rho_stepping_batch(self.graph, sources, self.param, seed=self.seed)
         elif self.algo == "delta":
@@ -490,6 +544,30 @@ class QueryEngine:
         else:
             results = bellman_ford_batch(self.graph, sources, seed=self.seed)
         return np.stack([r.dist for r in results])
+
+    def _run_fast(self, sources: list[int]) -> np.ndarray:
+        """The fast path: pooled when configured, in-process otherwise.
+
+        A pooled failure degrades to in-process execution (bit-identical
+        distances) instead of burning the batch's retry budget on a sick
+        pool; the event is counted so dashboards see the plane change.
+        """
+        if self._pool is not None:
+            try:
+                dist = self._pool.distances(sources)
+                self._last_transport = self._pool.transport
+                return dist
+            except Exception as exc:
+                _LOG.warning(
+                    "pooled fast path failed (%s); executing the batch in-process", exc
+                )
+                self._counters["pool_fallbacks"] += 1
+                if OBS.enabled:
+                    OBS.registry.inc("serving.engine.pool_fallbacks")
+        self._last_transport = "local"
+        return multi_source_distances(
+            self.graph, sources, algo=self.algo, param=self.param
+        )
 
     def _make_policy(self):
         """A fresh stepping policy for the sharded path (policies are stateful)."""
@@ -520,6 +598,18 @@ class QueryEngine:
         if OBS.enabled:
             OBS.registry.inc("serving.engine.sharded")
         return np.stack(rows)
+
+    def close(self) -> None:
+        """Shut down the pooled execution plane (no-op without a pool)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "QueryEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def _validate_result(self, dist: np.ndarray, sources: list[int]) -> None:
         """Reject corrupted execution payloads before they reach the cache."""

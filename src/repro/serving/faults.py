@@ -24,6 +24,9 @@ Named injection sites wired through the stack:
 ``engine.execute`` :meth:`QueryEngine._execute_once`, before any kernel work
 ``engine.exact``   additionally fired on the exact (metered replay) path only
 ``graph.load``     :func:`repro.graphs.io.load_npz`, before reading the file
+``shm.attach``     first attach of a shared-memory handle in a process (see
+                   :mod:`repro.runtime.shm`) — worker side, lazily on the
+                   first task, so an injected fault is a retryable failure
 =================  ============================================================
 
 Rate-based specs are *stateless-deterministic*: whether invocation ``i``

@@ -1,48 +1,89 @@
-"""Persistent process-pool orchestrator for sweep fan-out.
+"""Persistent process pools for sweep fan-out and pooled batch serving.
 
-``analysis/sweeps.py`` evaluates a parameter grid × source list; each cell
-is an independent SSSP run, which makes the sweep embarrassingly parallel.
-:class:`SweepPool` keeps a worker pool alive across the whole grid and ships
-the CSR graph to each worker exactly once via the pool initializer (on
-fork-based platforms the arrays arrive through copy-on-write page sharing;
-elsewhere they are pickled once per worker, not once per task).  Tasks then
-reference the worker-global graph by proxy, so a task payload is just
-``(impl_key, param, source, seed, machine)``.
+Two pools live here, both routed through
+:class:`~repro.serving.supervisor.SupervisedPool` (timeouts, retries, crash
+rebuild) and both riding the zero-copy shared-memory plane
+(:mod:`repro.runtime.shm`) when the platform has it:
 
-Execution is routed through :class:`~repro.serving.supervisor.SupervisedPool`:
-a crashed worker no longer poisons the sweep (the pool rebuilds and the
-failed cells re-execute — every cell is a pure function of its payload, so
-resubmission is idempotent and the recovered grid is bit-identical), hung
-cells are bounded by an optional per-task ``timeout``, and transient or
-corrupted results are retried up to ``retries`` times.  When a cell finally
-exhausts its budget, all outstanding cells are cancelled before the error is
-re-raised, so a failing sweep never keeps the grid running in the
-background.
+* :class:`SweepPool` — the sweep-grid orchestrator.  Each cell is one
+  metered SSSP run; the graph reaches workers **once** as an O(1)-picklable
+  :class:`~repro.runtime.shm.SharedGraphHandle` (all workers map the same
+  physical CSR pages, including every worker spawned by a supervised
+  rebuild) and each task payload stays ``(impl_key, param, source, seed,
+  machine)``.
+* :class:`BatchPool` — the pooled multi-source distance engine.  A K-source
+  batch is split into per-worker chunks of the dense
+  :func:`~repro.serving.fastpath.multi_source_distances` fast path; with the
+  shm plane the rows land directly in a preallocated shared float64 arena
+  (the task result is an O(1) ``(row_lo, count)`` marker), without it the
+  rows pickle home.  Distances are bit-identical either way — chunk lanes
+  are independent, and the fast path is pinned bit-identical to the scalar
+  algorithms.
+
+Transport selection is uniform: ``use_shm=None`` (default) probes
+:func:`~repro.runtime.shm.shm_available`; ``False`` forces the legacy
+pickle path; ``True`` demands shm and still degrades gracefully (with a
+warning and an ``shm.fallbacks`` count) if registration fails.  ``stats()``
+on both pools reports the chosen ``transport`` so benchmark rows and
+dashboards can attribute their numbers.
+
+Worker-side attaches fire the ``shm.attach`` fault site *lazily on the
+first task* (not in the pool initializer), so an injected attach fault
+surfaces as a supervised task failure that the retry budget absorbs — the
+chaos suite asserts recovery converges to bit-identical results.
 """
 
 from __future__ import annotations
 
+import logging
 import math
 
+import numpy as np
+
 from repro.graphs.csr import Graph
+from repro.obs import OBS
 from repro.runtime.machine import MachineModel
+from repro.runtime.shm import SharedGraphHandle, get_manager, shm_available
+from repro.serving.fastpath import multi_source_distances
 from repro.serving.faults import FaultPlan
 from repro.serving.supervisor import SupervisedPool
 from repro.utils.errors import ParameterError
 
-__all__ = ["SweepPool"]
+__all__ = ["BatchPool", "SweepPool"]
 
-# Worker-side global installed by the pool initializer: the one graph this
-# pool serves, shared by every task that lands on the worker.
+_LOG = logging.getLogger("repro.serving")
+
+# Worker-side globals installed by the pool initializer: either the one
+# graph this pool serves (pickle path) or the handle it attaches lazily.
 _WORKER_GRAPH: "Graph | None" = None
+_WORKER_HANDLE: "SharedGraphHandle | None" = None
 
 
-def _init_worker(graph: Graph) -> None:
+def _init_worker(graph_or_handle) -> None:
+    global _WORKER_GRAPH, _WORKER_HANDLE
+    if isinstance(graph_or_handle, SharedGraphHandle):
+        # Attach lazily in the first task so an injected ``shm.attach``
+        # fault is a retryable task failure, not an initializer crash loop.
+        _WORKER_HANDLE = graph_or_handle
+        _WORKER_GRAPH = None
+    else:
+        _WORKER_HANDLE = None
+        _WORKER_GRAPH = graph_or_handle
+        # Warm the lazily-built CSR properties once per worker instead of
+        # once per task.
+        graph_or_handle.degrees
+
+
+def _worker_graph() -> Graph:
+    """The worker's graph, attaching the shared CSR on first use."""
     global _WORKER_GRAPH
-    _WORKER_GRAPH = graph
-    # Warm the lazily-built CSR properties once per worker instead of once
-    # per task.
-    graph.degrees
+    if _WORKER_GRAPH is None:
+        if _WORKER_HANDLE is None:  # pragma: no cover - initializer contract
+            raise RuntimeError("pool worker has no graph installed")
+        graph = _WORKER_HANDLE.attach()
+        graph.degrees
+        _WORKER_GRAPH = graph
+    return _WORKER_GRAPH
 
 
 def _run_cell(impl_key: str, param, source: int, seed, machine: MachineModel) -> float:
@@ -50,7 +91,7 @@ def _run_cell(impl_key: str, param, source: int, seed, machine: MachineModel) ->
     from repro.analysis.runners import get_implementation, simulated_time
 
     impl = get_implementation(impl_key)
-    res = impl.run(_WORKER_GRAPH, int(source), param, seed=seed)
+    res = impl.run(_worker_graph(), int(source), param, seed=seed)
     return float(simulated_time(res, machine, impl.profile))
 
 
@@ -59,7 +100,36 @@ def _valid_time(value) -> bool:
     return isinstance(value, float) and math.isfinite(value) and value >= 0.0
 
 
-class SweepPool:
+class _ShmGraphMixin:
+    """Shared transport plumbing: register the graph, remember the choice."""
+
+    def _setup_transport(self, graph: Graph, use_shm: "bool | None") -> object:
+        """Pick shm vs pickle; returns the initializer payload."""
+        self._shm_handle: "SharedGraphHandle | None" = None
+        self.transport = "pickle"
+        if use_shm is None:
+            use_shm = shm_available()
+        if use_shm:
+            try:
+                self._shm_handle = get_manager().share_graph(graph)
+                self.transport = "shm"
+                return self._shm_handle
+            except Exception as exc:
+                _LOG.warning(
+                    "shared-memory registration failed (%s); falling back to "
+                    "the pickle transport", exc,
+                )
+                if OBS.enabled:
+                    OBS.registry.inc("shm.fallbacks")
+        return graph
+
+    def _teardown_transport(self) -> None:
+        if self._shm_handle is not None:
+            get_manager().release_graph(self._shm_handle)
+            self._shm_handle = None
+
+
+class SweepPool(_ShmGraphMixin):
     """A persistent, supervised worker pool bound to one graph.
 
     Use as a context manager::
@@ -71,7 +141,8 @@ class SweepPool:
     the graph warm), recovers from worker crashes/hangs transparently (see
     :class:`~repro.serving.supervisor.SupervisedPool`), and shuts down with
     the context.  ``stats()`` exposes the supervision counters (rebuilds,
-    retries, timeouts) so recovery events stay visible.
+    retries, timeouts) plus the graph ``transport`` (``"shm"`` when workers
+    map the parent's CSR segments, ``"pickle"`` otherwise).
     """
 
     def __init__(
@@ -85,15 +156,17 @@ class SweepPool:
         seed: int = 0,
         fault_plan: "FaultPlan | None" = None,
         collect_metrics: bool = False,
+        use_shm: "bool | None" = None,
     ) -> None:
         if jobs < 2:
             raise ParameterError(f"SweepPool needs jobs >= 2, got {jobs} (use the serial path)")
         self.graph = graph
         self.jobs = jobs
+        payload = self._setup_transport(graph, use_shm)
         self._sup = SupervisedPool(
             jobs,
             initializer=_init_worker,
-            initargs=(graph,),
+            initargs=(payload,),
             timeout=timeout,
             retries=retries,
             backoff=backoff,
@@ -125,13 +198,194 @@ class SweepPool:
         return self._sup.health_probe(timeout)
 
     def stats(self) -> dict:
-        """Supervision counters (submitted/completed/retried/rebuilds/...)."""
-        return self._sup.stats()
+        """Supervision counters plus the graph transport in use."""
+        out = self._sup.stats()
+        out["transport"] = self.transport
+        return out
 
     def close(self) -> None:
         self._sup.close()
+        self._teardown_transport()
 
     def __enter__(self) -> "SweepPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# --------------------------------------------------------------------------- #
+# Pooled batch serving
+# --------------------------------------------------------------------------- #
+
+
+def _run_batch_chunk(algo, param, sources, row_lo, arena_handle):
+    """One worker task: fast-path distances for a contiguous source chunk.
+
+    Pure function of its arguments (rewriting the same arena rows with the
+    same values), so supervised re-execution after a crash, hang, or
+    rejected payload is idempotent.  With an arena the rows are written in
+    place and only an O(1) marker returns; without one the rows pickle home.
+    """
+    graph = _worker_graph()
+    rows = multi_source_distances(graph, sources, algo=algo, param=param)
+    if arena_handle is None:
+        return rows
+    arena = arena_handle.attach()
+    arena[row_lo : row_lo + len(sources)] = rows
+    return (int(row_lo), len(sources))
+
+
+class BatchPool(_ShmGraphMixin):
+    """Persistent pooled multi-source engine: chunked fast path + shm arena.
+
+    Parameters
+    ----------
+    graph:
+        The CSR graph to serve (registered once in shared memory when the
+        plane is available).
+    jobs:
+        Worker process count (>= 2; the serial fast path needs no pool).
+    algo, param:
+        Fast-path stepping rule (``"rho"``/``"delta"``/``"bf"`` with its
+        parameter) — same semantics as
+        :func:`~repro.serving.fastpath.multi_source_distances`.
+    chunk:
+        Sources per task.  Default splits each batch evenly across ``jobs``
+        (one task per worker), the latency-optimal shape when chunks cost
+        roughly the same.
+    use_shm:
+        ``None`` (auto-probe), ``True`` (prefer shm, degrade on failure) or
+        ``False`` (force the pickle transport).
+    timeout, retries, seed, fault_plan:
+        Supervision knobs, forwarded to
+        :class:`~repro.serving.supervisor.SupervisedPool`.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        jobs: int,
+        *,
+        algo: str = "bf",
+        param=None,
+        chunk: "int | None" = None,
+        use_shm: "bool | None" = None,
+        timeout: "float | None" = None,
+        retries: int = 2,
+        seed: int = 0,
+        fault_plan: "FaultPlan | None" = None,
+    ) -> None:
+        if jobs < 2:
+            raise ParameterError(f"BatchPool needs jobs >= 2, got {jobs} (use the serial fast path)")
+        if chunk is not None and chunk < 1:
+            raise ParameterError(f"chunk must be >= 1, got {chunk}")
+        # Fail on a bad algo/param combination at construction, not in a
+        # worker three processes away.
+        multi_source_distances(graph, [], algo=algo, param=param)
+        self.graph = graph
+        self.jobs = jobs
+        self.algo = algo
+        self.param = param
+        self.chunk = chunk
+        self._arena_handle = None
+        self._arena: "np.ndarray | None" = None
+        payload = self._setup_transport(graph, use_shm)
+        self._sup = SupervisedPool(
+            jobs,
+            initializer=_init_worker,
+            initargs=(payload,),
+            timeout=timeout,
+            retries=retries,
+            seed=seed,
+            fault_plan=fault_plan,
+        )
+
+    def _ensure_arena(self, rows: int) -> None:
+        """Grow the shared result arena to hold ``rows`` distance vectors."""
+        if self._arena is not None and self._arena.shape[0] >= rows:
+            return
+        mgr = get_manager()
+        if self._arena_handle is not None:
+            mgr.free(self._arena_handle)
+        self._arena_handle, self._arena = mgr.alloc((rows, self.graph.n), "float64")
+
+    def _chunk_tasks(self, sources: "list[int]"):
+        K = len(sources)
+        size = self.chunk or max(1, -(-K // self.jobs))
+        return [
+            (self.algo, self.param, sources[lo : lo + size], lo, self._arena_handle)
+            for lo in range(0, K, size)
+        ]
+
+    def _valid_chunk(self, payload, expected: "dict[int, int]") -> bool:
+        """Parent-side payload validation (also catches injected corruption).
+
+        Pickle transport: a full ``(k, n)`` row block.  Shm transport: the
+        ``(row_lo, count)`` marker, validated against the arena rows the
+        worker claims to have written.
+        """
+        n = self.graph.n
+        if isinstance(payload, np.ndarray):
+            if payload.ndim != 2 or payload.shape[1] != n:
+                return False
+            rows = payload
+        elif (
+            isinstance(payload, tuple)
+            and len(payload) == 2
+            and self._arena is not None
+        ):
+            lo, k = payload
+            if not (isinstance(lo, int) and expected.get(lo) == k):
+                return False
+            rows = self._arena[lo : lo + k]
+        else:
+            return False
+        return not np.isnan(rows).any() and bool((rows >= 0).all())
+
+    def distances(self, sources) -> np.ndarray:
+        """Fast-path distances for ``sources`` as a private ``(K, n)`` matrix.
+
+        Bit-identical to the serial fast path (and therefore to the scalar
+        algorithms) for any chunking: lanes never interact across chunks.
+        """
+        sources = [int(s) for s in sources]
+        K = len(sources)
+        if K == 0:
+            return np.zeros((0, self.graph.n))
+        if self.transport == "shm":
+            self._ensure_arena(K)
+        tasks = self._chunk_tasks(sources)
+        expected = {lo: len(ss) for _, _, ss, lo, _ in tasks}
+        payloads = self._sup.map_supervised(
+            _run_batch_chunk,
+            tasks,
+            validate=lambda p: self._valid_chunk(p, expected),
+        )
+        if self._arena is not None and self.transport == "shm":
+            # Copy out: the arena is reused by the next batch.
+            return np.array(self._arena[:K], copy=True)
+        return payloads[0] if len(payloads) == 1 else np.vstack(payloads)
+
+    def health_probe(self, timeout: float = 5.0) -> bool:
+        """True when a worker answers a trivial round-trip within ``timeout``."""
+        return self._sup.health_probe(timeout)
+
+    def stats(self) -> dict:
+        """Supervision counters plus the result transport in use."""
+        out = self._sup.stats()
+        out["transport"] = self.transport
+        return out
+
+    def close(self) -> None:
+        self._sup.close()
+        if self._arena_handle is not None:
+            get_manager().free(self._arena_handle)
+            self._arena_handle = None
+            self._arena = None
+        self._teardown_transport()
+
+    def __enter__(self) -> "BatchPool":
         return self
 
     def __exit__(self, *exc) -> None:

@@ -115,11 +115,23 @@ _WORKER_SHARDS: "list[tuple] | None" = None
 
 
 def _install_worker_shards(shard_data) -> None:
-    """Pool initializer: pin every shard's local CSR in the worker process."""
+    """Pool initializer: pin every shard's local CSR in the worker process.
+
+    Each entry is either the local :class:`~repro.graphs.csr.Graph` itself
+    (pickle transport) or an O(1)-picklable
+    :class:`~repro.runtime.shm.SharedGraphHandle` whose attach maps the
+    parent's CSR pages read-only (shm transport) — rebuilt workers re-attach
+    the same segments instead of re-unpickling the shards.
+    """
+    from repro.runtime.shm import SharedGraphHandle
+
     global _WORKER_SHARDS
-    _WORKER_SHARDS = [
-        (local, n_owned, Workspace(max(1, local.n))) for local, n_owned in shard_data
-    ]
+    resolved = []
+    for local, n_owned in shard_data:
+        if isinstance(local, SharedGraphHandle):
+            local = local.attach()
+        resolved.append((local, n_owned, Workspace(max(1, local.n))))
+    _WORKER_SHARDS = resolved
 
 
 def _worker_window(shard_index, dist_loc, frontier, theta):
@@ -259,6 +271,7 @@ def sharded_sssp(
     pool_timeout: "float | None" = None,
     pool_retries: int = 2,
     fault_plan=None,
+    use_shm: "bool | None" = None,
 ) -> SSSPResult:
     """Run Algorithm 1 over a sharded graph, superstep by superstep.
 
@@ -291,6 +304,14 @@ def sharded_sssp(
         many workers (timeouts/retries/crash rebuilds per
         ``pool_timeout``/``pool_retries``/``fault_plan``).  Both paths apply
         the same state transitions, so distances are identical.
+    use_shm:
+        Transport for the pooled windows' shard CSRs: ``None`` auto-probes
+        the shared-memory plane (:mod:`repro.runtime.shm`), ``True``
+        prefers it (degrading with a warning if registration fails),
+        ``False`` forces the pickle transport.  Per-window mutable state
+        (the distance snapshot) always pickles — it must be a private copy
+        for idempotent re-execution.  ``result.params["pool_transport"]``
+        records the choice.
     """
     options = options or SteppingOptions()
     if policy.needs_aug:
@@ -333,10 +354,33 @@ def sharded_sssp(
     policy.reset(ctx)
 
     pool = None
+    shm_handles: "list" = []
+    pool_transport = None
     if jobs >= 2:
+        from repro.runtime.shm import get_manager, shm_available
         from repro.serving.supervisor import SupervisedPool
 
+        pool_transport = "pickle"
         shard_data = [(st.shard.local, st.shard.n_owned) for st in states]
+        if shm_available() if use_shm is None else use_shm:
+            try:
+                mgr = get_manager()
+                handles = [mgr.share_graph(st.shard.local) for st in states]
+            except Exception as exc:
+                import logging
+
+                logging.getLogger("repro.shard").warning(
+                    "shared-memory registration of shard CSRs failed (%s); "
+                    "falling back to the pickle transport", exc,
+                )
+                if OBS.enabled:
+                    OBS.registry.inc("shm.fallbacks")
+            else:
+                shm_handles = handles
+                shard_data = [
+                    (h, st.shard.n_owned) for h, st in zip(handles, states)
+                ]
+                pool_transport = "shm"
         pool = SupervisedPool(
             jobs,
             initializer=_install_worker_shards,
@@ -450,6 +494,12 @@ def sharded_sssp(
     finally:
         if pool is not None:
             pool.close()
+        if shm_handles:
+            from repro.runtime.shm import get_manager
+
+            mgr = get_manager()
+            for handle in shm_handles:
+                mgr.release_graph(handle)
 
     dist = np.full(n, np.inf)
     for st in states:
@@ -471,6 +521,7 @@ def sharded_sssp(
             "num_shards": part.num_shards,
             "partitioner": part.method,
             "jobs": int(jobs),
+            "pool_transport": pool_transport,
             "cut_edges": part.cut_edges,
             "halo_messages": halo_messages,
         },

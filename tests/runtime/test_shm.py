@@ -1,0 +1,154 @@
+"""Shared-memory plane: O(1) handles, bit-identity, refcounts, leak-free close."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    SHM_PREFIX,
+    ShmManager,
+    ShmUnavailable,
+    close_manager,
+    get_manager,
+    leaked_segments,
+    shm_available,
+)
+from repro.serving.faults import FaultPlan, InjectedFault, install_injector
+
+pytestmark = pytest.mark.skipif(not shm_available(), reason="no shared memory")
+
+
+@pytest.fixture()
+def mgr():
+    m = ShmManager()
+    yield m
+    m.close()
+    assert leaked_segments(SHM_PREFIX) == []
+
+
+class TestHandles:
+    def test_graph_handle_pickles_o1(self, rmat_small, mgr):
+        handle = mgr.share_graph(rmat_small)
+        blob = pickle.dumps(handle)
+        graph_blob = pickle.dumps(rmat_small)
+        assert len(blob) < 1024
+        assert len(blob) * 10 < len(graph_blob)
+
+    def test_attach_is_bit_identical_and_readonly(self, rmat_small, mgr):
+        handle = mgr.share_graph(rmat_small)
+        g = handle.attach()
+        assert np.array_equal(g.indptr, rmat_small.indptr)
+        assert np.array_equal(g.indices, rmat_small.indices)
+        assert np.array_equal(g.weights, rmat_small.weights)
+        assert g.directed == rmat_small.directed
+        # Fingerprint is seeded from the handle, not recomputed.
+        assert g.__dict__["fingerprint"] == rmat_small.fingerprint
+        with pytest.raises(ValueError):
+            g.weights[0] = 0.0
+
+    def test_attach_cached_per_fingerprint(self, rmat_small, mgr):
+        handle = mgr.share_graph(rmat_small)
+        assert handle.attach() is handle.attach()
+
+    def test_arena_roundtrip_writable(self, mgr):
+        handle, view = mgr.alloc((3, 5))
+        view[...] = np.arange(15, dtype=np.float64).reshape(3, 5)
+        attached = handle.attach()
+        assert np.array_equal(attached, view)
+        attached[1, 2] = -7.0  # writable: worker rows land in the parent view
+        assert view[1, 2] == -7.0
+        mgr.free(handle)
+
+    def test_handle_nbytes(self, rmat_small, mgr):
+        handle = mgr.share_graph(rmat_small)
+        expected = (
+            rmat_small.indptr.nbytes
+            + rmat_small.indices.nbytes
+            + rmat_small.weights.nbytes
+        )
+        assert handle.nbytes == expected
+
+
+class TestRefcounting:
+    def test_share_twice_registers_once(self, rmat_small, mgr):
+        h1 = mgr.share_graph(rmat_small)
+        n_after_first = len(mgr.live_segments())
+        h2 = mgr.share_graph(rmat_small)
+        assert h2 is h1
+        assert len(mgr.live_segments()) == n_after_first == 3
+
+    def test_unlink_only_at_refcount_zero(self, rmat_small, mgr):
+        h = mgr.share_graph(rmat_small)
+        mgr.share_graph(rmat_small)
+        mgr.release_graph(h)
+        assert len(mgr.live_segments()) == 3
+        mgr.release_graph(h)
+        assert mgr.live_segments() == []
+        assert leaked_segments(SHM_PREFIX) == []
+
+    def test_release_unknown_handle_is_noop(self, rmat_small, road_small, mgr):
+        h_other = ShmManager()
+        try:
+            foreign = h_other.share_graph(road_small)
+            mgr.share_graph(rmat_small)
+            mgr.release_graph(foreign)  # not ours: must not touch our segments
+            assert len(mgr.live_segments()) == 3
+        finally:
+            h_other.close()
+
+    def test_release_none_is_noop(self, mgr):
+        mgr.release_graph(None)
+        mgr.free(None)
+
+
+class TestLifecycle:
+    def test_close_unlinks_everything(self, rmat_small):
+        mgr = ShmManager()
+        mgr.share_graph(rmat_small)
+        mgr.alloc((4, 4))
+        assert len(mgr.live_segments()) == 4
+        mgr.close()
+        assert mgr.live_segments() == []
+        assert leaked_segments(SHM_PREFIX) == []
+        mgr.close()  # idempotent
+
+    def test_closed_manager_rejects_work(self, rmat_small):
+        mgr = ShmManager()
+        mgr.close()
+        with pytest.raises(ShmUnavailable):
+            mgr.share_graph(rmat_small)
+        with pytest.raises(ShmUnavailable):
+            mgr.alloc((2, 2))
+
+    def test_context_manager(self, rmat_small):
+        with ShmManager() as mgr:
+            mgr.share_graph(rmat_small)
+        assert mgr.closed
+        assert leaked_segments(SHM_PREFIX) == []
+
+    def test_global_manager_recreated_after_close(self):
+        a = get_manager()
+        assert get_manager() is a
+        close_manager()
+        b = get_manager()
+        assert b is not a and not b.closed
+        close_manager()
+
+
+class TestFaultSite:
+    def test_attach_fires_shm_attach_site(self, mgr):
+        handle, view = mgr.alloc((2, 2))
+        view[...] = 1.0
+        injector = install_injector(
+            FaultPlan.single("shm.attach", "exception", at=(0,))
+        )
+        try:
+            with pytest.raises(InjectedFault):
+                handle.attach()
+            # The fault is transient: the next attach (site index 1) succeeds.
+            assert np.array_equal(handle.attach(), view)
+            assert ("shm.attach", "exception", 0, 0) in injector.fired
+        finally:
+            install_injector(None)
+            mgr.free(handle)
