@@ -134,9 +134,11 @@ def _cmd_run(args) -> int:
     if args.shards:
         from repro.shard import sharded_sssp
 
+        opts = {"refine": args.refine} if args.partitioner == "fennel" else {}
         res = sharded_sssp(
             g, args.source, _shard_policy(args.algorithm, args.param),
             num_shards=args.shards, method=args.partitioner, seed=args.seed,
+            partition_opts=opts,
         )
     else:
         run = _ALGOS[args.algorithm]
@@ -182,7 +184,7 @@ def _cmd_batch(args) -> int:
     engine = QueryEngine(
         g, args.algo, args.param, mode=args.mode, seed=args.seed,
         retries=args.retries, shards=args.shards, partitioner=args.partitioner,
-        pool_jobs=args.jobs, use_shm=args.shm,
+        refine=args.refine, pool_jobs=args.jobs, use_shm=args.shm,
     )
     with engine:
         t0 = time.perf_counter()
@@ -276,7 +278,8 @@ def _cmd_partition(args) -> int:
     from repro.shard import ShardedGraph
 
     g = _load_graph(args.graph)
-    sg = ShardedGraph.build(g, args.shards, args.partitioner, seed=args.seed)
+    opts = {"refine": args.refine} if args.partitioner == "fennel" else {}
+    sg = ShardedGraph.build(g, args.shards, args.partitioner, seed=args.seed, **opts)
     rows = [
         [r["shard"], r["vertices"], r["edges"], r["halo"], r["cut_edges"]]
         for r in sg.shard_sizes()
@@ -337,8 +340,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--verify", action="store_true")
     p.add_argument("--shards", type=int, default=0,
                    help="run through the sharded BSP executor with N shards")
-    p.add_argument("--partitioner", choices=["contiguous", "degree", "ldg"],
+    p.add_argument("--partitioner", choices=["contiguous", "degree", "fennel", "ldg"],
                    default="contiguous", help="partition method for --shards")
+    p.add_argument("--refine", action=argparse.BooleanOptionalAction, default=True,
+                   help="fennel only: boundary-vertex refinement sweep after "
+                        "the streaming pass (default: on)")
     p.add_argument("--metrics", default=None, metavar="PATH",
                    help="write a metrics snapshot (.json, or .prom/.txt for "
                         "Prometheus text format)")
@@ -367,8 +373,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="check every row against sequential Dijkstra")
     p.add_argument("--shards", type=int, default=0,
                    help="serve through the sharded BSP executor with N shards")
-    p.add_argument("--partitioner", choices=["contiguous", "degree", "ldg"],
+    p.add_argument("--partitioner", choices=["contiguous", "degree", "fennel", "ldg"],
                    default="contiguous", help="partition method for --shards")
+    p.add_argument("--refine", action=argparse.BooleanOptionalAction, default=True,
+                   help="fennel only: boundary-vertex refinement sweep after "
+                        "the streaming pass (default: on)")
     p.add_argument("--metrics", default=None, metavar="PATH",
                    help="write a metrics snapshot (.json, or .prom/.txt for "
                         "Prometheus text format)")
@@ -413,8 +422,11 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("partition", help="shard a graph and report cut/halo stats")
     p.add_argument("graph")
     p.add_argument("--shards", type=int, required=True, help="number of shards")
-    p.add_argument("--partitioner", choices=["contiguous", "degree", "ldg"],
+    p.add_argument("--partitioner", choices=["contiguous", "degree", "fennel", "ldg"],
                    default="contiguous")
+    p.add_argument("--refine", action=argparse.BooleanOptionalAction, default=True,
+                   help="fennel only: boundary-vertex refinement sweep after "
+                        "the streaming pass (default: on)")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--check-roundtrip", action="store_true",
                    help="also reassemble the shards and compare with the input")

@@ -1,6 +1,7 @@
 """LAB-PQ: the lazy-batched priority queue ADT and its two data structures."""
 
 from repro.pq.base import LabPQ
+from repro.pq.bitmap import BitmapPQ
 from repro.pq.blockedlist import BlockedList
 from repro.pq.dynamic import DynamicTournamentPQ
 from repro.pq.flat import FlatPQ
@@ -9,6 +10,7 @@ from repro.pq.sampling import SampleResult, estimate_kth_key, exact_kth_key
 from repro.pq.tournament import TournamentPQ
 
 __all__ = [
+    "BitmapPQ",
     "BlockedList",
     "DynamicTournamentPQ",
     "FlatPQ",

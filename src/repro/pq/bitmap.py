@@ -1,0 +1,111 @@
+"""Dense-only LAB-PQ: a membership bitmap over a small id universe.
+
+:class:`BitmapPQ` is the *dense mode* of :class:`~repro.pq.flat.FlatPQ`
+promoted to the whole data structure.  It keeps exactly one piece of state —
+the ``in_q`` membership bit array — so every operation is a handful of
+vectorised passes over ``n`` bits with **no hash pool to rebuild**:
+
+* ``update(ids)`` sets bits; duplicates and already-present ids are
+  naturally idempotent (no unique pass, no scatter probes);
+* ``extract(θ)`` is one masked scan ``in_q & (dist ≤ θ)`` — the Theorem 4.3
+  O(n) dense extraction, without FlatPQ's survivor re-scatter into the
+  alternate table;
+* ``min_key`` / ``collect_min`` are one masked reduction.
+
+The trade-off is that *every* operation costs Θ(n) even when the queue is
+nearly empty, so this only wins when ``n`` is small enough that a bit-array
+pass is cheaper than hash-table maintenance — the regime of the sharded
+executor's per-shard queues (a shard's local universe is ``n/k`` plus its
+halo), where windows drain densely and FlatPQ would sit in dense mode
+anyway, paying a full pool rebuild per extract.  The sharded executor picks
+this structure automatically for small shards; the scalar framework keeps
+FlatPQ, whose sparse mode matters at full-graph scale.
+
+Instrumentation is counters-only behind the ``OBS.enabled`` seam — no
+per-operation spans, keeping the hot path flat under an installed tracer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.obs import OBS
+from repro.pq.base import LabPQ
+from repro.utils.errors import ParameterError
+
+__all__ = ["BitmapPQ"]
+
+
+class BitmapPQ(LabPQ):
+    """Bitmap LAB-PQ over the id universe ``[0, n)`` keyed by ``dist``.
+
+    Parameters
+    ----------
+    dist:
+        Shared tentative-distance array (the δ mapping); length defines the
+        id universe.
+    aug:
+        Optional augmentation values; enables :meth:`collect_min` returning
+        ``min(dist[id] + aug[id])``.
+    """
+
+    def __init__(self, dist: np.ndarray, aug: "np.ndarray | None" = None) -> None:
+        super().__init__(dist, aug)
+        self.in_q = np.zeros(len(dist), dtype=bool)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    # ------------------------------------------------------------------ #
+
+    def update(self, ids: np.ndarray) -> None:
+        ids = self._check_ids(ids)
+        if ids.size:
+            self.in_q[ids] = True
+            # Recount instead of tracking deltas: immune to duplicate and
+            # already-present ids, and a bit-array popcount is one pass.
+            self._size = int(np.count_nonzero(self.in_q))
+        self.last_update_touches = int(ids.size)
+        if OBS.enabled and OBS.registry.enabled:
+            OBS.registry.inc("pq.update.calls")
+            OBS.registry.inc("pq.update.touches", self.last_update_touches)
+
+    def extract(self, theta: float) -> np.ndarray:
+        below = self.in_q & (self.dist <= theta)
+        out = np.flatnonzero(below)
+        if out.size:
+            self.in_q[out] = False
+            self._size -= len(out)
+        self.last_extract_mode = "dense"
+        self.last_extract_scanned = self.n
+        if OBS.enabled and OBS.registry.enabled:
+            OBS.registry.inc("pq.extract.dense")
+            OBS.registry.inc("pq.extract.scanned", self.n)
+            OBS.registry.inc("pq.extract.extracted", len(out))
+        return out
+
+    def remove(self, ids: np.ndarray) -> None:
+        ids = self._check_ids(ids)
+        if ids.size:
+            self.in_q[ids] = False
+            self._size = int(np.count_nonzero(self.in_q))
+
+    def min_key(self) -> float:
+        return self._reduce_min(self.dist)
+
+    def collect_min(self) -> float:
+        if self.aug is None:
+            raise ParameterError("collect_min requires an augmented BitmapPQ (aug array)")
+        return self._reduce_min(self.dist + self.aug)
+
+    def _reduce_min(self, keys: np.ndarray) -> float:
+        self.last_collect_scanned = self.n
+        if self._size == 0:
+            self.last_collect_scanned = 0
+            return float("inf")
+        return float(keys[self.in_q].min())
+
+    def live_ids(self) -> np.ndarray:
+        """All ids currently in the queue (one bitmap scan)."""
+        return np.flatnonzero(self.in_q)

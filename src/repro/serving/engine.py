@@ -147,6 +147,10 @@ class QueryEngine:
     partitioner:
         Partition method when ``shards >= 1`` (see
         :data:`repro.shard.partition.PARTITIONERS`).
+    refine:
+        For ``partitioner="fennel"``: run the boundary-vertex refinement
+        sweep after the streaming pass (default on).  Ignored by the other
+        partitioners.
     shard_jobs:
         ``>= 2`` runs each superstep's shard windows on a supervised
         process pool of that many workers; ``0``/``1`` runs them serially.
@@ -178,6 +182,7 @@ class QueryEngine:
         cooldown: float = 30.0,
         shards: int = 0,
         partitioner: str = "contiguous",
+        refine: bool = True,
         shard_jobs: int = 0,
         pool_jobs: int = 0,
         use_shm: "bool | None" = None,
@@ -229,8 +234,9 @@ class QueryEngine:
         if self.shards:
             from repro.shard import ShardedGraph
 
+            opts = {"refine": bool(refine)} if partitioner == "fennel" else {}
             self._sharded = ShardedGraph.build(
-                graph, self.shards, partitioner, seed=seed
+                graph, self.shards, partitioner, seed=seed, **opts
             )
         self.seed = seed
         self.retries = retries

@@ -14,6 +14,7 @@ from repro.shard.partition import (
     Shard,
     contiguous_partition,
     degree_balanced_partition,
+    fennel_partition,
     get_partitioner,
     ldg_partition,
     partition_graph,
@@ -27,6 +28,7 @@ __all__ = [
     "ShardedGraph",
     "contiguous_partition",
     "degree_balanced_partition",
+    "fennel_partition",
     "get_partitioner",
     "ldg_partition",
     "partition_graph",

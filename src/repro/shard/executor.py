@@ -8,6 +8,28 @@ frontier inside the window (serially or on a
 :class:`~repro.serving.supervisor.SupervisedPool`), then exchanges the
 improved boundary distances along the precomputed halo routing tables.
 
+**Bucket-fusion drains** (Zhang et al., CGO 2020, applied across shards):
+with ``options.fusion`` (the default) a superstep does not stop at one
+drain + exchange when its window would otherwise *recur* — θ = ∞ (ρ's
+tail, Bellman-Ford) or a substep decision (Δ re-draining the same θ).
+Distances arriving through the halo exchange that land inside the current
+window are then re-extracted at the same θ and drained again — extra
+*fusion rounds* that repeat until no shard holds in-window work.  Only then
+does the policy pick the next θ.  One policy decision therefore settles one
+whole window regardless of how many shard boundaries its shortest paths
+cross, collapsing the halo-bounce supersteps that made the unfused executor
+pay many policy decisions per window (ρ on OK: 12 supersteps → 1).  Windows
+with a finite, always-advancing θ (Δ*, Dijkstra) are left unfused: their
+in-window halo leftovers are extracted by the next superstep's larger θ
+anyway, so fusing them would add rounds without removing a single decision.
+
+**Coalesced halo exchange**: outgoing boundary updates are batched per
+(destination shard, vertex) across *all* source shards, deduplicated to the
+minimum distance per vertex (one sort + segmented min — the packed wire
+format), and applied with one scatter-min (`write_min`) per destination.
+``shard.halo_coalesced`` counts the duplicate messages the packing removed;
+``shard.fusion_rounds`` counts the extra in-window rounds.
+
 **Why the distances are bit-identical to an unsharded run.**  Every value a
 relaxation ever writes is a left-to-right IEEE-754 sum of edge weights along
 some source path, and float addition of a positive weight is monotone
@@ -39,10 +61,11 @@ from repro.core.framework import SteppingOptions, _relax_wave
 from repro.core.policies import SteppingPolicy
 from repro.core.result import SSSPResult
 from repro.obs import OBS
+from repro.pq.bitmap import BitmapPQ
 from repro.pq.flat import FlatPQ
 from repro.pq.tournament import TournamentPQ
 from repro.runtime.atomics import write_min
-from repro.runtime.kernels import Workspace
+from repro.runtime.kernels import Workspace, _run_starts
 from repro.runtime.workspan import RunStats, StepRecord
 from repro.shard.sharded_graph import ShardedGraph
 from repro.utils.errors import ParameterError
@@ -51,6 +74,16 @@ from repro.utils.rng import as_generator
 __all__ = ["sharded_sssp"]
 
 _INT = np.int64
+_EMPTY_IDS = np.zeros(0, dtype=_INT)
+
+#: Largest shard-local universe for which the dense :class:`BitmapPQ` is
+#: used in place of :class:`FlatPQ`.  Shard queues drain whole θ-windows, so
+#: they sit in FlatPQ's dense regime anyway — but FlatPQ pays a hash-pool
+#: rebuild (survivor re-scatter) per extract plus a span per operation under
+#: an installed tracer, which dominates the superstep at small shard sizes.
+#: Beyond ~a million locals the bitmap's Θ(n)-per-operation cost can lose to
+#: FlatPQ's sparse mode on nearly-empty queues, so large shards keep FlatPQ.
+_BITMAP_MAX_LOCAL = 1 << 20
 
 
 # --------------------------------------------------------------------------- #
@@ -67,7 +100,12 @@ class _ShardState:
         self.shard = shard
         self.dist = np.full(shard.n_local, np.inf)
         if options.pq == "flat":
-            self.pq = FlatPQ(self.dist, None, dense_frac=options.dense_frac, seed=rng)
+            if shard.n_local <= _BITMAP_MAX_LOCAL:
+                self.pq = BitmapPQ(self.dist, None)
+            else:
+                self.pq = FlatPQ(
+                    self.dist, None, dense_frac=options.dense_frac, seed=rng
+                )
         else:
             self.pq = TournamentPQ(self.dist, None)
         self.ws = Workspace(max(1, shard.n_local))
@@ -229,32 +267,55 @@ class _ShardedCtx:
 # --------------------------------------------------------------------------- #
 
 
-def _exchange_halos(states: "list[_ShardState]") -> int:
-    """Route every improved halo distance to its owner shard.
+def _exchange_halos(states: "list[_ShardState]", n: int) -> "tuple[int, int]":
+    """Route every improved halo distance to its owner shard, coalesced.
 
-    Applies the messages with ``write_min`` (idempotent, order-independent)
-    and enqueues owner vertices whose distance actually improved.  Returns
-    the number of messages sent.
+    All source shards' boundary updates are concatenated, sorted once by the
+    composite key ``owner_shard * n + owner_local``, and collapsed to the
+    minimum distance per (destination shard, vertex) — the packed array a
+    real transport would put on the wire, one per destination per exchange.
+    Each destination then applies its packed array with a single
+    ``write_min`` (scatter-min: idempotent, order-independent) and enqueues
+    the vertices whose distance actually improved.
+
+    Returns ``(raw, packed)``: boundary updates produced by the drains vs
+    deduplicated messages actually shipped (``raw - packed`` is the volume
+    coalescing removed).
     """
-    messages = 0
+    all_keys: "list[np.ndarray]" = []
+    all_vals: "list[np.ndarray]" = []
+    raw = 0
     for st in states:
         touched = np.flatnonzero(st.touched_halo)
         if not touched.size:
             continue
         st.touched_halo[:] = False
         shard = st.shard
-        values = st.dist[shard.n_owned + touched]
-        owners = shard.halo_owner[touched]
-        owner_locals = shard.halo_owner_local[touched]
-        messages += int(touched.size)
-        for o in np.unique(owners):
-            sel = owners == o
-            target = states[int(o)]
-            success = write_min(target.dist, owner_locals[sel], values[sel])
-            improved = owner_locals[sel][success]
-            if improved.size:
-                target.pq.update(improved)
-    return messages
+        raw += int(touched.size)
+        all_keys.append(shard.halo_owner[touched] * n + shard.halo_owner_local[touched])
+        all_vals.append(st.dist[shard.n_owned + touched])
+    if not all_keys:
+        return 0, 0
+    keys = np.concatenate(all_keys) if len(all_keys) > 1 else all_keys[0]
+    vals = np.concatenate(all_vals) if len(all_vals) > 1 else all_vals[0]
+    order = np.argsort(keys, kind="stable")
+    keys = keys[order]
+    seg = np.flatnonzero(_run_starts(keys))
+    keys = keys[seg]
+    vals = np.minimum.reduceat(vals[order], seg)
+    owners = keys // n
+    locals_ = keys - owners * n
+    bounds = np.searchsorted(owners, np.arange(len(states) + 1))
+    for d in range(len(states)):
+        lo, hi = bounds[d], bounds[d + 1]
+        if lo == hi:
+            continue
+        target = states[d]
+        success = write_min(target.dist, locals_[lo:hi], vals[lo:hi])
+        improved = locals_[lo:hi][success]
+        if improved.size:
+            target.pq.update(improved)
+    return raw, int(len(keys))
 
 
 def sharded_sssp(
@@ -264,6 +325,7 @@ def sharded_sssp(
     *,
     num_shards: int = 0,
     method: str = "contiguous",
+    partition_opts: "dict | None" = None,
     sharded: "ShardedGraph | None" = None,
     options: "SteppingOptions | None" = None,
     seed=None,
@@ -285,16 +347,24 @@ def sharded_sssp(
     policy:
         Any non-augmented :class:`~repro.core.policies.SteppingPolicy`
         (Δ*, ρ, Bellman-Ford, Δ, Dijkstra) — reused *unchanged*.
-    num_shards, method:
+    num_shards, method, partition_opts:
         Partition to build when ``sharded`` is not supplied (see
-        :mod:`repro.shard.partition` for the methods).
+        :mod:`repro.shard.partition` for the methods); ``partition_opts``
+        forwards partitioner keywords (e.g. fennel's ``refine``).
     sharded:
         A prebuilt (validated) :class:`ShardedGraph` to execute on.
     options:
         The scalar :class:`~repro.core.framework.SteppingOptions`; ``pq``
         and ``dense_frac`` select the per-shard LAB-PQ, ``max_steps`` bounds
-        the superstep count.  Fusion switches are moot — a BSP window always
-        drains fully (that is what makes its distances schedule-free).
+        the superstep count.  ``fusion`` (default on) enables the
+        bucket-fusion drain rounds on recurring windows (θ = ∞ or substep
+        decisions): halo arrivals inside the current window are re-drained
+        at the same θ until the window is globally quiet, instead of waiting
+        for the next superstep.  Fused and unfused runs produce bit-identical
+        distances (the fixpoint argument above); fusion only cuts the number
+        of policy decisions and exchanges.
+        ``fusion_limit``/``fusion_frontier_max`` are scalar-loop knobs and
+        are ignored here — a shard window always drains fully.
     seed:
         Seed for partitioning (LDG), per-shard PQ scattering, and policy
         sampling (ρ-stepping's θ estimate).
@@ -322,7 +392,9 @@ def sharded_sssp(
     if sharded is None:
         if num_shards < 1:
             raise ParameterError(f"num_shards must be >= 1, got {num_shards}")
-        sharded = ShardedGraph.build(graph, num_shards, method, seed=seed)
+        sharded = ShardedGraph.build(
+            graph, num_shards, method, seed=seed, **(partition_opts or {})
+        )
     part = sharded.partition
     graph = part.graph
     n = graph.n
@@ -391,8 +463,64 @@ def sharded_sssp(
             fault_plan=fault_plan,
         )
 
+    def run_round(active, frontiers, theta, rec, shard_edges):
+        """One drain round over the active shards (serial or pooled)."""
+        if pool is None:
+            for i in active:
+                st = states[i]
+                owned_t, halo_t, edges, succ, waves, max_task = _local_window(
+                    st.shard.local, st.shard.n_owned, st.dist,
+                    frontiers[i], theta, st.ws,
+                )
+                _apply_window(st, owned_t, halo_t, theta)
+                shard_edges[i] += edges
+                rec.edges += edges
+                rec.relax_success += succ
+                rec.waves = max(rec.waves, waves)
+                rec.max_task = max(rec.max_task, max_task)
+        else:
+            tasks = [
+                (i, states[i].dist.copy(), frontiers[i], float(theta))
+                for i in active
+            ]
+            payloads = pool.map_supervised(
+                _worker_window, tasks, validate=_valid_window_payload
+            )
+            for i, payload in zip(active, payloads):
+                st = states[i]
+                oid, ovals, hid, hvals, edges, succ, waves, max_task = payload
+                owned_t = np.zeros(st.shard.n_owned, dtype=bool)
+                halo_t = np.zeros(st.shard.n_halo, dtype=bool)
+                # The worker improved from an identical snapshot, so the
+                # min-writes land exactly the serial path's values.
+                owned_t[oid[write_min(st.dist, oid, ovals)]] = True
+                halo_t[hid[write_min(st.dist, hid, hvals)] - st.shard.n_owned] = True
+                _apply_window(st, owned_t, halo_t, theta)
+                shard_edges[i] += edges
+                rec.edges += edges
+                rec.relax_success += succ
+                rec.waves = max(rec.waves, waves)
+                rec.max_task = max(rec.max_task, max_task)
+
+    def extract_all(theta):
+        """Every shard's in-window frontier (empty queues skipped outright)."""
+        frontiers = []
+        total = scanned = 0
+        for st in states:
+            if len(st.pq):
+                f = st.pq.extract(theta)
+                scanned += st.pq.last_extract_scanned
+            else:
+                f = _EMPTY_IDS
+            frontiers.append(f)
+            total += f.size
+        return frontiers, total, scanned
+
+    fuse = options.fusion
     stats = RunStats()
     halo_messages = 0
+    halo_raw_total = 0
+    fusion_rounds_total = 0
     t0 = time.perf_counter()
     guard = 0
     try:
@@ -406,8 +534,7 @@ def sharded_sssp(
                 )
             decision = policy.decide(ctx)
             theta = decision.theta
-            frontiers = [st.pq.extract(theta) for st in states]
-            extracted = sum(f.size for f in frontiers)
+            frontiers, extracted, scanned = extract_all(theta)
             if extracted == 0:
                 # θ from any supported policy is >= the global minimum key
                 # and extraction uses <=, so *some* shard must extract.
@@ -415,58 +542,49 @@ def sharded_sssp(
                     f"{policy.name}: empty superstep at theta={theta} with "
                     f"|Q|={len(global_pq)}"
                 )
-            active = [i for i, f in enumerate(frontiers) if f.size]
             rec = StepRecord(
                 index=ctx.step_index,
                 theta=float(theta),
                 mode="bsp",
-                extract_scanned=sum(st.pq.last_extract_scanned for st in states),
+                extract_scanned=scanned,
                 sample_work=decision.sample_work,
             )
             if decision.substep and stats.steps:
                 rec.index = stats.steps[-1].index  # substeps share the index
 
+            # Fusion pays off only when this window would otherwise recur:
+            # θ = ∞ (ρ's tail, Bellman-Ford — the whole residual problem is
+            # one window) or a substep decision (Δ re-draining the same θ).
+            # A finite, advancing θ (Δ*, Dijkstra) covers in-window halo
+            # leftovers in the *next* superstep anyway, so fusing there only
+            # adds extract/exchange rounds without saving a policy decision.
+            fuse_now = fuse and (decision.substep or not np.isfinite(theta))
             shard_edges = np.zeros(part.num_shards, dtype=_INT)
-            if pool is None:
-                for i in active:
-                    st = states[i]
-                    owned_t, halo_t, edges, succ, waves, max_task = _local_window(
-                        st.shard.local, st.shard.n_owned, st.dist,
-                        frontiers[i], theta, st.ws,
-                    )
-                    _apply_window(st, owned_t, halo_t, theta)
-                    shard_edges[i] = edges
-                    rec.edges += edges
-                    rec.relax_success += succ
-                    rec.waves = max(rec.waves, waves)
-                    rec.max_task = max(rec.max_task, max_task)
-            else:
-                tasks = [
-                    (i, states[i].dist.copy(), frontiers[i], float(theta))
-                    for i in active
-                ]
-                payloads = pool.map_supervised(
-                    _worker_window, tasks, validate=_valid_window_payload
-                )
-                for i, payload in zip(active, payloads):
-                    st = states[i]
-                    oid, ovals, hid, hvals, edges, succ, waves, max_task = payload
-                    owned_t = np.zeros(st.shard.n_owned, dtype=bool)
-                    halo_t = np.zeros(st.shard.n_halo, dtype=bool)
-                    # The worker improved from an identical snapshot, so the
-                    # min-writes land exactly the serial path's values.
-                    owned_t[oid[write_min(st.dist, oid, ovals)]] = True
-                    halo_t[hid[write_min(st.dist, hid, hvals)] - st.shard.n_owned] = True
-                    _apply_window(st, owned_t, halo_t, theta)
-                    shard_edges[i] = edges
-                    rec.edges += edges
-                    rec.relax_success += succ
-                    rec.waves = max(rec.waves, waves)
-                    rec.max_task = max(rec.max_task, max_task)
+            windows_run = 0
+            fusion_rounds = 0
+            raw_step = packed_step = 0
+            while True:
+                active = [i for i, f in enumerate(frontiers) if f.size]
+                windows_run += len(active)
+                rec.frontier += extracted
+                run_round(active, frontiers, theta, rec, shard_edges)
+                raw, packed = _exchange_halos(states, n)
+                raw_step += raw
+                packed_step += packed
+                if not fuse_now:
+                    break
+                # Fusion: halo arrivals at or below θ belong to this window —
+                # drain them now at the same θ instead of paying another
+                # policy decision (and another full superstep) for them.
+                frontiers, extracted, scanned = extract_all(theta)
+                if extracted == 0:
+                    break
+                fusion_rounds += 1
+                rec.extract_scanned += scanned
 
-            rec.frontier = extracted
-            messages = _exchange_halos(states)
-            halo_messages += messages
+            halo_messages += packed_step
+            halo_raw_total += raw_step
+            fusion_rounds_total += fusion_rounds
             stats.add(rec)
             if OBS.enabled:
                 if OBS.registry.enabled:
@@ -474,8 +592,10 @@ def sharded_sssp(
                     reg.inc("shard.supersteps")
                     reg.inc("shard.frontier", rec.frontier)
                     reg.inc("shard.edges", rec.edges)
-                    reg.inc("shard.halo.messages", messages)
-                    reg.inc("shard.active_shards", len(active))
+                    reg.inc("shard.halo.messages", packed_step)
+                    reg.inc("shard.halo_coalesced", raw_step - packed_step)
+                    reg.inc("shard.fusion_rounds", fusion_rounds)
+                    reg.inc("shard.active_shards", windows_run)
                     work = shard_edges[shard_edges > 0]
                     if work.size:
                         reg.set_gauge(
@@ -485,8 +605,10 @@ def sharded_sssp(
                 if step_span is not None:
                     step_span.set(
                         index=rec.index, theta=rec.theta, frontier=rec.frontier,
-                        edges=rec.edges, active_shards=len(active),
-                        halo_messages=messages, waves=rec.waves,
+                        edges=rec.edges, active_shards=windows_run,
+                        halo_messages=packed_step, halo_raw=raw_step,
+                        halo_coalesced=raw_step - packed_step,
+                        fusion_rounds=fusion_rounds, waves=rec.waves,
                         shard_edges=[int(v) for v in shard_edges],
                     )
                     tracer.end(step_span)
@@ -510,6 +632,8 @@ def sharded_sssp(
         run_span.set(
             supersteps=stats.num_steps, edges=stats.total_edge_visits,
             halo_messages=halo_messages,
+            halo_coalesced=halo_raw_total - halo_messages,
+            fusion_rounds=fusion_rounds_total,
         )
         tracer.end(run_span)
     return SSSPResult(
@@ -524,6 +648,8 @@ def sharded_sssp(
             "pool_transport": pool_transport,
             "cut_edges": part.cut_edges,
             "halo_messages": halo_messages,
+            "halo_coalesced": halo_raw_total - halo_messages,
+            "fusion_rounds": fusion_rounds_total,
         },
         stats=stats,
         wall_seconds=time.perf_counter() - t0,

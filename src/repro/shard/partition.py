@@ -7,7 +7,7 @@ point at is its **halo** — the only vertices whose tentative distances ever
 cross shard boundaries during a sharded SSSP run (see
 :mod:`repro.shard.executor`).
 
-Three partitioners, in increasing sophistication:
+Four partitioners, in increasing sophistication:
 
 * :func:`contiguous_partition` — equal-count contiguous vertex ranges.  The
   zero-thought baseline; on generator graphs whose vertex ids carry locality
@@ -19,8 +19,13 @@ Three partitioners, in increasing sophistication:
 * :func:`ldg_partition` — streaming Linear Deterministic Greedy
   [Stanton & Kliot, KDD 2012]: vertices arrive one at a time and each goes
   to the shard holding most of its already-placed neighbours, damped by a
-  capacity penalty.  One pass, deterministic, and typically the lowest cut
-  of the three on scale-free graphs.
+  capacity penalty.  One pass, deterministic.
+* :func:`fennel_partition` — the Fennel objective [Tsourakakis et al.,
+  WSDM 2014]: LDG's neighbour affinity with a *smooth* balance term
+  ``α·γ·|V_s|^(γ-1)`` subtracted from every shard's score instead of a
+  multiplicative damp, plus an optional boundary-vertex refinement sweep
+  that moves a vertex when its cut gain exceeds the balance penalty.  The
+  refinement never increases the cut (pinned by a hypothesis property).
 
 All three produce a :class:`Partition`: the vertex→shard map, one renumbered
 local CSR per shard, and the halo tables (remote-target ids, their owner
@@ -46,6 +51,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.graphs.csr import Graph
+from repro.obs import OBS
 from repro.utils.errors import ParameterError, PartitionError
 
 __all__ = [
@@ -54,6 +60,7 @@ __all__ = [
     "Shard",
     "contiguous_partition",
     "degree_balanced_partition",
+    "fennel_partition",
     "get_partitioner",
     "ldg_partition",
     "partition_graph",
@@ -375,10 +382,140 @@ def ldg_partition(graph: Graph, num_shards: int, *, seed=None, slack: float = 1.
     return _build_partition(graph, assign, k, "ldg")
 
 
+def _reverse_adjacency(graph: Graph) -> "tuple[np.ndarray, np.ndarray]":
+    """In-neighbour CSR ``(rev_indptr, rev_sources)`` of a directed CSR.
+
+    Undirected graphs in this package are stored symmetrized, so for them
+    the reverse equals the forward adjacency — callers still use both, which
+    merely doubles every neighbour count (the *sign* of any count difference,
+    the only thing refinement reads, is unchanged).
+    """
+    n = graph.n
+    counts = np.bincount(graph.indices, minlength=n)
+    rev_indptr = np.zeros(n + 1, dtype=_INT)
+    np.cumsum(counts, out=rev_indptr[1:])
+    order = np.argsort(graph.indices, kind="stable")
+    rev_sources = np.repeat(np.arange(n, dtype=_INT), graph.degrees)[order]
+    return rev_indptr, rev_sources
+
+
+def _refine_sweep(
+    graph: Graph,
+    assign: np.ndarray,
+    sizes: np.ndarray,
+    capacity: float,
+    alpha: float,
+    gamma: float,
+    k: int,
+) -> int:
+    """One boundary-vertex refinement sweep over a streaming assignment.
+
+    Visits every vertex with a cut edge (in ascending id order) and moves it
+    to the shard holding most of its incident endpoints when the cut gain
+    strictly exceeds the Fennel balance penalty of the move (clamped at 0,
+    so a move can never increase the cut) and the target shard has capacity.
+    Counts use both edge directions, so the gain is exactly the directed-CSR
+    cut reduction.  Returns the number of vertices moved.
+    """
+    if k < 2 or graph.m == 0:
+        return 0
+    rev_indptr, rev_sources = _reverse_adjacency(graph)
+    # Boundary = vertices incident (either direction) to a cut edge.
+    out_cut = assign[graph.indices] != np.repeat(assign, graph.degrees)
+    boundary = np.zeros(graph.n, dtype=bool)
+    src_of_edge = np.repeat(np.arange(graph.n, dtype=_INT), graph.degrees)
+    boundary[src_of_edge[out_cut]] = True
+    boundary[graph.indices[out_cut]] = True
+    moves = 0
+    for v in np.flatnonzero(boundary):
+        s = int(assign[v])
+        nbrs = np.concatenate(
+            (graph.neighbors(v), rev_sources[rev_indptr[v] : rev_indptr[v + 1]])
+        )
+        nbrs = nbrs[nbrs != v]  # self-loops are never cut
+        if not nbrs.size:
+            continue
+        counts = np.bincount(assign[nbrs], minlength=k)
+        counts[s] = -1  # never "move" to the current shard
+        t = int(np.argmax(counts))
+        gain = int(counts[t]) - int(np.count_nonzero(assign[nbrs] == s))
+        penalty = alpha * gamma * (
+            float(sizes[t]) ** (gamma - 1.0) - float(sizes[s] - 1) ** (gamma - 1.0)
+        )
+        if gain > max(penalty, 0.0) and sizes[t] + 1 <= capacity:
+            assign[v] = t
+            sizes[s] -= 1
+            sizes[t] += 1
+            moves += 1
+    return moves
+
+
+def fennel_partition(
+    graph: Graph,
+    num_shards: int,
+    *,
+    seed=None,
+    gamma: float = 1.5,
+    slack: float = 1.1,
+    refine: bool = True,
+) -> Partition:
+    """Streaming Fennel [Tsourakakis et al., WSDM 2014] with refinement.
+
+    Vertices stream in ascending id order (deterministic — generator ids
+    carry locality, which the additive objective exploits; ``seed`` is
+    accepted for interface uniformity and ignored) and each is placed on the
+    shard maximising::
+
+        |N(v) ∩ V_s|  -  α·γ·|V_s|^(γ-1)
+
+    with the paper's ``α = m·k^(γ-1)/n^γ`` and a hard capacity
+    ``C = ceil(n/k)·slack`` (the ν-balance bound; ties break toward the
+    lighter shard, then the lower index).  With ``refine=True`` (default)
+    one :func:`_refine_sweep` pass follows the stream, moving boundary
+    vertices whose cut gain beats the balance penalty — the cut can only
+    shrink and the capacity bound keeps holding.
+    """
+    _check_k(graph, num_shards)
+    if gamma <= 1.0:
+        raise ParameterError(f"gamma must be > 1.0, got {gamma}")
+    if slack < 1.0:
+        raise ParameterError(f"slack must be >= 1.0, got {slack}")
+    n, k = graph.n, num_shards
+    assign = np.full(n, -1, dtype=_INT)
+    if n == 0:
+        return _build_partition(graph, assign + 1, k, "fennel")
+    capacity = max(1.0, np.ceil(n / k) * slack)
+    alpha = graph.m * k ** (gamma - 1.0) / n**gamma if graph.m else 0.0
+    sizes = np.zeros(k, dtype=_INT)
+    for v in range(n):
+        nbrs = graph.neighbors(v)
+        placed = assign[nbrs]
+        placed = placed[placed >= 0]
+        scores = (
+            np.bincount(placed, minlength=k).astype(np.float64)
+            - alpha * gamma * sizes.astype(np.float64) ** (gamma - 1.0)
+        )
+        open_ = sizes < capacity
+        if np.any(open_):
+            best = scores[open_].max()
+            candidates = np.flatnonzero(open_ & (scores >= best))
+        else:  # every shard full (rounding): least loaded
+            candidates = np.flatnonzero(sizes == sizes.min())
+        s = int(candidates[np.argmin(sizes[candidates])])
+        assign[v] = s
+        sizes[s] += 1
+    if refine:
+        moves = _refine_sweep(graph, assign, sizes, capacity, alpha, gamma, k)
+        if OBS.enabled and OBS.registry.enabled:
+            OBS.registry.inc("shard.partition.refine_moves", moves)
+    return _build_partition(graph, assign, k, "fennel")
+
+
 #: Registry of partitioner names accepted by the CLI and the serving layer.
 PARTITIONERS = {
     "contiguous": contiguous_partition,
     "degree": degree_balanced_partition,
+    "fennel": fennel_partition,
     "ldg": ldg_partition,
 }
 
@@ -393,6 +530,13 @@ def get_partitioner(name: str):
         ) from None
 
 
-def partition_graph(graph: Graph, num_shards: int, method: str = "contiguous", *, seed=None) -> Partition:
-    """Partition ``graph`` into ``num_shards`` shards with the named method."""
-    return get_partitioner(method)(graph, num_shards, seed=seed)
+def partition_graph(
+    graph: Graph, num_shards: int, method: str = "contiguous", *, seed=None, **kwargs
+) -> Partition:
+    """Partition ``graph`` into ``num_shards`` shards with the named method.
+
+    Extra keyword arguments are forwarded to the partitioner (e.g. the
+    fennel ``refine``/``gamma``/``slack`` knobs); passing an option a
+    partitioner does not take raises ``TypeError`` naming it.
+    """
+    return get_partitioner(method)(graph, num_shards, seed=seed, **kwargs)

@@ -57,10 +57,14 @@ class ShardedGraph:
 
     @classmethod
     def build(
-        cls, graph: Graph, num_shards: int, method: str = "contiguous", *, seed=None
+        cls, graph: Graph, num_shards: int, method: str = "contiguous", *, seed=None, **kwargs
     ) -> "ShardedGraph":
-        """Partition ``graph`` and wrap the result (validated)."""
-        return cls(partition_graph(graph, num_shards, method, seed=seed))
+        """Partition ``graph`` and wrap the result (validated).
+
+        Extra keyword arguments reach the partitioner (e.g. fennel's
+        ``refine``).
+        """
+        return cls(partition_graph(graph, num_shards, method, seed=seed, **kwargs))
 
     # ------------------------------------------------------------------ #
     # Accessors

@@ -1,12 +1,12 @@
-"""Unit tests for both LAB-PQ data structures (shared semantics, Table 1)."""
+"""Unit tests for the LAB-PQ data structures (shared semantics, Table 1)."""
 
 import numpy as np
 import pytest
 
-from repro.pq import FlatPQ, TournamentPQ
+from repro.pq import BitmapPQ, FlatPQ, TournamentPQ
 from repro.utils import ParameterError
 
-PQS = [FlatPQ, TournamentPQ]
+PQS = [BitmapPQ, FlatPQ, TournamentPQ]
 
 
 def make(PQ, n=64, aug=None, **kw):
@@ -123,7 +123,7 @@ class TestAugmented:
         aug = np.zeros(16)
         aug[[1, 2]] = [10.0, 1.0]
         dist = np.full(16, np.inf)
-        q = PQ(dist, aug) if PQ is TournamentPQ else PQ(dist, aug, seed=0)
+        q = PQ(dist, aug, seed=0) if PQ is FlatPQ else PQ(dist, aug)
         dist[[1, 2]] = [1.0, 5.0]
         q.update(np.array([1, 2]))
         # min over dist+aug = min(11, 6) = 6
@@ -138,11 +138,21 @@ class TestAugmented:
     def test_collect_empty_is_inf(self, PQ):
         aug = np.zeros(8)
         dist = np.full(8, np.inf)
-        q = PQ(dist, aug) if PQ is TournamentPQ else PQ(dist, aug, seed=0)
+        q = PQ(dist, aug, seed=0) if PQ is FlatPQ else PQ(dist, aug)
         assert q.collect_min() == np.inf
 
 
 class TestCostIntrospection:
+    def test_bitmap_extract_scans_n(self):
+        n = 100
+        dist = np.full(n, np.inf)
+        q = BitmapPQ(dist)
+        dist[:10] = np.arange(10)
+        q.update(np.arange(10))
+        q.extract(5.0)
+        assert q.last_extract_mode == "dense"
+        assert q.last_extract_scanned == n
+
     def test_flat_dense_extract_scans_n(self):
         n = 100
         dist = np.full(n, np.inf)

@@ -1,16 +1,16 @@
-"""Property-based cross-validation of the two LAB-PQ structures.
+"""Property-based cross-validation of the LAB-PQ structures.
 
-The flat array and the tournament tree implement the same ADT; hypothesis
-drives them with an identical random operation stream and a model "queue"
-(a plain set + the shared dist array) and demands all three agree after
-every Extract.
+The flat array, the tournament tree and the dense bitmap implement the same
+ADT; hypothesis drives them with an identical random operation stream and a
+model "queue" (a plain set + the shared dist array) and demands all of them
+agree after every Extract.
 """
 
 import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.pq import FlatPQ, TournamentPQ
+from repro.pq import BitmapPQ, FlatPQ, TournamentPQ
 
 N = 48
 
@@ -38,10 +38,9 @@ def op_streams(draw):
 
 @given(op_streams())
 @settings(max_examples=120, deadline=None)
-def test_flat_and_tournament_agree_with_model(ops):
+def test_structures_agree_with_model(ops):
     dist = np.full(N, np.inf)
-    flat = FlatPQ(dist, seed=1)
-    tree = TournamentPQ(dist)
+    queues = [FlatPQ(dist, seed=1), TournamentPQ(dist), BitmapPQ(dist)]
     model: set[int] = set()
 
     for op in ops:
@@ -51,25 +50,23 @@ def test_flat_and_tournament_agree_with_model(ops):
                 # WriteMin semantics: keys only decrease.
                 dist[i] = min(dist[i], k)
             arr = np.array(ids)
-            flat.update(arr)
-            tree.update(arr)
+            for q in queues:
+                q.update(arr)
             model |= set(ids)
         elif op[0] == "remove":
             _, ids, _ = op
             arr = np.array(ids)
-            flat.remove(arr)
-            tree.remove(arr)
+            for q in queues:
+                q.remove(arr)
             model -= set(ids)
         else:
             theta = op[1]
-            a = set(flat.extract(theta).tolist())
-            b = set(tree.extract(theta).tolist())
             expect = {i for i in model if dist[i] <= theta}
-            assert a == expect
-            assert b == expect
+            for q in queues:
+                assert set(q.extract(theta).tolist()) == expect
             model -= expect
-        assert len(flat) == len(model)
-        assert len(tree) == len(model)
+        for q in queues:
+            assert len(q) == len(model)
 
     assert len(model) == 0  # the final extract(inf) drained everything
 
@@ -78,25 +75,25 @@ def test_flat_and_tournament_agree_with_model(ops):
 @settings(max_examples=60, deadline=None)
 def test_min_key_agrees(ops):
     dist = np.full(N, np.inf)
-    flat = FlatPQ(dist, seed=2)
-    tree = TournamentPQ(dist)
+    queues = [FlatPQ(dist, seed=2), TournamentPQ(dist), BitmapPQ(dist)]
     model: set[int] = set()
     for op in ops:
         if op[0] == "update":
             _, ids, keys = op
             for i, k in zip(ids, keys):
                 dist[i] = min(dist[i], k)
-            flat.update(np.array(ids))
-            tree.update(np.array(ids))
+            for q in queues:
+                q.update(np.array(ids))
             model |= set(ids)
         elif op[0] == "remove":
-            flat.remove(np.array(op[1]))
-            tree.remove(np.array(op[1]))
+            for q in queues:
+                q.remove(np.array(op[1]))
             model -= set(op[1])
         else:
-            out = set(flat.extract(op[1]).tolist())
-            assert set(tree.extract(op[1]).tolist()) == out
+            out = set(queues[0].extract(op[1]).tolist())
+            for q in queues[1:]:
+                assert set(q.extract(op[1]).tolist()) == out
             model -= out
         expect = min((dist[i] for i in model), default=np.inf)
-        assert flat.min_key() == expect
-        assert tree.min_key() == expect
+        for q in queues:
+            assert q.min_key() == expect

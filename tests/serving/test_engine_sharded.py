@@ -24,7 +24,7 @@ def test_sharded_rows_match_fast(rmat_small, algo, param):
     assert st["degraded"] == 0
 
 
-@pytest.mark.parametrize("partitioner", ["contiguous", "degree", "ldg"])
+@pytest.mark.parametrize("partitioner", ["contiguous", "degree", "fennel", "ldg"])
 def test_every_partitioner_serves(road_small, partitioner):
     plain = QueryEngine(road_small, "bf")
     sharded = QueryEngine(road_small, "bf", shards=3, partitioner=partitioner)
@@ -82,3 +82,45 @@ def test_transient_sharded_fault_is_retried(rmat_small):
     assert st["degraded"] == 0
     assert st["retries"] == 1
     assert st["sharded_execs"] >= 1  # the healed attempt still went sharded
+
+
+def test_fennel_refine_toggle_serves_identically(road_small):
+    plain = QueryEngine(road_small, "bf")
+    refined = QueryEngine(road_small, "bf", shards=3, partitioner="fennel")
+    streamed = QueryEngine(
+        road_small, "bf", shards=3, partitioner="fennel", refine=False
+    )
+    want = plain.query_batch([2, 8])
+    assert np.array_equal(refined.query_batch([2, 8]), want)
+    assert np.array_equal(streamed.query_batch([2, 8]), want)
+
+
+@pytest.mark.parametrize("algo,param", [("bf", None), ("rho", 64)])
+def test_fused_sharded_fault_retry_bit_identical(rmat_small, algo, param):
+    # Bucket fusion engages on these policies (θ = ∞ supersteps drain in
+    # fused rounds); a transient fault at the sharded site must be retried
+    # through the *fused* executor and still land bit-identical rows.
+    fault_free = QueryEngine(rmat_small, algo, param).query_batch([2, 7])
+    install_injector(FaultPlan.single("engine.sharded", "exception", at=(0,), times=1))
+    eng = QueryEngine(
+        rmat_small, algo, param, shards=3, partitioner="fennel", retries=2
+    )
+    out = eng.query_batch([2, 7])
+    assert np.array_equal(out, fault_free)
+    st = eng.stats()
+    assert st["retries"] == 1
+    assert st["degraded"] == 0
+    assert st["sharded_execs"] >= 1
+
+
+def test_fused_sharded_fault_degrades_bit_identical(rmat_small):
+    # Faults on every attempt exhaust the budget; the degraded fast-path
+    # serve must still match the fused sharded rows bit for bit.
+    fault_free = QueryEngine(rmat_small, "bf").query_batch([3, 11])
+    install_injector(
+        FaultPlan.single("engine.sharded", "exception", at=None, rate=1.0, times=99)
+    )
+    eng = QueryEngine(rmat_small, "bf", shards=3, partitioner="fennel", retries=1)
+    out = eng.query_batch([3, 11])
+    assert np.array_equal(out, fault_free)
+    assert eng.stats()["degraded"] == 1

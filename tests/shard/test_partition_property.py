@@ -15,7 +15,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.graphs import Graph
-from repro.shard import PARTITIONERS, ShardedGraph, partition_graph
+from repro.shard import PARTITIONERS, ShardedGraph, fennel_partition, partition_graph
 
 METHODS = sorted(PARTITIONERS)
 
@@ -78,3 +78,59 @@ def test_reassemble_roundtrip(case):
     assert np.array_equal(r.indices, g.indices)
     assert np.array_equal(r.weights, g.weights)
     assert r.directed == g.directed
+
+
+# --------------------------------------------------------------------------- #
+# Fennel-specific properties (the generic ones above already include fennel
+# through METHODS; these pin the objective's own contract)
+# --------------------------------------------------------------------------- #
+
+
+@st.composite
+def fennel_cases(draw):
+    n = draw(st.integers(1, 40))
+    m = draw(st.integers(0, 120))
+    src = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    dst = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    w = draw(st.lists(st.integers(1, 32), min_size=m, max_size=m))
+    directed = draw(st.booleans())
+    g = Graph.from_edges(
+        n, np.array(src, dtype=np.int64), np.array(dst, dtype=np.int64),
+        np.array(w, dtype=float), directed=directed, symmetrize=not directed,
+    )
+    k = draw(st.integers(1, 6))
+    return g, k
+
+
+@given(fennel_cases(), st.booleans())
+@settings(max_examples=60, deadline=None)
+def test_fennel_cover_exactly_once(case, refine):
+    g, k = case
+    part = fennel_partition(g, k, refine=refine)
+    counts = np.zeros(g.n, dtype=np.int64)
+    for s in part.shards:
+        np.add.at(counts, s.owned, 1)
+        assert np.array_equal(part.assign[s.owned], np.full(s.n_owned, s.index))
+    assert np.array_equal(counts, np.ones(g.n, dtype=np.int64))
+    ShardedGraph(part)  # full invariant check (raises on violation)
+
+
+@given(fennel_cases(), st.booleans())
+@settings(max_examples=60, deadline=None)
+def test_fennel_balance_bound(case, refine):
+    g, k = case
+    part = fennel_partition(g, k, refine=refine)
+    # The streaming pass only places onto shards with sizes < C, and the
+    # refinement sweep only moves when sizes[t] + 1 <= C, so no shard can
+    # exceed ceil(C) vertices for C = max(1, ceil(n/k) * slack).
+    capacity = max(1.0, np.ceil(g.n / k) * 1.1)
+    assert max(s.n_owned for s in part.shards) <= int(np.ceil(capacity))
+
+
+@given(fennel_cases())
+@settings(max_examples=60, deadline=None)
+def test_fennel_refinement_never_increases_cut(case):
+    g, k = case
+    streamed = fennel_partition(g, k, refine=False)
+    refined = fennel_partition(g, k, refine=True)
+    assert refined.cut_edges <= streamed.cut_edges
