@@ -10,6 +10,10 @@ Commands
 ``trace``      run one algorithm under the tracer and print its span tree.
 ``generate``   write a synthetic graph (rmat / road-grid / road-geo) to .npz.
 ``partition``  split a graph into shards and report cut/halo/balance numbers.
+``serve``      run the asyncio micro-batching front door on a TCP port
+               (newline-delimited JSON requests, overload-safe admission).
+``loadgen``    drive open-loop load profiles at a server built in-process and
+               print/write the per-profile latency + SLO report.
 
 ``run`` and ``batch`` accept ``--shards N`` (plus ``--partitioner P``) to
 execute through the sharded BSP driver — distances are bit-identical to the
@@ -303,6 +307,124 @@ def _cmd_partition(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.serving import QueryEngine, ShortestPathServer, serve_tcp
+
+    g = _load_graph(args.graph)
+    engine = QueryEngine(
+        g, args.algo, args.param, seed=args.seed, retries=args.retries,
+        shards=args.shards, partitioner=args.partitioner,
+        pool_jobs=args.jobs, use_shm=args.shm,
+    )
+    server = ShortestPathServer(
+        engine, max_batch=args.max_batch, max_delay=args.max_delay,
+        max_queue=args.max_queue, default_deadline=args.deadline,
+    )
+    print(f"serving {args.algo} on {args.graph} at {args.host}:{args.port} "
+          f"(B={args.max_batch}, T={args.max_delay * 1e3:.1f} ms, "
+          f"queue<={args.max_queue})", file=sys.stderr)
+    try:
+        with engine:
+            # Ctrl-C lands differently by Python version: 3.11+'s Runner
+            # cancels the serve task (serve_tcp drains and *returns*), while
+            # older interpreters re-raise KeyboardInterrupt here.  Both are
+            # the same operator action, so both get the same farewell.
+            asyncio.run(serve_tcp(server, args.host, args.port))
+    except KeyboardInterrupt:
+        pass
+    print("interrupted; server stopped", file=sys.stderr)
+    return 0
+
+
+def _cmd_loadgen(args) -> int:
+    import asyncio
+
+    from repro.serving.loadgen import (
+        LoadProfile,
+        build_reference,
+        run_profile,
+        source_pool,
+        zipf_weights,
+    )
+
+    g = _load_graph(args.graph)
+    specs = []
+    if args.profile in ("steady", "both"):
+        specs.append(LoadProfile(
+            "steady", duration=args.duration, rate=args.rate,
+            rate_factor=args.rate_factor, num_sources=args.sources,
+            alpha=args.alpha, deadline=args.deadline, seed=args.seed,
+        ))
+    if args.profile in ("overload", "both"):
+        specs.append(LoadProfile(
+            "overload", duration=args.duration, rate=None, rate_factor=2.0,
+            num_sources=4 * args.sources, alpha=0.3,
+            deadline=max(args.deadline, 0.6), seed=args.seed + 1,
+        ))
+    reports = []
+    for prof in specs:
+        pool = source_pool(g, prof.num_sources)
+        weights = zipf_weights(len(pool), prof.alpha)
+        reference, scalar_qps = build_reference(
+            g, pool, weights, algo=args.algo, param=args.param
+        )
+        engine_kwargs, server_kwargs = {}, {}
+        if prof.name == "overload":
+            # Overload is *cold* traffic: pin the result cache small so
+            # offered load reaches the execution path, keep the queue bound
+            # tight so shedding (not queueing) absorbs the excess, and make
+            # the feasibility check conservative (slack) so admitted
+            # requests finish well inside their deadline.
+            from repro.serving.admission import AdmissionController
+
+            engine_kwargs = {"cache_size": 8}
+            server_kwargs = {
+                "max_batch": 8, "max_queue": 64,
+                "admission": AdmissionController(
+                    max_queue=64, max_batch=8, slack=1.5
+                ),
+            }
+        rep = asyncio.run(run_profile(
+            g, prof, algo=args.algo, param=args.param, pool=pool,
+            reference=reference, scalar_qps=scalar_qps,
+            engine_kwargs=engine_kwargs, server_kwargs=server_kwargs,
+        ))
+        if rep["mismatches"]:
+            raise ReproError(
+                f"{rep['mismatches']} responses disagreed with scalar runs"
+            )
+        reports.append(rep)
+        lat = rep["latency_ms"]
+        rows = [
+            ["offered qps", f"{rep['offered_qps']:.1f}"],
+            ["achieved qps", f"{rep['achieved_qps']:.1f}"],
+            ["scalar-loop qps", f"{rep['scalar_qps']:.1f}"],
+            ["speedup vs scalar", f"{rep['speedup_vs_scalar']:.1f}x"],
+            ["p50 / p95 / p99 ms", " / ".join(
+                "-" if lat[k] is None else f"{lat[k]:.1f}"
+                for k in ("p50", "p95", "p99"))],
+            ["completed", rep["completed"]],
+            ["shed (typed)", rep["shed"]],
+            ["expired", rep["expired"]],
+            ["mismatches", rep["mismatches"]],
+            ["queue peak", rep["queue_peak"]],
+        ]
+        print(format_table(
+            ["metric", "value"], rows,
+            title=f"{prof.name} profile ({args.algo}) on {args.graph}",
+        ))
+    if args.out:
+        import json
+
+        with open(args.out, "w") as fh:
+            json.dump({"bench": "serving", "graph": args.graph,
+                       "algo": args.algo, "rows": reports}, fh, indent=1)
+        print(f"report written to {args.out}", file=sys.stderr)
+    return 0
+
+
 def _cmd_generate(args) -> int:
     if args.kind == "rmat":
         g = rmat(args.scale, args.degree, seed=args.seed, directed=args.directed)
@@ -431,6 +553,60 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--check-roundtrip", action="store_true",
                    help="also reassemble the shards and compare with the input")
     p.set_defaults(fn=_cmd_partition)
+
+    p = sub.add_parser("serve", help="asyncio TCP front door (JSON lines)")
+    p.add_argument("graph")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8777, help="0 = ephemeral")
+    p.add_argument("--algo", default="rho", help="rho, delta or bf")
+    p.add_argument("--param", type=float, default=None, help="rho or delta")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--max-batch", type=int, default=32,
+                   help="flush a forming batch at this many requests")
+    p.add_argument("--max-delay", type=float, default=0.002,
+                   help="flush a forming batch after this many seconds")
+    p.add_argument("--max-queue", type=int, default=256,
+                   help="admission queue bound (reject-newest beyond it)")
+    p.add_argument("--deadline", type=float, default=None,
+                   help="default per-request deadline in seconds")
+    p.add_argument("--retries", type=int, default=2,
+                   help="engine execution retries on transient failure")
+    p.add_argument("--jobs", type=int, default=0,
+                   help="serve batches through a pool of N worker processes")
+    p.add_argument("--shm", action=argparse.BooleanOptionalAction, default=None,
+                   help="shared-memory transport for pooled serving")
+    p.add_argument("--shards", type=int, default=0,
+                   help="serve through the sharded BSP executor with N shards")
+    p.add_argument("--partitioner", choices=["contiguous", "degree", "fennel", "ldg"],
+                   default="contiguous", help="partition method for --shards")
+    p.add_argument("--metrics", default=None, metavar="PATH",
+                   help="write a metrics snapshot on shutdown")
+    p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser("loadgen", help="open-loop load profiles + SLO report")
+    p.add_argument("graph")
+    p.add_argument("--algo", default="rho", help="rho, delta or bf")
+    p.add_argument("--param", type=float, default=None, help="rho or delta")
+    p.add_argument("--profile", choices=["steady", "overload", "both"],
+                   default="steady")
+    p.add_argument("--duration", type=float, default=2.0,
+                   help="seconds of open-loop arrivals per profile")
+    p.add_argument("--rate", type=float, default=None,
+                   help="steady profile arrivals/s (default: calibrated)")
+    p.add_argument("--rate-factor", type=float, default=0.5,
+                   help="steady rate as a fraction of calibrated capacity")
+    p.add_argument("--sources", type=int, default=16,
+                   help="distinct sources in the popularity pool")
+    p.add_argument("--alpha", type=float, default=1.1,
+                   help="power-law popularity exponent (0 = uniform)")
+    p.add_argument("--deadline", type=float, default=0.5,
+                   help="per-request deadline in seconds")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="also write the JSON report (e.g. BENCH_serving.json)")
+    p.add_argument("--metrics", default=None, metavar="PATH",
+                   help="write a metrics snapshot for the run")
+    p.set_defaults(fn=_cmd_loadgen)
 
     p = sub.add_parser("generate", help="write a synthetic graph to .npz")
     p.add_argument("kind", choices=["rmat", "road-grid", "road-geo"])

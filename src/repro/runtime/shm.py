@@ -28,10 +28,12 @@ Lifecycle rules (the part that keeps ``/dev/shm`` clean):
 * Graph segments are **refcounted by fingerprint**: two pools serving the
   same graph share one registration; the segments unlink when the last
   holder releases (or at :meth:`ShmManager.close`).
-* Cleanup is triple-redundant: explicit ``close()``, an ``atexit`` hook,
-  and a chaining ``SIGTERM`` handler — so supervised-pool rebuilds after
-  worker crashes, and even a terminated parent, leave nothing behind
-  (pinned by the leak-check tests and the in-bench leak assertion).
+* Cleanup is redundant along every exit path: explicit ``close()``, an
+  ``atexit`` hook, and chaining ``SIGTERM`` **and** ``SIGINT`` handlers —
+  so supervised-pool rebuilds after worker crashes, a terminated parent,
+  and a Ctrl-C'd ``repro serve``/``repro loadgen`` all leave nothing
+  behind (pinned by the leak-check tests, the SIGINT subprocess test, and
+  the in-bench leak assertion).
 
 Fallback: call sites (:class:`~repro.serving.pool.SweepPool`,
 :class:`~repro.serving.pool.BatchPool`, the sharded executor) probe
@@ -507,7 +509,16 @@ def close_manager() -> None:
 
 
 def _install_cleanup_hooks() -> None:
-    """Register atexit + chaining SIGTERM cleanup, once per process."""
+    """Register atexit + chaining SIGTERM/SIGINT cleanup, once per process.
+
+    SIGINT matters for the serving CLIs: ``repro serve`` / ``repro loadgen``
+    are long-running foreground processes that users stop with Ctrl-C, and a
+    KeyboardInterrupt that unwinds through a wedged event loop or a blocked
+    pool join may never reach the atexit hooks — the signal handler unlinks
+    the segments first, then chains to the previous handler (for SIGINT the
+    default chain raises KeyboardInterrupt, so Ctrl-C semantics are
+    preserved exactly).
+    """
     global _HOOKS_PID
     if _HOOKS_PID == os.getpid():
         return
@@ -515,17 +526,18 @@ def _install_cleanup_hooks() -> None:
     atexit.register(close_manager)
     if threading.current_thread() is not threading.main_thread():
         return  # signal handlers are main-thread only; atexit still covers us
-    try:
-        previous = signal.getsignal(signal.SIGTERM)
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            previous = signal.getsignal(signum)
 
-        def _on_sigterm(signum, frame):  # pragma: no cover - signal path
-            close_manager()
-            if callable(previous):
-                previous(signum, frame)
-            else:
-                signal.signal(signal.SIGTERM, signal.SIG_DFL)
-                os.kill(os.getpid(), signal.SIGTERM)
+            def _on_signal(got, frame, *, _prev=previous, _num=signum):  # pragma: no cover - signal path
+                close_manager()
+                if callable(_prev):
+                    _prev(got, frame)
+                else:
+                    signal.signal(_num, signal.SIG_DFL)
+                    os.kill(os.getpid(), _num)
 
-        signal.signal(signal.SIGTERM, _on_sigterm)
-    except (ValueError, OSError):  # pragma: no cover - embedded interpreters
-        pass
+            signal.signal(signum, _on_signal)
+        except (ValueError, OSError):  # pragma: no cover - embedded interpreters
+            pass

@@ -25,8 +25,22 @@ SSSP queries at wall-clock speed and keeps serving them when things break:
 * :mod:`repro.serving.faults` — deterministic fault injection
   (:class:`FaultPlan`/:class:`FaultInjector`) driving the chaos suite;
   a no-op unless explicitly installed.
+* :mod:`repro.serving.admission` — overload policy for the async front
+  door: p95 latency tracking, deadline-feasibility checks, bounded-queue
+  reject-newest shedding, and a token-bucket retry budget.
+* :mod:`repro.serving.server` — :class:`ShortestPathServer`, the asyncio
+  micro-batching front door (flush at **B** requests or **T** ms) plus the
+  newline-delimited-JSON TCP front that ``repro serve`` runs.
+* :mod:`repro.serving.loadgen` — open-loop load generator (Poisson
+  arrivals, power-law source popularity) with per-profile SLO reports and
+  in-run distance-equality asserts against scalar runs.
 """
 
+from repro.serving.admission import (
+    AdmissionController,
+    LatencyTracker,
+    RetryBudget,
+)
 from repro.serving.cache import ResultCache, graph_id
 from repro.serving.engine import QueryEngine
 from repro.serving.fastpath import multi_source_distances
@@ -38,21 +52,29 @@ from repro.serving.faults import (
     get_injector,
     install_injector,
 )
+from repro.serving.loadgen import LoadProfile
 from repro.serving.pool import BatchPool, SweepPool
+from repro.serving.server import ShortestPathServer, serve_tcp
 from repro.serving.supervisor import SupervisedPool
 
 __all__ = [
+    "AdmissionController",
     "BatchPool",
     "FaultInjector",
     "FaultPlan",
     "FaultSpec",
     "InjectedFault",
+    "LatencyTracker",
+    "LoadProfile",
     "QueryEngine",
     "ResultCache",
+    "RetryBudget",
+    "ShortestPathServer",
     "SupervisedPool",
     "SweepPool",
     "get_injector",
     "graph_id",
     "install_injector",
     "multi_source_distances",
+    "serve_tcp",
 ]

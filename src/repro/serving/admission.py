@@ -1,0 +1,290 @@
+"""Admission control for the serving front door: shed early, shed typed.
+
+Under overload the worst place to discover a problem is *after* work has
+been queued: a request that will blow its deadline anyway still occupies a
+queue slot, still gets batched, still burns an execution — and its client
+has already given up.  This module makes every such decision **at the front
+door**, before a request touches the batch former:
+
+* :class:`LatencyTracker` — a ring buffer of recent batch latencies whose
+  ``p95()`` is the server's live cost model.  Seeded with a prior so the
+  very first requests are not admitted blind.
+* :class:`RetryBudget` — a token bucket bounding the total volume of
+  *retried* work (client-marked retries and server-side batch re-runs).
+  Retry storms amplify overload precisely because every failure manufactures
+  more arrivals; capping the bucket turns that positive feedback loop into a
+  bounded drain.
+* :class:`AdmissionController` — the decision procedure itself.  ``check``
+  either returns (admitted) or raises a typed
+  :class:`~repro.utils.errors.OverloadError` carrying the shed *reason* and
+  a ``retry_after`` hint (the estimated queue-drain time), so well-behaved
+  clients back off for exactly as long as the queue needs.
+
+Shedding policy — **reject-newest**: requests already queued are never
+evicted (their clients are still waiting and their deadlines were feasible
+at admission time); the arriving request is the one refused.  Checks run in
+a fixed order, cheapest and most-certain first:
+
+1. **expired** — the request's deadline has already passed: refuse with
+   :class:`~repro.utils.errors.DeadlineExceeded` (computing it would be
+   pure waste).
+2. **deadline-infeasible** — remaining budget < estimated wait
+   (``(queued batches ahead + 1) × p95 batch latency``): the request would
+   expire in the queue, so refuse now with ``OverloadError`` instead of
+   after batching.
+3. **queue-full** — the bounded queue is at capacity: ``OverloadError``
+   with ``retry_after ≈`` the time to drain the backlog.
+4. **retry-budget** — the request is a retry and the token bucket is dry:
+   ``OverloadError`` (fresh work is preferred over re-work under pressure).
+
+Shed and admission counters are mirrored into ``serving.*`` metrics
+(``serving.shed_total``, ``serving.shed.<reason>``) behind the usual
+zero-overhead ``OBS.enabled`` seam; queue depth, fill, and latency
+histograms live with the queue itself in :mod:`repro.serving.server`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.obs import OBS
+from repro.utils.errors import DeadlineExceeded, OverloadError, ParameterError
+
+__all__ = [
+    "AdmissionController",
+    "LatencyTracker",
+    "RetryBudget",
+    "SHED_DEADLINE",
+    "SHED_QUEUE_FULL",
+    "SHED_RETRY_BUDGET",
+]
+
+#: Shed reasons carried by :class:`~repro.utils.errors.OverloadError`.
+SHED_QUEUE_FULL = "queue-full"
+SHED_DEADLINE = "deadline-infeasible"
+SHED_RETRY_BUDGET = "retry-budget"
+
+
+class LatencyTracker:
+    """Ring buffer of recent batch latencies with a percentile view.
+
+    ``observe(seconds)`` records one completed batch; ``p95()`` returns the
+    95th percentile over the window, or ``prior`` until enough samples
+    exist.  The prior matters: a freshly started server has no history, and
+    admitting everything while the first batches are still in flight is
+    exactly how a cold server digs itself into an overload hole.
+    """
+
+    def __init__(self, window: int = 64, prior: float = 0.05) -> None:
+        if window < 1:
+            raise ParameterError(f"latency window must be >= 1, got {window}")
+        if prior <= 0:
+            raise ParameterError(f"latency prior must be positive, got {prior}")
+        self.window = int(window)
+        self.prior = float(prior)
+        self._samples: "list[float]" = []
+        self._next = 0  # ring cursor once the window is full
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def observe(self, seconds: float) -> None:
+        seconds = float(seconds)
+        with self._lock:
+            if len(self._samples) < self.window:
+                self._samples.append(seconds)
+            else:
+                self._samples[self._next] = seconds
+                self._next = (self._next + 1) % self.window
+
+    def p95(self) -> float:
+        """95th-percentile batch latency (seconds); the prior until warm."""
+        with self._lock:
+            if len(self._samples) < 4:  # too few samples to trust a tail
+                return self.prior
+            ordered = sorted(self._samples)
+        # Nearest-rank percentile: the smallest sample with >= 95% of the
+        # distribution at or below it.
+        rank = min(len(ordered) - 1, -(-95 * len(ordered) // 100) - 1)
+        return ordered[rank]
+
+
+class RetryBudget:
+    """Token bucket capping the total volume of retried work.
+
+    ``capacity`` tokens refill at ``refill_rate`` tokens/second (monotonic
+    clock).  ``try_acquire(n)`` atomically takes ``n`` tokens or — when the
+    bucket cannot cover them — takes nothing and returns ``False``: a
+    refused retry must not eat the budget of the next one.
+    """
+
+    def __init__(self, capacity: float = 16.0, refill_rate: float = 2.0) -> None:
+        if capacity <= 0:
+            raise ParameterError(f"retry-budget capacity must be positive, got {capacity}")
+        if refill_rate < 0:
+            raise ParameterError(f"retry-budget refill rate must be >= 0, got {refill_rate}")
+        self.capacity = float(capacity)
+        self.refill_rate = float(refill_rate)
+        self._tokens = float(capacity)
+        self._stamp = time.monotonic()
+        self._lock = threading.Lock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = now - self._stamp
+        self._stamp = now
+        if elapsed > 0 and self.refill_rate > 0:
+            self._tokens = min(self.capacity, self._tokens + elapsed * self.refill_rate)
+
+    def available(self) -> float:
+        with self._lock:
+            self._refill(time.monotonic())
+            return self._tokens
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        if tokens <= 0:
+            raise ParameterError(f"must acquire a positive token count, got {tokens}")
+        with self._lock:
+            self._refill(time.monotonic())
+            if self._tokens + 1e-9 < tokens:
+                return False
+            self._tokens -= tokens
+            return True
+
+
+class AdmissionController:
+    """The front door's decision procedure (see module docstring).
+
+    Parameters
+    ----------
+    max_queue:
+        Bound on queued (admitted, not yet flushed) requests.
+    max_batch:
+        The server's flush size ``B`` — used to convert queue depth into an
+        estimated number of batches ahead of a new arrival.
+    latency:
+        A :class:`LatencyTracker`; a fresh one is created when omitted.
+    retry_budget:
+        A :class:`RetryBudget`; a fresh one is created when omitted.
+    slack:
+        Safety factor on the feasibility estimate (``1.0`` = exact p95
+        arithmetic; higher values shed earlier).
+    """
+
+    def __init__(
+        self,
+        max_queue: int = 256,
+        max_batch: int = 32,
+        *,
+        latency: "LatencyTracker | None" = None,
+        retry_budget: "RetryBudget | None" = None,
+        slack: float = 1.0,
+    ) -> None:
+        if max_queue < 1:
+            raise ParameterError(f"max_queue must be >= 1, got {max_queue}")
+        if max_batch < 1:
+            raise ParameterError(f"max_batch must be >= 1, got {max_batch}")
+        if slack <= 0:
+            raise ParameterError(f"slack must be positive, got {slack}")
+        self.max_queue = int(max_queue)
+        self.max_batch = int(max_batch)
+        self.latency = latency if latency is not None else LatencyTracker()
+        self.retry_budget = retry_budget if retry_budget is not None else RetryBudget()
+        self.slack = float(slack)
+        self.admitted = 0
+        self.shed: "dict[str, int]" = {
+            SHED_QUEUE_FULL: 0,
+            SHED_DEADLINE: 0,
+            SHED_RETRY_BUDGET: 0,
+        }
+        self.expired_at_admission = 0
+
+    # ------------------------------------------------------------------ #
+
+    def estimated_wait(self, queue_depth: int) -> float:
+        """Seconds a request arriving behind ``queue_depth`` others waits.
+
+        The arriving request lands in batch ``queue_depth // max_batch``
+        (0-based) and completes when its own batch does — hence the ``+ 1``.
+        """
+        batches_ahead = queue_depth // self.max_batch
+        return (batches_ahead + 1) * self.latency.p95() * self.slack
+
+    def retry_after(self, queue_depth: int) -> float:
+        """Back-off hint: the estimated time to drain the current backlog."""
+        backlog_batches = max(1, -(-max(queue_depth, 1) // self.max_batch))
+        return backlog_batches * self.latency.p95() * self.slack
+
+    # ------------------------------------------------------------------ #
+
+    def check(
+        self,
+        queue_depth: int,
+        *,
+        now: "float | None" = None,
+        deadline_at: "float | None" = None,
+        is_retry: bool = False,
+    ) -> None:
+        """Admit or raise (typed).  Order: expired, deadline, queue, retry."""
+        now = time.monotonic() if now is None else now
+        if deadline_at is not None:
+            remaining = deadline_at - now
+            if remaining <= 0:
+                self.expired_at_admission += 1
+                if OBS.enabled:
+                    OBS.registry.inc("serving.expired_at_admission")
+                raise DeadlineExceeded(
+                    "request deadline expired before admission"
+                )
+            needed = self.estimated_wait(queue_depth)
+            if remaining < needed:
+                self._note_shed(SHED_DEADLINE)
+                raise OverloadError(
+                    f"remaining deadline budget {remaining * 1e3:.1f} ms cannot "
+                    f"cover the estimated wait {needed * 1e3:.1f} ms "
+                    f"(p95 batch latency x {queue_depth // self.max_batch + 1} "
+                    "batches); not queueing work that would expire",
+                    reason=SHED_DEADLINE,
+                    retry_after=self.retry_after(queue_depth),
+                )
+        if queue_depth >= self.max_queue:
+            self._note_shed(SHED_QUEUE_FULL)
+            raise OverloadError(
+                f"admission queue full ({queue_depth}/{self.max_queue}); "
+                "shedding newest",
+                reason=SHED_QUEUE_FULL,
+                retry_after=self.retry_after(queue_depth),
+            )
+        if is_retry and not self.retry_budget.try_acquire(1.0):
+            self._note_shed(SHED_RETRY_BUDGET)
+            raise OverloadError(
+                "retry budget exhausted; fresh work is preferred over "
+                "re-work under load",
+                reason=SHED_RETRY_BUDGET,
+                retry_after=self.retry_after(queue_depth),
+            )
+        self.admitted += 1
+        if OBS.enabled:
+            OBS.registry.inc("serving.admitted_total")
+
+    def _note_shed(self, reason: str) -> None:
+        self.shed[reason] += 1
+        if OBS.enabled:
+            OBS.registry.inc("serving.shed_total")
+            OBS.registry.inc(f"serving.shed.{reason}")
+
+    @property
+    def shed_total(self) -> int:
+        return sum(self.shed.values())
+
+    def stats(self) -> dict:
+        """Plain-dict counters for the server's ``stats()`` aggregation."""
+        return {
+            "admitted": self.admitted,
+            "shed": dict(self.shed),
+            "shed_total": self.shed_total,
+            "expired_at_admission": self.expired_at_admission,
+            "p95_batch_seconds": self.latency.p95(),
+            "retry_tokens": self.retry_budget.available(),
+        }

@@ -71,6 +71,7 @@ from __future__ import annotations
 import copy
 import logging
 import operator
+import threading
 import time
 
 import numpy as np
@@ -274,11 +275,19 @@ class QueryEngine:
             "pool_fallbacks": 0,
             # executed batches by the transport that produced them
             "transports": {"local": 0, "shm": 0, "pickle": 0},
+            # concurrent half-open arrivals shed while a probe was in flight
+            "half_open_shed": 0,
         }
         self._consecutive_failures = 0
         self._open_until: "float | None" = None
         self._exec_seq = 0  # execution-batch sequence number (injection index)
         self._last_transport: "str | None" = None
+        # Half-open probe gate: exactly one trial batch may be in flight.
+        # The lock (not just a flag) matters because the serving front door
+        # drives the engine from a worker thread while callers may also use
+        # it directly — check-then-set must be atomic.
+        self._circuit_lock = threading.Lock()
+        self._probe_inflight = False
 
     # Read-only views of the counters (the pre-observability attribute API).
     @property
@@ -358,13 +367,13 @@ class QueryEngine:
                 missing.append(s)
                 rows[key] = None  # placeholder: claimed by this batch
         if missing:
-            if self._circuit_state() == "open":
-                raise CircuitOpenError(
-                    f"circuit open after {self._consecutive_failures} consecutive "
-                    f"execution failures; retrying in <= {self.cooldown:g}s "
-                    "(cache hits are still served)"
-                )
-            dist = self._execute_resilient(missing, deadline_at)
+            probe = self._claim_probe()
+            try:
+                dist = self._execute_resilient(missing, deadline_at)
+            finally:
+                if probe:
+                    with self._circuit_lock:
+                        self._probe_inflight = False
             # Attribute the executed batch to the transport that produced it
             # ("shm"/"pickle" from the pool, "local" for in-process).
             transport = self._last_transport or "local"
@@ -410,6 +419,43 @@ class QueryEngine:
         if time.monotonic() >= self._open_until:
             return "half-open"
         return "open"
+
+    @property
+    def circuit_state(self) -> str:
+        """``"closed"`` / ``"half-open"`` / ``"open"`` (cheap, lock-free read)."""
+        return self._circuit_state()
+
+    def _claim_probe(self) -> bool:
+        """Gate execution on the breaker; claim the half-open trial slot.
+
+        Returns True when this batch is *the* half-open probe (the caller
+        must release the slot when the attempt resolves).  Raises
+        :class:`CircuitOpenError` when the circuit is open, and also when
+        it is half-open but another probe is already in flight — without
+        this second check, N concurrent arrivals at the cooldown boundary
+        would all be admitted as "one" trial, defeating the breaker exactly
+        when the backend is most fragile.
+        """
+        state = self._circuit_state()
+        if state == "open":
+            raise CircuitOpenError(
+                f"circuit open after {self._consecutive_failures} consecutive "
+                f"execution failures; retrying in <= {self.cooldown:g}s "
+                "(cache hits are still served)"
+            )
+        if state != "half-open":
+            return False
+        with self._circuit_lock:
+            if self._probe_inflight:
+                self._counters["half_open_shed"] += 1
+                if OBS.enabled:
+                    OBS.registry.inc("serving.circuit.half_open_shed")
+                raise CircuitOpenError(
+                    "circuit half-open and a trial probe is already in "
+                    "flight; shedding until it resolves"
+                )
+            self._probe_inflight = True
+        return True
 
     def _record_failure(self) -> None:
         self._counters["exec_failures"] += 1
@@ -521,11 +567,14 @@ class QueryEngine:
             directive = directive or path_directive
         _check_deadline(deadline_at)
         if deadline_at is None:
-            dist = self._run_chunk(sources, path=path)
+            dist = self._run_chunk(sources, path=path, deadline_at=None)
         else:
             outs = []
             for lo in range(0, len(sources), _DEADLINE_CHUNK):
-                outs.append(self._run_chunk(sources[lo : lo + _DEADLINE_CHUNK], path=path))
+                outs.append(self._run_chunk(
+                    sources[lo : lo + _DEADLINE_CHUNK], path=path,
+                    deadline_at=deadline_at,
+                ))
                 _check_deadline(deadline_at)
             dist = outs[0] if len(outs) == 1 else np.vstack(outs)
         if directive == "corrupt":
@@ -534,12 +583,14 @@ class QueryEngine:
         self._validate_result(dist, sources)
         return dist
 
-    def _run_chunk(self, sources: list[int], *, path: str) -> np.ndarray:
+    def _run_chunk(
+        self, sources: list[int], *, path: str, deadline_at: "float | None" = None
+    ) -> np.ndarray:
         if path == "fast":
             return self._run_fast(sources)
         if path == "sharded":
             self._last_transport = "local"
-            return self._run_sharded(sources)
+            return self._run_sharded(sources, deadline_at)
         self._last_transport = "local"
         if self.algo == "rho":
             results = rho_stepping_batch(self.graph, sources, self.param, seed=self.seed)
@@ -589,14 +640,22 @@ class QueryEngine:
             return DeltaStarPolicy(self.param)
         return BellmanFordPolicy()
 
-    def _run_sharded(self, sources: list[int]) -> np.ndarray:
-        """One sharded BSP run per source over the prebuilt partition."""
+    def _run_sharded(
+        self, sources: list[int], deadline_at: "float | None" = None
+    ) -> np.ndarray:
+        """One sharded BSP run per source over the prebuilt partition.
+
+        The batch deadline propagates into every run: the BSP driver checks
+        it between supersteps, so a deadline can cancel a straggling run
+        mid-graph instead of only between 8-source chunks.
+        """
         from repro.shard import sharded_sssp
 
         rows = [
             sharded_sssp(
                 self.graph, s, self._make_policy(),
                 sharded=self._sharded, seed=self.seed, jobs=self.shard_jobs,
+                deadline_at=deadline_at,
             ).dist
             for s in sources
         ]

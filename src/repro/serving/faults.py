@@ -23,10 +23,17 @@ Named injection sites wired through the stack:
 ``pool.worker``    start of every supervised pool task (worker process side)
 ``engine.execute`` :meth:`QueryEngine._execute_once`, before any kernel work
 ``engine.exact``   additionally fired on the exact (metered replay) path only
+``engine.sharded`` additionally fired on the sharded (BSP) path only
 ``graph.load``     :func:`repro.graphs.io.load_npz`, before reading the file
 ``shm.attach``     first attach of a shared-memory handle in a process (see
                    :mod:`repro.runtime.shm`) — worker side, lazily on the
                    first task, so an injected fault is a retryable failure
+``server.admit``   every :meth:`ShortestPathServer.submit`, on the event-loop
+                   thread, before admission control (``exception`` faults
+                   surface typed to that one caller)
+``server.flush``   every batch execution attempt, on the server's worker
+                   thread — a ``hang`` stalls one batch while the loop keeps
+                   admitting/shedding (the overload-safe failure mode)
 =================  ============================================================
 
 Rate-based specs are *stateless-deterministic*: whether invocation ``i``

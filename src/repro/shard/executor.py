@@ -68,7 +68,7 @@ from repro.runtime.atomics import write_min
 from repro.runtime.kernels import Workspace, _run_starts
 from repro.runtime.workspan import RunStats, StepRecord
 from repro.shard.sharded_graph import ShardedGraph
-from repro.utils.errors import ParameterError
+from repro.utils.errors import DeadlineExceeded, ParameterError
 from repro.utils.rng import as_generator
 
 __all__ = ["sharded_sssp"]
@@ -334,6 +334,7 @@ def sharded_sssp(
     pool_retries: int = 2,
     fault_plan=None,
     use_shm: "bool | None" = None,
+    deadline_at: "float | None" = None,
 ) -> SSSPResult:
     """Run Algorithm 1 over a sharded graph, superstep by superstep.
 
@@ -382,6 +383,14 @@ def sharded_sssp(
         (the distance snapshot) always pickles — it must be a private copy
         for idempotent re-execution.  ``result.params["pool_transport"]``
         records the choice.
+    deadline_at:
+        Absolute ``time.monotonic()`` deadline checked **between BSP
+        supersteps** (and fusion rounds are bounded by their superstep): a
+        run that outlives it raises
+        :class:`~repro.utils.errors.DeadlineExceeded` instead of finishing
+        the graph.  This is how a serving deadline cancels a straggling
+        sharded run mid-graph — the engine's per-chunk checks alone would
+        only fire after the whole run returned.  ``None`` = unbounded.
     """
     options = options or SteppingOptions()
     if policy.needs_aug:
@@ -525,6 +534,11 @@ def sharded_sssp(
     guard = 0
     try:
         while len(global_pq) > 0:
+            if deadline_at is not None and time.monotonic() > deadline_at:
+                raise DeadlineExceeded(
+                    f"sharded run missed its deadline after "
+                    f"{stats.num_steps} supersteps (|Q|={len(global_pq)})"
+                )
             step_span = tracer.begin("shard.superstep") if trace_on else None
             guard += 1
             if options.max_steps and guard > options.max_steps:

@@ -5,6 +5,7 @@ from repro.utils.errors import (
     DeadlineExceeded,
     ExecutionError,
     GraphFormatError,
+    OverloadError,
     ParameterError,
     ReproError,
     WorkerCrashError,
@@ -17,6 +18,7 @@ __all__ = [
     "DeadlineExceeded",
     "ExecutionError",
     "GraphFormatError",
+    "OverloadError",
     "ParameterError",
     "ReproError",
     "WorkerCrashError",

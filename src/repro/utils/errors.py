@@ -36,3 +36,24 @@ class WorkerCrashError(ExecutionError):
 
 class CircuitOpenError(ExecutionError):
     """The serving circuit breaker is open — failing fast without executing."""
+
+
+class OverloadError(ExecutionError):
+    """Admission control shed this request — the server is at capacity.
+
+    Carries a machine-readable shed ``reason`` (``"queue-full"``,
+    ``"deadline-infeasible"``, ``"retry-budget"``) and a ``retry_after``
+    hint in seconds — the estimated queue-drain time after which a retry
+    has a real chance of being admitted (``None`` when no estimate exists).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        reason: str = "overload",
+        retry_after: "float | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.reason = reason
+        self.retry_after = retry_after

@@ -1,6 +1,10 @@
 """Shared-memory plane: O(1) handles, bit-identity, refcounts, leak-free close."""
 
+import os
 import pickle
+import signal
+import subprocess
+import sys
 
 import numpy as np
 import pytest
@@ -134,6 +138,81 @@ class TestLifecycle:
         b = get_manager()
         assert b is not a and not b.closed
         close_manager()
+
+
+class TestSigintCleanup:
+    """Ctrl-C on a serving process must unlink segments AND stay a Ctrl-C.
+
+    Runs a real subprocess (signal handlers are process-global state) that
+    owns live segments, interrupts it, and checks two things: the segments
+    are gone from ``/dev/shm``, and the previously-installed SIGINT
+    behaviour still ran afterwards — the cleanup handler *chains*, it does
+    not swallow the interrupt.
+    """
+
+    _COMMON = """\
+import signal, sys
+{prior}
+from repro.runtime import get_manager
+mgr = get_manager()
+handle, view = mgr.alloc((64, 64))
+{wait}
+"""
+
+    # The parent fires SIGINT the moment it reads the SEGMENTS line, so the
+    # print must already sit inside the protection that the variant is
+    # testing — otherwise the interrupt can land in the gap before pause().
+    _ANNOUNCE = 'print("SEGMENTS:" + ",".join(mgr.live_segments()), flush=True)'
+
+    def _spawn(self, body):
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src)
+        return subprocess.Popen(
+            [sys.executable, "-c", body],
+            stdout=subprocess.PIPE, text=True, env=env,
+        )
+
+    def _interrupt_and_collect(self, proc):
+        line = proc.stdout.readline().strip()
+        assert line.startswith("SEGMENTS:")
+        names = line.split(":", 1)[1].split(",")
+        assert names and all(n in leaked_segments(SHM_PREFIX) for n in names)
+        proc.send_signal(signal.SIGINT)
+        out, _ = proc.communicate(timeout=30)
+        # The oracle: every segment the child owned is unlinked.
+        assert not set(names) & set(leaked_segments(SHM_PREFIX))
+        return out, proc.returncode
+
+    def test_sigint_unlinks_and_keyboard_interrupt_still_raises(self):
+        body = self._COMMON.format(
+            prior="",
+            wait=(
+                "try:\n"
+                f"    {self._ANNOUNCE}\n"
+                "    signal.pause()\n"
+                "except KeyboardInterrupt:\n"
+                "    print('KBD', flush=True)\n"
+                "    sys.exit(33)\n"
+            ),
+        )
+        out, code = self._interrupt_and_collect(self._spawn(body))
+        assert "KBD" in out  # default chain: Ctrl-C semantics preserved
+        assert code == 33
+
+    def test_sigint_chains_to_preinstalled_handler(self):
+        prior = (
+            "def prior(signum, frame):\n"
+            "    print('CHAINED', flush=True)\n"
+            "    sys.exit(55)\n"
+            "signal.signal(signal.SIGINT, prior)\n"
+        )
+        body = self._COMMON.format(
+            prior=prior, wait=f"{self._ANNOUNCE}\nsignal.pause()"
+        )
+        out, code = self._interrupt_and_collect(self._spawn(body))
+        assert "CHAINED" in out  # the app's own handler still ran
+        assert code == 55
 
 
 class TestFaultSite:

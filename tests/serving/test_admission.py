@@ -1,0 +1,150 @@
+"""Admission control: latency tracking, retry budget, typed shedding."""
+
+import pytest
+
+from repro.obs import MetricsRegistry, observed
+from repro.serving.admission import (
+    SHED_DEADLINE,
+    SHED_QUEUE_FULL,
+    SHED_RETRY_BUDGET,
+    AdmissionController,
+    LatencyTracker,
+    RetryBudget,
+)
+from repro.utils.errors import DeadlineExceeded, OverloadError, ParameterError
+
+
+class TestLatencyTracker:
+    def test_prior_until_enough_samples(self):
+        t = LatencyTracker(prior=0.25)
+        assert t.p95() == 0.25
+        for _ in range(3):
+            t.observe(1.0)
+        assert t.p95() == 0.25  # 3 samples: still the prior
+
+    def test_p95_nearest_rank(self):
+        t = LatencyTracker()
+        for v in range(1, 21):  # 1..20
+            t.observe(float(v))
+        assert t.p95() == 19.0  # ceil(0.95 * 20) = 19th smallest
+
+    def test_window_evicts_oldest(self):
+        t = LatencyTracker(window=8)
+        for _ in range(8):
+            t.observe(100.0)
+        for _ in range(8):
+            t.observe(0.01)
+        assert t.p95() == 0.01
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            LatencyTracker(window=0)
+        with pytest.raises(ParameterError):
+            LatencyTracker(prior=0.0)
+
+
+class TestRetryBudget:
+    def test_all_or_nothing(self):
+        b = RetryBudget(capacity=4.0, refill_rate=0.0)
+        assert b.try_acquire(3.0)
+        assert not b.try_acquire(2.0)  # only 1 left: refused, nothing taken
+        assert b.try_acquire(1.0)
+
+    def test_refill_is_capped(self):
+        b = RetryBudget(capacity=2.0, refill_rate=1000.0)
+        assert b.try_acquire(2.0)
+        import time
+
+        time.sleep(0.01)
+        assert b.available() <= 2.0
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            RetryBudget(capacity=0.0)
+        with pytest.raises(ParameterError):
+            RetryBudget(refill_rate=-1.0)
+        with pytest.raises(ParameterError):
+            RetryBudget().try_acquire(0.0)
+
+
+class TestAdmissionController:
+    def test_admits_when_quiet(self):
+        a = AdmissionController(max_queue=4, max_batch=2)
+        a.check(0)
+        assert a.admitted == 1 and a.shed_total == 0
+
+    def test_queue_full_sheds_newest_typed(self):
+        a = AdmissionController(max_queue=4, max_batch=2)
+        with pytest.raises(OverloadError) as ei:
+            a.check(4)
+        assert ei.value.reason == SHED_QUEUE_FULL
+        assert ei.value.retry_after > 0
+        assert a.shed[SHED_QUEUE_FULL] == 1
+
+    def test_expired_deadline_is_deadline_exceeded(self):
+        a = AdmissionController()
+        with pytest.raises(DeadlineExceeded):
+            a.check(0, now=100.0, deadline_at=99.0)
+        assert a.expired_at_admission == 1
+        assert a.shed_total == 0  # expiry is not a shed
+
+    def test_infeasible_deadline_sheds_before_queueing(self):
+        a = AdmissionController(max_queue=100, max_batch=2)
+        a.latency.prior = 1.0  # p95 = 1 s while cold
+        # 6 queued = 3 batches ahead + own batch = 4 s wait; 0.5 s budget.
+        with pytest.raises(OverloadError) as ei:
+            a.check(6, now=0.0, deadline_at=0.5)
+        assert ei.value.reason == SHED_DEADLINE
+
+    def test_feasible_deadline_admitted(self):
+        a = AdmissionController(max_queue=100, max_batch=2)
+        a.latency.prior = 0.01
+        a.check(6, now=0.0, deadline_at=0.5)
+        assert a.admitted == 1
+
+    def test_retry_budget_sheds_retries_only(self):
+        a = AdmissionController(retry_budget=RetryBudget(capacity=1.0, refill_rate=0.0))
+        a.check(0, is_retry=True)  # takes the only token
+        with pytest.raises(OverloadError) as ei:
+            a.check(0, is_retry=True)
+        assert ei.value.reason == SHED_RETRY_BUDGET
+        a.check(0, is_retry=False)  # fresh work is unaffected
+
+    def test_slack_sheds_earlier(self):
+        tight = AdmissionController(max_queue=100, max_batch=2, slack=1.0)
+        loose = AdmissionController(max_queue=100, max_batch=2, slack=4.0)
+        tight.latency.prior = loose.latency.prior = 0.1
+        tight.check(0, now=0.0, deadline_at=0.2)  # 0.1 needed, fits
+        with pytest.raises(OverloadError):
+            loose.check(0, now=0.0, deadline_at=0.2)  # 0.4 needed
+
+    def test_estimated_wait_scales_with_depth(self):
+        a = AdmissionController(max_batch=4)
+        a.latency.prior = 0.1
+        assert a.estimated_wait(0) == pytest.approx(0.1)
+        assert a.estimated_wait(8) == pytest.approx(0.3)
+
+    def test_shed_metrics_behind_obs_seam(self):
+        registry = MetricsRegistry()
+        with observed(registry=registry):
+            a = AdmissionController(max_queue=1)
+            a.check(0)
+            with pytest.raises(OverloadError):
+                a.check(1)
+        snap = registry.snapshot()
+        assert snap["counters"]["serving.shed_total"] == 1
+        assert snap["counters"][f"serving.shed.{SHED_QUEUE_FULL}"] == 1
+        assert snap["counters"]["serving.admitted_total"] == 1
+
+    def test_stats_shape(self):
+        a = AdmissionController()
+        st = a.stats()
+        assert set(st) == {
+            "admitted", "shed", "shed_total", "expired_at_admission",
+            "p95_batch_seconds", "retry_tokens",
+        }
+
+    def test_validation(self):
+        for kw in ({"max_queue": 0}, {"max_batch": 0}, {"slack": 0.0}):
+            with pytest.raises(ParameterError):
+                AdmissionController(**kw)

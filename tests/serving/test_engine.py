@@ -1,11 +1,14 @@
 """QueryEngine: admission (cache + dedupe), alignment, both execution modes."""
 
+import threading
+import time
+
 import numpy as np
 import pytest
 
 from repro.core import DEFAULT_RHO, bellman_ford, rho_stepping
 from repro.serving import QueryEngine
-from repro.utils.errors import ParameterError
+from repro.utils.errors import CircuitOpenError, ParameterError
 
 
 class TestAdmission:
@@ -122,6 +125,64 @@ class TestAdmissionValidation:
         with pytest.raises(ParameterError):
             eng.query_batch([1, rmat_small.n + 5])
         assert eng.stats()["executed"] == 0
+
+
+class TestHalfOpenProbe:
+    """Regression: half-open must admit exactly ONE trial batch.
+
+    Before the probe gate, N threads arriving at the cooldown boundary all
+    saw ``half-open`` and were all admitted as "the" trial — hammering the
+    backend exactly when it was most fragile.  The gate is a check-then-set
+    under ``_circuit_lock``; this test holds a probe open on one thread and
+    proves a concurrent arrival sheds typed instead of racing in.
+    """
+
+    def test_half_open_admits_exactly_one_probe(self, rmat_small):
+        eng = QueryEngine(rmat_small, "bf", retries=0)
+        eng._open_until = time.monotonic() - 1.0  # cooldown elapsed
+        assert eng.circuit_state == "half-open"
+
+        entered, release = threading.Event(), threading.Event()
+        original = eng._execute_resilient
+
+        def held_open(missing, deadline_at):
+            entered.set()
+            assert release.wait(5.0)
+            return original(missing, deadline_at)
+
+        eng._execute_resilient = held_open
+        probe_rows = {}
+        probe = threading.Thread(target=lambda: probe_rows.update(
+            rows=eng.query_batch([0])
+        ))
+        probe.start()
+        try:
+            assert entered.wait(5.0)
+            # The trial slot is taken: a concurrent arrival must shed typed,
+            # not join the probe.
+            with pytest.raises(CircuitOpenError, match="half-open"):
+                eng.query_batch([1])
+            assert eng.stats()["half_open_shed"] == 1
+        finally:
+            release.set()
+            probe.join(5.0)
+        # The successful trial closed the circuit and traffic flows again.
+        assert eng.circuit_state == "closed"
+        assert np.array_equal(
+            probe_rows["rows"][0], bellman_ford(rmat_small, 0, seed=0).dist
+        )
+        eng.query_batch([1])
+        assert eng.stats()["executed"] == 2
+
+    def test_probe_slot_released_after_trial(self, rmat_small):
+        """A finished probe frees the slot even if a later one is needed."""
+        eng = QueryEngine(rmat_small, "bf", retries=0)
+        eng._open_until = time.monotonic() - 1.0
+        eng.query_batch([3])  # probe succeeds, closes the circuit
+        assert eng._probe_inflight is False
+        eng._open_until = time.monotonic() - 1.0  # trip it again
+        eng.query_batch([4])  # a fresh probe must be claimable
+        assert eng.circuit_state == "closed"
 
 
 class TestResilienceStats:

@@ -1,10 +1,17 @@
 """QueryEngine sharded path: identical rows, counters, faults, degradation."""
 
+import asyncio
+
 import numpy as np
 import pytest
 
-from repro.serving import FaultPlan, QueryEngine, install_injector
-from repro.utils.errors import ParameterError
+from repro.serving import (
+    FaultPlan,
+    QueryEngine,
+    ShortestPathServer,
+    install_injector,
+)
+from repro.utils.errors import DeadlineExceeded, ParameterError
 
 
 @pytest.fixture(autouse=True)
@@ -111,6 +118,53 @@ def test_fused_sharded_fault_retry_bit_identical(rmat_small, algo, param):
     assert st["retries"] == 1
     assert st["degraded"] == 0
     assert st["sharded_execs"] >= 1
+
+
+class TestShardedDeadlines:
+    """Deadline propagation engine → sharded BSP driver → (typed) caller."""
+
+    def test_hang_past_deadline_is_typed_deadline_exceeded(self, rmat_small):
+        install_injector(
+            FaultPlan.single("engine.sharded", "hang", at=(0,), delay=0.3)
+        )
+        eng = QueryEngine(rmat_small, "bf", shards=2, retries=0, deadline=0.1)
+        with pytest.raises(DeadlineExceeded):
+            eng.query_batch([3])
+        st = eng.stats()
+        assert st["exec_failures"] >= 1
+        assert st["circuit_state"] == "closed"  # one failure, threshold 5
+        # The fault hit invocation 0 only: the engine serves normally after.
+        out = eng.query_batch([3])
+        assert np.array_equal(out, QueryEngine(rmat_small, "bf").query_batch([3]))
+
+    def test_missed_deadline_is_never_retried(self, rmat_small):
+        # Retrying a blown deadline is useless — the budget is already gone.
+        install_injector(
+            FaultPlan.single("engine.sharded", "hang", at=(0,), delay=0.3, times=99)
+        )
+        eng = QueryEngine(rmat_small, "bf", shards=2, retries=3, deadline=0.1)
+        with pytest.raises(DeadlineExceeded):
+            eng.query_batch([3])
+        assert eng.stats()["retries"] == 0
+
+    def test_server_surfaces_sharded_deadline_typed(self, rmat_small):
+        # Full stack chaos: front door → engine → sharded BSP. The hang
+        # eats the request's deadline on the worker thread; the awaiting
+        # caller must see the typed DeadlineExceeded, not a raw error.
+        install_injector(
+            FaultPlan.single("engine.sharded", "hang", at=(0,), delay=0.5)
+        )
+        eng = QueryEngine(rmat_small, "bf", shards=2, retries=0)
+
+        async def main():
+            async with ShortestPathServer(eng, max_batch=2) as srv:
+                with pytest.raises(DeadlineExceeded):
+                    await srv.submit(3, deadline=0.2)
+                return srv.stats()
+
+        st = asyncio.run(main())
+        assert st["failed"] == 1
+        assert eng.stats()["exec_failures"] >= 1
 
 
 def test_fused_sharded_fault_degrades_bit_identical(rmat_small):

@@ -1,0 +1,198 @@
+"""Chaos under load: the front door must shed, not fall over — and every
+answer it does serve must stay bit-identical to a fault-free scalar run.
+
+These tests drive the :class:`ShortestPathServer` with concurrent clients
+while seeded :class:`~repro.serving.faults.FaultPlan`\\ s hit the two server
+fault sites (``server.admit`` on the event-loop thread, ``server.flush`` on
+the worker thread) and the pool/engine sites below them.  The assertions
+are the overload-safety contract:
+
+* injected admission faults surface typed to exactly one caller;
+* an injected flush hang stalls one batch while the loop keeps admitting
+  and shedding (bounded queue, typed ``OverloadError``);
+* whatever completes matches the scalar reference bit-for-bit.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core import bellman_ford
+from repro.obs import MetricsRegistry, observed
+from repro.serving import (
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    QueryEngine,
+    ShortestPathServer,
+    install_injector,
+)
+from repro.utils.errors import ExecutionError, OverloadError
+
+
+@pytest.fixture(autouse=True)
+def _restore_injector():
+    yield
+    install_injector(None)
+
+
+@pytest.fixture
+def reference(rmat_small):
+    return {s: bellman_ford(rmat_small, s, seed=0).dist for s in range(8)}
+
+
+def _submit_all(srv, sources, **kw):
+    """Gather results/exceptions for many concurrent submissions."""
+
+    async def one(s):
+        try:
+            return await srv.submit(s, **kw)
+        except Exception as exc:  # noqa: BLE001 - sorted by type below
+            return exc
+
+    return asyncio.gather(*(one(s) for s in sources))
+
+
+class TestAdmitFaults:
+    def test_admit_exception_hits_one_caller_only(self, rmat_small, reference):
+        # Invocation 1 of server.admit faults; every other request is fine.
+        install_injector(FaultPlan.single("server.admit", "exception", at=(1,)))
+        engine = QueryEngine(rmat_small, "bf", retries=0)
+
+        async def main():
+            async with ShortestPathServer(engine, max_batch=4) as srv:
+                return await _submit_all(srv, range(6))
+
+        results = asyncio.run(main())
+        engine.close()
+        injected = [r for r in results if isinstance(r, InjectedFault)]
+        served = [(s, r) for s, r in enumerate(results) if isinstance(r, np.ndarray)]
+        assert len(injected) == 1  # typed, to exactly the faulted caller
+        assert len(served) == 5
+        for s, row in served:
+            assert np.array_equal(row, reference[s])
+
+
+class TestFlushFaults:
+    def test_flush_exception_retried_within_budget(self, rmat_small, reference):
+        # First execution attempt of batch 0 faults; the server re-runs it
+        # on the retry budget and still serves bit-identical answers.
+        install_injector(FaultPlan.single("server.flush", "exception", at=(0,), times=1))
+        engine = QueryEngine(rmat_small, "bf", retries=0)
+
+        async def main():
+            async with ShortestPathServer(engine, max_batch=4) as srv:
+                rows = await _submit_all(srv, range(4))
+                return rows, srv.stats()
+
+        rows, st = asyncio.run(main())
+        engine.close()
+        assert st["batch_retries"] == 1
+        for s, row in enumerate(rows):
+            assert isinstance(row, np.ndarray)
+            assert np.array_equal(row, reference[s])
+
+    def test_flush_hang_stalls_one_batch_while_admission_sheds(
+        self, rmat_small, reference
+    ):
+        # A hung worker must not wedge the front door: the loop keeps
+        # admitting until the bounded queue fills, then sheds typed.
+        install_injector(
+            FaultPlan.single("server.flush", "hang", at=(0,), delay=0.4)
+        )
+        engine = QueryEngine(rmat_small, "bf", retries=0)
+        registry = MetricsRegistry()
+
+        async def main():
+            srv = ShortestPathServer(engine, max_batch=1, max_queue=2)
+            async with srv:
+                blocker = asyncio.ensure_future(srv.submit(0))
+                await asyncio.sleep(0.05)  # blocker is now in the hung flush
+                fills = [asyncio.ensure_future(srv.submit(s)) for s in (1, 2)]
+                await asyncio.sleep(0)  # both enqueue behind the hung batch
+                shed_now = 0
+                for s in (3, 4):  # queue holds 2: these must shed typed
+                    try:
+                        await srv.submit(s)
+                    except OverloadError as exc:
+                        assert exc.reason == "queue-full"
+                        shed_now += 1
+                first, *rest = await asyncio.gather(blocker, *fills)
+                return first, rest, shed_now, srv.stats()
+
+        with observed(registry=registry):
+            first, rest, shed_now, st = asyncio.run(main())
+        engine.close()
+        assert shed_now == 2  # the loop stayed live and shed while hung
+        assert st["admission"]["shed_total"] >= 2
+        assert registry.snapshot()["counters"]["serving.shed_total"] >= 2
+        assert np.array_equal(first, reference[0])
+        for row in rest:
+            assert isinstance(row, np.ndarray)
+
+    def test_persistent_flush_failure_surfaces_typed(self, rmat_small):
+        # times=99: retries cannot clear it; callers get the typed error.
+        install_injector(
+            FaultPlan.single("server.flush", "exception", at=(0, 1, 2, 3), times=99)
+        )
+        engine = QueryEngine(rmat_small, "bf", retries=0)
+
+        async def main():
+            async with ShortestPathServer(engine, max_batch=4, server_retries=1) as srv:
+                return await _submit_all(srv, range(3))
+
+        results = asyncio.run(main())
+        engine.close()
+        assert all(isinstance(r, InjectedFault) for r in results)
+
+
+class TestEngineFaultsUnderLoad:
+    def test_engine_exception_recovered_by_engine_retries(
+        self, rmat_small, reference
+    ):
+        # The fault lands below the server (engine.execute); the engine's
+        # own retry loop clears it and the server never notices.
+        install_injector(FaultPlan.single("engine.execute", "exception", at=(0,)))
+        engine = QueryEngine(rmat_small, "bf", retries=2)
+
+        async def main():
+            async with ShortestPathServer(engine, max_batch=4) as srv:
+                rows = await _submit_all(srv, range(4))
+                return rows, srv.stats()
+
+        rows, st = asyncio.run(main())
+        assert engine.stats()["retries"] >= 1
+        engine.close()
+        assert st["batch_retries"] == 0  # recovered a layer below
+        for s, row in enumerate(rows):
+            assert np.array_equal(row, reference[s])
+
+    def test_mixed_load_with_random_rate_faults_keeps_answers_exact(
+        self, rmat_small, reference
+    ):
+        # Seeded 30%-rate faults on the engine + one admit fault: whatever
+        # completes must still be bit-identical; failures must be typed.
+        install_injector(FaultPlan(
+            specs=(
+                FaultSpec(site="engine.execute", kind="exception", rate=0.3, times=1),
+                FaultSpec(site="server.admit", kind="exception", at=(5,)),
+            ),
+            seed=11,
+        ))
+        engine = QueryEngine(rmat_small, "bf", retries=2)
+
+        async def main():
+            async with ShortestPathServer(engine, max_batch=4) as srv:
+                return await _submit_all(srv, list(range(8)) * 2)
+
+        results = asyncio.run(main())
+        engine.close()
+        served = 0
+        for i, r in enumerate(results):
+            if isinstance(r, np.ndarray):
+                served += 1
+                assert np.array_equal(r, reference[i % 8])
+            else:
+                assert isinstance(r, ExecutionError)  # typed, never raw
+        assert served >= 10  # the retry stack absorbs most of the chaos

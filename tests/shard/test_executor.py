@@ -1,6 +1,8 @@
 """Sharded BSP executor: bit-identical distances for every algorithm ×
 partitioner × shard count (the subsystem's acceptance matrix)."""
 
+import time
+
 import numpy as np
 import pytest
 
@@ -15,7 +17,7 @@ from repro.core.policies import (
 )
 from repro.obs import MetricsRegistry, Tracer, observed
 from repro.shard import PARTITIONERS, ShardedGraph, sharded_sssp
-from repro.utils.errors import ParameterError
+from repro.utils.errors import DeadlineExceeded, ParameterError
 
 METHODS = sorted(PARTITIONERS)
 SHARD_COUNTS = [1, 2, 4, 7]
@@ -147,3 +149,47 @@ def test_max_steps_guard(rmat_small):
     opts = SteppingOptions(max_steps=1)
     with pytest.raises(RuntimeError, match="max_steps"):
         sharded_sssp(rmat_small, 0, DijkstraPolicy(), num_shards=2, options=opts)
+
+
+class TestDeadlinePropagation:
+    """``deadline_at`` cancels a straggling run between BSP supersteps."""
+
+    def test_expired_deadline_cancels_before_first_superstep(self, rmat_small):
+        registry = MetricsRegistry()
+        with observed(registry=registry):
+            with pytest.raises(DeadlineExceeded):
+                sharded_sssp(
+                    rmat_small, 0, BellmanFordPolicy(), num_shards=2,
+                    deadline_at=time.monotonic() - 1.0, seed=7,
+                )
+        # The check runs at the top of the loop: no superstep ever executed.
+        assert registry.snapshot()["counters"].get("shard.supersteps", 0) == 0
+
+    def test_deadline_checked_between_supersteps(self, rmat_small):
+        # A policy slow enough that the budget dies mid-run: the executor
+        # must finish the superstep it is in, then raise at the loop head —
+        # partial progress, typed error, no wedged run.
+        class SlowDijkstra(DijkstraPolicy):
+            def decide(self, ctx):
+                time.sleep(0.05)
+                return super().decide(ctx)
+
+        registry = MetricsRegistry()
+        with observed(registry=registry):
+            with pytest.raises(DeadlineExceeded, match="supersteps"):
+                sharded_sssp(
+                    rmat_small, 0, SlowDijkstra(), num_shards=2,
+                    deadline_at=time.monotonic() + 0.02, seed=7,
+                )
+        done = registry.snapshot()["counters"]["shard.supersteps"]
+        assert done >= 1  # it ran until the between-superstep check fired
+        full = sharded_sssp(rmat_small, 0, DijkstraPolicy(), num_shards=2, seed=7)
+        assert done < full.stats.num_steps  # ...but never to completion
+
+    def test_generous_deadline_changes_nothing(self, rmat_small):
+        ref = scalar_reference(rmat_small, 0, POLICIES["bf"])
+        res = sharded_sssp(
+            rmat_small, 0, BellmanFordPolicy(), num_shards=2,
+            deadline_at=time.monotonic() + 60.0, seed=7,
+        )
+        assert np.array_equal(res.dist, ref)

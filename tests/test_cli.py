@@ -20,6 +20,7 @@ class TestParser:
         sub = next(a for a in parser._actions if a.dest == "command")
         assert set(sub.choices) == {
             "info", "run", "batch", "sweep", "trace", "generate", "partition",
+            "serve", "loadgen",
         }
 
     def test_run_requires_known_algorithm(self):
@@ -265,3 +266,71 @@ class TestErrorPaths:
         assert main(["batch", graph_file, "--sources", "0,1",
                      "--deadline", "60", "--verify"]) == 0
         assert "verified 2 rows" in capsys.readouterr().out
+
+
+class TestServingCommands:
+    def test_loadgen_steady_writes_report(self, graph_file, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "bench.json"
+        assert main([
+            "loadgen", graph_file, "--profile", "steady", "--duration", "0.4",
+            "--sources", "8", "--algo", "bf", "--out", str(out),
+        ]) == 0
+        text = capsys.readouterr().out
+        assert "steady profile" in text
+        assert "speedup vs scalar" in text
+        data = json.loads(out.read_text())
+        assert data["bench"] == "serving"
+        rep = data["rows"][0]
+        assert rep["profile"] == "steady"
+        assert rep["mismatches"] == 0
+        assert rep["completed"] > 0
+
+    def test_loadgen_rejects_unknown_profile(self, graph_file):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["loadgen", graph_file, "--profile", "spiky"])
+
+    def test_serve_roundtrip_over_tcp_and_ctrl_c(self, graph_file):
+        # The serve command blocks by design: drive it as a real subprocess,
+        # speak the JSON-lines protocol at it, and stop it with SIGINT (the
+        # operator's Ctrl-C) — which must exit 0, not dump a traceback.
+        import json
+        import os
+        import signal
+        import socket
+        import subprocess
+        import sys
+        import time
+
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src)
+        proc = subprocess.Popen(
+            [sys.executable, "-c",
+             "import sys; from repro.cli import main; sys.exit(main(sys.argv[1:]))",
+             "serve", graph_file, "--port", str(port), "--algo", "bf"],
+            env=env, stderr=subprocess.PIPE, text=True,
+        )
+        try:
+            conn = None
+            for _ in range(100):  # the listener needs a moment to bind
+                try:
+                    conn = socket.create_connection(("127.0.0.1", port), timeout=1)
+                    break
+                except OSError:
+                    time.sleep(0.1)
+            assert conn is not None, "server never bound its port"
+            with conn, conn.makefile("rw") as fh:
+                fh.write('{"id": 1, "source": 0}\n')
+                fh.flush()
+                reply = json.loads(fh.readline())
+            assert reply["ok"] is True and reply["reached"] >= 1
+        finally:
+            proc.send_signal(signal.SIGINT)
+            _, err = proc.communicate(timeout=30)
+        assert proc.returncode == 0
+        assert "interrupted; server stopped" in err
