@@ -14,6 +14,11 @@ Commands
                (newline-delimited JSON requests, overload-safe admission).
 ``loadgen``    drive open-loop load profiles at a server built in-process and
                print/write the per-profile latency + SLO report.
+``stream``     replay an interleaved update+query trace through the engine
+               (incremental repair keeps the cache warm across updates);
+               ``--trace`` replays a JSON-lines file, otherwise a synthetic
+               trace is generated, and ``--verify`` checks every answer
+               against a fresh recompute on the current graph.
 
 ``run`` and ``batch`` accept ``--shards N`` (plus ``--partitioner P``) to
 execute through the sharded BSP driver — distances are bit-identical to the
@@ -425,6 +430,55 @@ def _cmd_loadgen(args) -> int:
     return 0
 
 
+def _cmd_stream(args) -> int:
+    from repro.dynamic import load_trace, replay, save_trace, synth_trace
+    from repro.serving import QueryEngine
+
+    g = _load_graph(args.graph)
+    if args.trace:
+        trace = load_trace(args.trace)
+    else:
+        trace = synth_trace(
+            g, events=args.events, update_every=args.update_every,
+            batch_size=args.batch_size, sources=args.sources, seed=args.seed,
+        )
+    if args.save_trace:
+        save_trace(trace, args.save_trace)
+        print(f"trace written to {args.save_trace}", file=sys.stderr)
+    engine = QueryEngine(
+        g, args.algo, args.param, seed=args.seed, retries=args.retries,
+        cache_size=args.cache_size,
+    )
+    with engine:
+        summary = replay(engine, trace, verify=args.verify)
+        st = engine.stats()
+    rows = [
+        ["events", summary["events"]],
+        ["queries", summary["queries"]],
+        ["update batches", summary["updates"]],
+        ["update no-ops", st["update_noops"]],
+        ["cache hits", st["cache_hits"]],
+        ["entries invalidated", st["cache_invalidations"]],
+        ["entries repaired", st["repaired"]],
+        ["repairs degraded", st["repair_degraded"]],
+        ["query time", f"{summary['query_seconds'] * 1e3:.1f} ms"],
+        ["update time", f"{summary['update_seconds'] * 1e3:.1f} ms"],
+        ["throughput", f"{summary['qps']:.1f} queries/s"],
+    ]
+    if args.verify:
+        rows.append(["mismatches", summary["mismatches"]])
+    print(format_table(["metric", "value"], rows,
+                       title=f"stream replay ({args.algo}) on {args.graph}"))
+    if summary["mismatches"]:
+        raise ReproError(
+            f"{summary['mismatches']} served answers diverged from fresh "
+            f"recomputes — {summary.get('first_mismatch', 'no detail')}"
+        )
+    if args.verify:
+        print(f"verified {summary['queries']} answers against fresh recomputes")
+    return 0
+
+
 def _cmd_generate(args) -> int:
     if args.kind == "rmat":
         g = rmat(args.scale, args.degree, seed=args.seed, directed=args.directed)
@@ -607,6 +661,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics", default=None, metavar="PATH",
                    help="write a metrics snapshot for the run")
     p.set_defaults(fn=_cmd_loadgen)
+
+    p = sub.add_parser("stream", help="replay an interleaved update+query trace")
+    p.add_argument("graph")
+    p.add_argument("--algo", default="rho", help="rho, delta or bf")
+    p.add_argument("--param", type=float, default=None, help="rho or delta")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--retries", type=int, default=2,
+                   help="engine execution/repair retries on transient failure")
+    p.add_argument("--cache-size", type=int, default=256,
+                   help="result-cache capacity in distance vectors")
+    p.add_argument("--trace", default=None, metavar="PATH",
+                   help="JSON-lines trace to replay (default: synthesize one)")
+    p.add_argument("--save-trace", default=None, metavar="PATH",
+                   help="also write the replayed trace as JSON lines")
+    p.add_argument("--events", type=int, default=64,
+                   help="synthetic trace length (ignored with --trace)")
+    p.add_argument("--update-every", type=int, default=8,
+                   help="synthetic trace: every K-th event is an update batch")
+    p.add_argument("--batch-size", type=int, default=4,
+                   help="synthetic trace: edge operations per update batch")
+    p.add_argument("--sources", type=int, default=8,
+                   help="synthetic trace: distinct sources in the query pool")
+    p.add_argument("--verify", action="store_true",
+                   help="check every served answer against a fresh recompute "
+                        "on the engine's current graph (bit-exact)")
+    p.add_argument("--metrics", default=None, metavar="PATH",
+                   help="write a metrics snapshot (.json, or .prom/.txt for "
+                        "Prometheus text format)")
+    p.set_defaults(fn=_cmd_stream)
 
     p = sub.add_parser("generate", help="write a synthetic graph to .npz")
     p.add_argument("kind", choices=["rmat", "road-grid", "road-geo"])

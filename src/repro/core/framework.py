@@ -199,6 +199,8 @@ def stepping_sssp(
     seed=None,
     record_visits: bool = False,
     workspace: "Workspace | None" = None,
+    dist_init: "np.ndarray | None" = None,
+    seeds: "np.ndarray | None" = None,
 ) -> SSSPResult:
     """Run Algorithm 1 with the given policy and return distances + stats.
 
@@ -224,6 +226,17 @@ def stepping_sssp(
         size ``>= n``, reused across the run's waves.  Callers issuing many
         runs on one graph (the sweep harness) pass one warm workspace instead
         of paying a fresh scratch arena per source; results are unaffected.
+    dist_init:
+        Warm-start state: a ``float64[n]`` array of *valid upper bounds*
+        (achievable path lengths or ``inf``) that the run repairs in place
+        instead of starting from ``dist[source] = 0``.  The array is taken
+        over by the run — pass a copy if the caller keeps the original.
+        Requires ``seeds``; the incremental-repair engine
+        (:func:`repro.dynamic.incremental_sssp`) is the intended caller.
+    seeds:
+        With ``dist_init``: the vertices whose out-edges may still improve a
+        neighbour (the repair frontier); they prime the LAB-PQ in place of
+        the source.  An empty array returns ``dist_init`` unchanged.
     """
     options = options or SteppingOptions()
     n = graph.n
@@ -231,6 +244,10 @@ def stepping_sssp(
         raise ParameterError(f"source {source} out of range [0, {n})")
     if policy.needs_aug and aug is None:
         raise ParameterError(f"policy {policy.name} requires an aug array")
+    if (dist_init is None) != (seeds is None):
+        raise ParameterError("dist_init and seeds must be passed together")
+    if dist_init is not None and len(dist_init) != n:
+        raise ParameterError(f"dist_init has length {len(dist_init)}, expected n={n}")
 
     obs = OBS
     tracer = obs.tracer
@@ -242,13 +259,18 @@ def stepping_sssp(
     )
 
     rng = as_generator(seed)
-    dist = np.full(n, np.inf)
-    dist[source] = 0.0
+    if dist_init is None:
+        dist = np.full(n, np.inf)
+        dist[source] = 0.0
+        frontier0 = np.array([source], dtype=np.int64)
+    else:
+        dist = np.asarray(dist_init, dtype=np.float64)
+        frontier0 = np.asarray(seeds, dtype=np.int64)
     if options.pq == "flat":
         pq: LabPQ = FlatPQ(dist, aug, dense_frac=options.dense_frac, seed=rng)
     else:
         pq = TournamentPQ(dist, aug)
-    pq.update(np.array([source], dtype=np.int64))
+    pq.update(frontier0)
 
     ctx = _Ctx(graph, dist, pq, rng, options.dense_frac)
     policy.reset(ctx)

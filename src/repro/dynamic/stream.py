@@ -1,0 +1,191 @@
+"""Streaming workload: interleaved update+query traces for `repro stream`.
+
+A *trace* is a list of events, each one of::
+
+    {"op": "query",  "source": 17}
+    {"op": "update", "inserts":  [[u, v, w], ...],
+                     "deletes":  [[u, v], ...],
+                     "reweights":[[u, v, w], ...]}
+
+On disk a trace is JSON lines, one event per line — easy to produce from
+real serving logs, easy to diff.  :func:`synth_trace` generates a
+deterministic synthetic trace against a given graph (updates reference
+edges that actually exist, so deletes and reweights hit), and
+:func:`replay` drives a :class:`~repro.serving.engine.QueryEngine` through
+a trace, optionally verifying every query against a fresh recompute on the
+engine's *current* graph — which is exactly the check that catches a stale
+cache entry surviving an update.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+
+from repro.dynamic.updates import UpdateBatch
+from repro.graphs.csr import Graph
+from repro.obs import OBS
+from repro.utils.errors import ParameterError
+from repro.utils.rng import as_generator
+
+__all__ = ["batch_from_event", "load_trace", "replay", "save_trace", "synth_trace"]
+
+
+def synth_trace(
+    graph: Graph,
+    *,
+    events: int = 64,
+    update_every: int = 8,
+    batch_size: int = 4,
+    sources: int = 8,
+    seed=0,
+) -> list:
+    """A deterministic synthetic update+query trace for ``graph``.
+
+    Every ``update_every``-th event is an update batch of ``batch_size``
+    edge operations (a mix of inserts, deletes of existing edges, and
+    reweights of existing edges); the rest are queries over a popular set
+    of ``sources`` vertices.  Deletes and reweights are drawn from the
+    *original* edge list, so early updates always hit real edges; inserted
+    endpoints avoid self loops.  Weights stay within the graph's observed
+    range so policy parameters (Δ, ρ) remain sensible across the replay.
+    """
+    if events < 1:
+        raise ParameterError(f"events must be >= 1, got {events}")
+    if update_every < 1:
+        raise ParameterError(f"update_every must be >= 1, got {update_every}")
+    if batch_size < 1:
+        raise ParameterError(f"batch_size must be >= 1, got {batch_size}")
+    rng = as_generator(seed)
+    n = graph.n
+    pop = rng.integers(0, n, size=max(1, min(int(sources), n)))
+    es, ix, w = graph.edge_sources, graph.indices, graph.weights
+    lo = float(w.min()) if graph.m else 0.1
+    hi = float(w.max()) if graph.m else 1.0
+    trace: list = []
+    for i in range(events):
+        if update_every and (i + 1) % update_every == 0:
+            ins, dels, rews = [], [], []
+            for _ in range(batch_size):
+                kind = int(rng.integers(0, 3)) if graph.m else 0
+                if kind == 0 or not graph.m:  # insert (fresh or upsert)
+                    u = int(rng.integers(0, n))
+                    v = int(rng.integers(0, n))
+                    if u == v:
+                        v = (v + 1) % n
+                    ins.append([u, v, float(rng.uniform(lo, hi))])
+                elif kind == 1:  # delete an existing edge
+                    e = int(rng.integers(0, graph.m))
+                    dels.append([int(es[e]), int(ix[e])])
+                else:  # reweight an existing edge
+                    e = int(rng.integers(0, graph.m))
+                    rews.append(
+                        [int(es[e]), int(ix[e]), float(rng.uniform(lo, hi))]
+                    )
+            trace.append(
+                {"op": "update", "inserts": ins, "deletes": dels, "reweights": rews}
+            )
+        else:
+            trace.append({"op": "query", "source": int(pop[rng.integers(0, len(pop))])})
+    return trace
+
+
+def save_trace(trace, path) -> None:
+    """Write a trace as JSON lines (one event per line)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        for event in trace:
+            fh.write(json.dumps(event) + "\n")
+
+
+def load_trace(path) -> list:
+    """Read a JSON-lines trace; validates the shape of every event."""
+    trace = []
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ParameterError(f"{path}:{lineno}: not valid JSON: {exc}") from None
+            op = event.get("op") if isinstance(event, dict) else None
+            if op not in ("query", "update"):
+                raise ParameterError(
+                    f"{path}:{lineno}: event op must be 'query' or 'update', "
+                    f"got {op!r}"
+                )
+            if op == "query" and "source" not in event:
+                raise ParameterError(f"{path}:{lineno}: query event has no source")
+            trace.append(event)
+    return trace
+
+
+def batch_from_event(event) -> UpdateBatch:
+    """Build the :class:`UpdateBatch` described by an update event."""
+    return UpdateBatch(
+        inserts=[tuple(row) for row in event.get("inserts", ())],
+        deletes=[tuple(row) for row in event.get("deletes", ())],
+        reweights=[tuple(row) for row in event.get("reweights", ())],
+    )
+
+
+def replay(engine, trace, *, verify: bool = False) -> dict:
+    """Drive ``engine`` through ``trace``; return a replay summary.
+
+    Query events go through ``engine.query`` (cache + repair-warmed
+    serving); update events go through ``engine.apply_updates``.  With
+    ``verify=True`` every query result is checked bit-for-bit against a
+    fresh fast-path recompute on the engine's current graph — a mismatch
+    means a stale cache entry or a bad repair leaked into serving, and is
+    counted (and raised at the end) rather than silently ignored.
+    """
+    from repro.serving.fastpath import multi_source_distances
+
+    queries = updates = mismatches = 0
+    t_query = t_update = 0.0
+    first_bad: "str | None" = None
+    t0 = time.perf_counter()
+    for i, event in enumerate(trace):
+        if event["op"] == "query":
+            s = int(event["source"])
+            tq = time.perf_counter()
+            dist = engine.query(s)
+            t_query += time.perf_counter() - tq
+            queries += 1
+            if verify:
+                fresh = multi_source_distances(
+                    engine.graph, [s], algo=engine.algo, param=engine.param
+                )[0]
+                if not np.array_equal(dist, fresh):
+                    mismatches += 1
+                    if first_bad is None:
+                        bad = np.flatnonzero(dist != fresh)
+                        first_bad = (
+                            f"event {i}: query({s}) diverged at vertex "
+                            f"{int(bad[0])}: served {dist[bad[0]]!r}, "
+                            f"fresh {fresh[bad[0]]!r}"
+                        )
+        else:
+            tu = time.perf_counter()
+            engine.apply_updates(batch_from_event(event))
+            t_update += time.perf_counter() - tu
+            updates += 1
+        if OBS.enabled:
+            OBS.registry.inc("dynamic.stream.events")
+    elapsed = time.perf_counter() - t0
+    summary = {
+        "events": len(trace),
+        "queries": queries,
+        "updates": updates,
+        "mismatches": mismatches,
+        "seconds": elapsed,
+        "query_seconds": t_query,
+        "update_seconds": t_update,
+        "qps": queries / elapsed if elapsed > 0 else 0.0,
+    }
+    if first_bad is not None:
+        summary["first_mismatch"] = first_bad
+    return summary

@@ -203,6 +203,23 @@ class Graph:
         """Return the edge list ``(src, dst, weight)`` of this CSR."""
         return self.edge_sources.copy(), self.indices.copy(), self.weights.copy()
 
+    def apply_updates(self, batch) -> "Graph":
+        """A new :class:`Graph` with an edge-update batch applied.
+
+        ``batch`` is a :class:`repro.dynamic.UpdateBatch` (inserts, deletes
+        and reweights); see :func:`repro.dynamic.apply_updates` for the full
+        semantics (upsert inserts, no-op missing deletes, last-wins
+        duplicates, mirrored updates on undirected graphs).  The receiver is
+        never mutated — ``Graph`` stays immutable and cache keys stay valid;
+        the result is a freshly assembled canonical CSR with its own content
+        :attr:`fingerprint`.  Returns ``self`` (the same object) when the
+        batch is a pure no-op, so callers can cheaply detect "nothing
+        changed" by identity.
+        """
+        from repro.dynamic.updates import apply_updates as _apply
+
+        return _apply(self, batch)
+
     # ------------------------------------------------------------------ #
     # Validation
     # ------------------------------------------------------------------ #

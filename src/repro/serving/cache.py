@@ -61,6 +61,7 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.invalidations = 0
 
     def __len__(self) -> int:
         return len(self._data)
@@ -101,8 +102,28 @@ class ResultCache:
             OBS.registry.inc("serving.cache.inserts")
         return stored
 
+    def invalidate(self, gid: str, fingerprint: str) -> "OrderedDict[tuple, np.ndarray]":
+        """Drop every entry for ``(gid, fingerprint)``; return what was dropped.
+
+        Called when a graph is updated in place of its serving slot: the old
+        fingerprint's entries must never be served again, but they are still
+        *warm* — valid distances for the pre-update graph — so they are
+        returned (in LRU order) for the caller to seed incremental repair
+        rather than discarded outright.  Counted in ``invalidations`` and
+        mirrored to ``serving.cache.invalidations``.
+        """
+        dropped: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+        stale = [k for k in self._data if k[0] == gid and k[1] == fingerprint]
+        for key in stale:
+            dropped[key] = self._data.pop(key)
+        self.invalidations += len(dropped)
+        if OBS.enabled and dropped:
+            OBS.registry.inc("serving.cache.invalidations", len(dropped))
+        return dropped
+
     def clear(self) -> None:
         self._data.clear()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.invalidations = 0

@@ -60,10 +60,20 @@ Resilience (all off the hot path unless something goes wrong):
   falls back to the ``fast`` path (bit-identical distances by construction)
   and counts the event in ``stats()["degraded"]``.
 
+Dynamic graphs: :meth:`QueryEngine.apply_updates` applies an edge-update
+batch (see :mod:`repro.dynamic`) to the served graph — stale cache entries
+for the pre-update fingerprint are invalidated (never served again) and
+their warm distances seed :func:`~repro.dynamic.incremental_sssp` repair on
+the updated graph, so popular sources stay hot across updates without a
+full recompute.  A repair that keeps failing degrades to a fresh fast-path
+recompute for that entry, and failing that the entry is simply dropped
+(the next query recomputes) — updates never leave wrong answers behind.
+
 Fault-injection sites: ``engine.execute`` fires on every execution attempt;
 ``engine.exact`` (resp. ``engine.sharded``) additionally fires on the exact
 (resp. sharded) path only — which is what lets the chaos suite force a
-degradation without touching the fallback.
+degradation without touching the fallback; ``engine.update`` fires on every
+cache-repair attempt inside :meth:`QueryEngine.apply_updates`.
 """
 
 from __future__ import annotations
@@ -244,6 +254,9 @@ class QueryEngine:
         self.deadline = deadline
         self.failure_threshold = failure_threshold
         self.cooldown = cooldown
+        # Remembered for execution-plane rebuilds after apply_updates().
+        self._refine = bool(refine)
+        self._use_shm = use_shm
         self.pool_jobs = int(pool_jobs)
         self._pool = None
         if self.pool_jobs >= 2:
@@ -277,10 +290,19 @@ class QueryEngine:
             "transports": {"local": 0, "shm": 0, "pickle": 0},
             # concurrent half-open arrivals shed while a probe was in flight
             "half_open_shed": 0,
+            # edge-update batches applied through apply_updates()
+            "updates": 0,
+            # update batches that resolved to a pure no-op (graph unchanged)
+            "update_noops": 0,
+            # stale cache entries brought forward by incremental repair
+            "repaired": 0,
+            # entries whose repair failed and degraded to a full recompute
+            "repair_degraded": 0,
         }
         self._consecutive_failures = 0
         self._open_until: "float | None" = None
         self._exec_seq = 0  # execution-batch sequence number (injection index)
+        self._update_seq = 0  # repair-entry sequence number (engine.update index)
         self._last_transport: "str | None" = None
         # Half-open probe gate: exactly one trial batch may be in flight.
         # The lock (not just a flag) matters because the serving front door
@@ -404,6 +426,7 @@ class QueryEngine:
             cache_hits=self.cache.hits,
             cache_misses=self.cache.misses,
             cache_evictions=self.cache.evictions,
+            cache_invalidations=self.cache.invalidations,
             cache_size=len(self.cache),
             circuit_state=self._circuit_state(),
             transport=self._last_transport,
@@ -663,6 +686,151 @@ class QueryEngine:
         if OBS.enabled:
             OBS.registry.inc("serving.engine.sharded")
         return np.stack(rows)
+
+    # ------------------------------------------------------------------ #
+    # dynamic updates
+
+    def apply_updates(self, batch) -> dict:
+        """Apply an edge-update batch to the served graph.
+
+        The batch (a :class:`repro.dynamic.UpdateBatch`) is resolved against
+        the current graph; a pure no-op leaves everything untouched (same
+        graph object, same fingerprint, cache intact).  Otherwise:
+
+        1. the updated graph is assembled (new CSR, new fingerprint);
+        2. every cache entry keyed by the *old* fingerprint is invalidated —
+           the key scheme guarantees stale distances can never be served —
+           and the dropped entries are kept as warm seeds;
+        3. each warm entry is repaired on the new graph via
+           :func:`~repro.dynamic.incremental_sssp` (bit-identical to a fresh
+           run) and re-inserted under the new fingerprint's key.  Repair
+           attempts pass through the ``engine.update`` fault site with the
+           engine's retry budget; an entry whose repair keeps failing
+           degrades to a full fast-path recompute, and if that fails too the
+           entry is dropped so the next query recomputes it;
+        4. execution planes bound to the old CSR (sharded partition, batch
+           pool) are rebuilt on the new graph.
+
+        Returns a summary dict: ``changed`` (edge deltas applied),
+        ``invalidated`` / ``repaired`` / ``degraded`` cache entries, and the
+        new ``fingerprint``.
+        """
+        from repro.dynamic import apply_resolved, resolve_updates
+        from repro.serving.cache import graph_id
+
+        t0 = time.perf_counter()
+        old = self.graph
+        resolved = resolve_updates(old, batch)
+        if not resolved.size:
+            self._counters["update_noops"] += 1
+            if OBS.enabled:
+                OBS.registry.inc("dynamic.engine.update_noops")
+            return {
+                "changed": 0, "invalidated": 0, "repaired": 0, "degraded": 0,
+                "fingerprint": old.fingerprint,
+            }
+        new_graph = apply_resolved(old, resolved)
+        dropped = self.cache.invalidate(graph_id(old), old.fingerprint)
+        self.graph = new_graph
+        if self.shards:
+            from repro.shard import ShardedGraph
+
+            opts = {"refine": self._refine} if self.partitioner == "fennel" else {}
+            self._sharded = ShardedGraph.build(
+                new_graph, self.shards, self.partitioner, seed=self.seed, **opts
+            )
+        if self._pool is not None:
+            from repro.serving.pool import BatchPool
+
+            self._pool.close()
+            self._pool = BatchPool(
+                new_graph, self.pool_jobs, algo=self.algo, param=self.param,
+                use_shm=self._use_shm, retries=self.retries,
+            )
+        repaired = degraded = 0
+        for key, warm in dropped.items():
+            source = key[4]
+            dist = self._repair_entry(new_graph, resolved, warm, source)
+            if dist is None:
+                degraded += 1
+                dist = self._recompute_entry(source)
+            if dist is not None:
+                self.cache.put(
+                    ResultCache.key(new_graph, self.algo, self.param, source), dist
+                )
+        repaired = len(dropped) - degraded
+        self._counters["updates"] += 1
+        self._counters["repaired"] += repaired
+        self._counters["repair_degraded"] += degraded
+        if OBS.enabled:
+            registry = OBS.registry
+            registry.inc("dynamic.engine.updates")
+            registry.inc("dynamic.engine.edges_changed", resolved.size)
+            registry.inc("dynamic.engine.repaired", repaired)
+            registry.inc("dynamic.engine.repair_degraded", degraded)
+            registry.observe("dynamic.update.seconds", time.perf_counter() - t0)
+        return {
+            "changed": resolved.size,
+            "invalidated": len(dropped),
+            "repaired": repaired,
+            "degraded": degraded,
+            "fingerprint": new_graph.fingerprint,
+        }
+
+    def _repair_entry(self, graph, resolved, warm, source: int) -> "np.ndarray | None":
+        """Repair one warm cache entry on the updated graph, or ``None``.
+
+        Mirrors ``_attempts``: every attempt fires the ``engine.update``
+        fault site, the result is validated like an executed batch (so a
+        corrupted repair is rejected and retried, never cached), and
+        ``None`` after the retry budget signals the caller to degrade to a
+        full recompute.
+        """
+        from repro.dynamic import incremental_sssp
+
+        injector = get_injector()
+        index = self._update_seq
+        self._update_seq += 1
+        for attempt in range(self.retries + 1):
+            try:
+                directive = injector.fire("engine.update", index=index, attempt=attempt)
+                res = incremental_sssp(
+                    graph, resolved, np.asarray(warm),
+                    policy=self._make_policy(), source=source, seed=self.seed,
+                )
+                dist = res.dist
+                if directive == "corrupt":
+                    dist = np.array(dist, copy=True)
+                    dist[source] += 1.0  # breaks the zero-self-distance invariant
+                self._validate_result(dist[None, :], [source])
+                return dist
+            except Exception as exc:
+                _LOG.warning(
+                    "repair of source %d failed (attempt %d/%d): %s",
+                    source, attempt + 1, self.retries + 1, exc,
+                )
+        return None
+
+    def _recompute_entry(self, source: int) -> "np.ndarray | None":
+        """Full-recompute fallback for a repair that kept failing.
+
+        Uses the in-process fast path directly (not the pooled plane — the
+        pool was just rebuilt and a sick pool should not sink the update);
+        returns ``None`` if even the recompute fails, in which case the
+        entry is dropped and the next query pays the miss.
+        """
+        try:
+            dist = multi_source_distances(
+                self.graph, [source], algo=self.algo, param=self.param
+            )
+            self._validate_result(dist, [source])
+            return dist[0]
+        except Exception as exc:
+            _LOG.warning(
+                "full-recompute fallback for source %d failed (%s); "
+                "dropping the cache entry", source, exc,
+            )
+            return None
 
     def close(self) -> None:
         """Shut down the pooled execution plane (no-op without a pool)."""

@@ -24,6 +24,10 @@ Named injection sites wired through the stack:
 ``engine.execute`` :meth:`QueryEngine._execute_once`, before any kernel work
 ``engine.exact``   additionally fired on the exact (metered replay) path only
 ``engine.sharded`` additionally fired on the sharded (BSP) path only
+``engine.update``  every cache-repair attempt inside
+                   :meth:`QueryEngine.apply_updates` (one index per warm
+                   entry) — a persistent fault degrades that entry to a
+                   full recompute, never a wrong answer
 ``graph.load``     :func:`repro.graphs.io.load_npz`, before reading the file
 ``shm.attach``     first attach of a shared-memory handle in a process (see
                    :mod:`repro.runtime.shm`) — worker side, lazily on the

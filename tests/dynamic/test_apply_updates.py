@@ -1,0 +1,224 @@
+"""Property and unit tests for edge-update batches and the CSR rebuild.
+
+The contract under test (see :mod:`repro.dynamic.updates`):
+
+* the rebuilt CSR is always a valid canonical graph (``validate()`` passes,
+  row keys strictly sorted — the simple-graph invariant);
+* the fingerprint changes **iff** the CSR changes (no-op batches return the
+  very same object);
+* applying a batch and then its inverse restores the original fingerprint;
+* malformed batches are rejected with offender-naming errors in the style
+  of ``Graph.validate()``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dynamic import (
+    UpdateBatch,
+    apply_updates,
+    inverse_batch,
+    resolve_updates,
+)
+from repro.graphs import rmat
+from repro.utils.errors import GraphFormatError
+
+UND = rmat(8, 6, seed=21)
+DIR = rmat(8, 6, directed=True, seed=22)
+
+
+def _row_keys(g) -> np.ndarray:
+    return g.edge_sources * np.int64(g.n) + g.indices
+
+
+def _edge_weight(g, u: int, v: int) -> "float | None":
+    row = g.neighbors(u)
+    hit = np.flatnonzero(row == v)
+    return float(g.neighbor_weights(u)[hit[0]]) if hit.size else None
+
+
+def draw_batch(data, g, size: int) -> UpdateBatch:
+    """Draw a batch mixing inserts/deletes/reweights, no-ops and duplicates."""
+    es, ix, w = g.edge_sources, g.indices, g.weights
+    ins, dels, rews = [], [], []
+    for _ in range(size):
+        kind = data.draw(st.integers(0, 3), label="kind")
+        if kind == 0:  # insert (fresh edge or upsert over an existing one)
+            u = data.draw(st.integers(0, g.n - 1), label="u")
+            v = data.draw(st.integers(0, g.n - 1), label="v")
+            if u == v:
+                v = (v + 1) % g.n
+            ins.append((u, v, data.draw(st.floats(0.05, 2.0), label="w")))
+        elif kind == 1:  # delete an existing edge (or a missing one: no-op)
+            e = data.draw(st.integers(0, g.m - 1), label="e")
+            if data.draw(st.booleans(), label="missing"):
+                u, v = int(ix[e]), (int(es[e]) + 1) % g.n
+                if u == v:
+                    v = (v + 1) % g.n
+                dels.append((u, v))
+            else:
+                dels.append((int(es[e]), int(ix[e])))
+        elif kind == 2:  # reweight an existing edge (sometimes to same w: no-op)
+            e = data.draw(st.integers(0, g.m - 1), label="e")
+            same = data.draw(st.booleans(), label="same")
+            nw = float(w[e]) if same else data.draw(st.floats(0.05, 2.0), label="w")
+            rews.append((int(es[e]), int(ix[e]), nw))
+        else:  # duplicate of an earlier op (exercises last-wins)
+            if ins:
+                u, v, _ = ins[-1]
+                ins.append((u, v, data.draw(st.floats(0.05, 2.0), label="w")))
+            elif rews:
+                u, v, _ = rews[-1]
+                dels.append((u, v))
+    return UpdateBatch(inserts=ins, deletes=dels, reweights=rews)
+
+
+@pytest.mark.parametrize("g", [UND, DIR], ids=["undirected", "directed"])
+@given(data=st.data())
+@settings(max_examples=30, deadline=None)
+def test_rebuild_valid_and_fingerprint_iff_changed(g, data):
+    batch = draw_batch(data, g, size=data.draw(st.integers(1, 8), label="size"))
+    resolved = resolve_updates(g, batch)
+    g2 = apply_updates(g, batch)
+    if resolved.size == 0:
+        assert g2 is g  # pure no-op: same object, same fingerprint
+        return
+    g2.validate()
+    keys = _row_keys(g2)
+    assert np.all(np.diff(keys) > 0), "rebuilt CSR rows not strictly sorted"
+    same_csr = (
+        np.array_equal(g2.indptr, g.indptr)
+        and np.array_equal(g2.indices, g.indices)
+        and np.array_equal(g2.weights, g.weights)
+    )
+    assert not same_csr, "non-empty delta must change the CSR"
+    assert g2.fingerprint != g.fingerprint
+
+
+@pytest.mark.parametrize("g", [UND, DIR], ids=["undirected", "directed"])
+@given(data=st.data())
+@settings(max_examples=30, deadline=None)
+def test_inverse_restores_fingerprint(g, data):
+    batch = draw_batch(data, g, size=data.draw(st.integers(1, 8), label="size"))
+    g2 = apply_updates(g, batch)
+    g3 = apply_updates(g2, inverse_batch(g, batch))
+    assert g3.fingerprint == g.fingerprint
+
+
+# --------------------------------------------------------------------------- #
+# unit semantics
+# --------------------------------------------------------------------------- #
+
+
+def test_insert_is_upsert():
+    u, v = int(DIR.edge_sources[0]), int(DIR.indices[0])
+    g2 = DIR.apply_updates(UpdateBatch(inserts=[(u, v, 0.125)]))
+    assert g2.m == DIR.m  # collision: reweight, not a parallel edge
+    assert _edge_weight(g2, u, v) == 0.125
+
+
+def test_reweight_missing_edge_inserts():
+    es, ix = DIR.edge_sources, DIR.indices
+    u, v = 3, 7
+    while _edge_weight(DIR, u, v) is not None:
+        v = (v + 1) % DIR.n
+    g2 = DIR.apply_updates(UpdateBatch(reweights=[(u, v, 0.5)]))
+    assert g2.m == DIR.m + 1
+    assert _edge_weight(g2, u, v) == 0.5
+
+
+def test_delete_missing_edge_is_noop_same_object():
+    u, v = 3, 7
+    while _edge_weight(DIR, u, v) is not None:
+        v = (v + 1) % DIR.n
+    g2 = DIR.apply_updates(UpdateBatch(deletes=[(u, v)]))
+    assert g2 is DIR
+
+
+def test_duplicate_updates_resolve_last_wins():
+    u, v = int(DIR.edge_sources[0]), int(DIR.indices[0])
+    g2 = DIR.apply_updates(
+        UpdateBatch(inserts=[(u, v, 0.25)], reweights=[(u, v, 0.75)])
+    )
+    assert _edge_weight(g2, u, v) == 0.75  # reweights apply after inserts
+    g3 = DIR.apply_updates(UpdateBatch(reweights=[(u, v, 0.3), (u, v, 0.9)]))
+    assert _edge_weight(g3, u, v) == 0.9  # later list entry wins
+
+
+def test_undirected_updates_mirror_both_orientations():
+    u, v = 1, 2
+    while _edge_weight(UND, u, v) is not None:
+        v = (v + 1) % UND.n
+        if v == u:
+            v = (v + 1) % UND.n
+    g2 = UND.apply_updates(UpdateBatch(inserts=[(u, v, 0.4)]))
+    assert _edge_weight(g2, u, v) == 0.4
+    assert _edge_weight(g2, v, u) == 0.4
+    g2.validate()  # symmetry holds, so directed=False validation passes
+    # and deleting via either orientation removes both
+    g3 = g2.apply_updates(UpdateBatch(deletes=[(v, u)]))
+    assert _edge_weight(g3, u, v) is None
+    assert _edge_weight(g3, v, u) is None
+    assert g3.fingerprint == UND.fingerprint
+
+
+def test_delete_then_reinsert_same_weight_roundtrips():
+    u, v = int(DIR.edge_sources[0]), int(DIR.indices[0])
+    w = _edge_weight(DIR, u, v)
+    g2 = DIR.apply_updates(UpdateBatch(deletes=[(u, v)]))
+    assert g2.fingerprint != DIR.fingerprint
+    g3 = g2.apply_updates(UpdateBatch(inserts=[(u, v, w)]))
+    assert g3.fingerprint == DIR.fingerprint
+
+
+def test_resolved_classification():
+    es, ix, w = DIR.edge_sources, DIR.indices, DIR.weights
+    u0, v0 = int(es[0]), int(ix[0])
+    u1, v1 = int(es[1]), int(ix[1])
+    r = resolve_updates(DIR, UpdateBatch(
+        deletes=[(u0, v0)], reweights=[(u1, v1, float(w[1]) / 2)],
+    ))
+    assert r.size == 2
+    assert int(r.increases.sum()) == 1  # the delete
+    assert int(r.decreases.sum()) == 1  # the reweight-down
+
+
+# --------------------------------------------------------------------------- #
+# offender-naming validation
+# --------------------------------------------------------------------------- #
+
+
+def test_rejects_out_of_range_endpoint_by_name():
+    with pytest.raises(GraphFormatError, match=r"out of range \[0, \d+\): insert\[1\]"):
+        DIR.apply_updates(
+            UpdateBatch(inserts=[(0, 1, 1.0), (0, DIR.n + 5, 1.0)])
+        )
+    with pytest.raises(GraphFormatError, match=r"delete\[0\] = \(-1, 2\)"):
+        DIR.apply_updates(UpdateBatch(deletes=[(-1, 2)]))
+
+
+def test_rejects_bad_weight_by_name():
+    with pytest.raises(GraphFormatError, match=r"positive and finite: reweight\[0\]"):
+        DIR.apply_updates(UpdateBatch(reweights=[(0, 1, -2.0)]))
+    with pytest.raises(GraphFormatError, match=r"positive and finite: insert\[0\]"):
+        DIR.apply_updates(UpdateBatch(inserts=[(0, 1, float("nan"))]))
+    with pytest.raises(GraphFormatError, match=r"positive and finite: insert\[0\]"):
+        DIR.apply_updates(UpdateBatch(inserts=[(0, 1, float("inf"))]))
+
+
+def test_rejects_self_loop_by_name():
+    with pytest.raises(GraphFormatError, match=r"self loops.*insert\[0\] = \(4, 4"):
+        DIR.apply_updates(UpdateBatch(inserts=[(4, 4, 1.0)]))
+
+
+def test_rejects_malformed_rows():
+    with pytest.raises(GraphFormatError, match=r"insert\[0\] must be a \(u, v, w\)"):
+        UpdateBatch(inserts=[(0, 1)])
+    with pytest.raises(GraphFormatError, match=r"delete\[0\] must be a \(u, v\)"):
+        UpdateBatch(deletes=[(0, 1, 2.0)])
+    with pytest.raises(GraphFormatError, match=r"integer vertex ids"):
+        UpdateBatch(inserts=[(0.5, 1, 1.0)])

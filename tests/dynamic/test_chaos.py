@@ -1,0 +1,109 @@
+"""Chaos under the ``engine.update`` fault site: wrong answers never survive.
+
+Mirrors :mod:`tests.serving.test_chaos`: each test drives
+:meth:`QueryEngine.apply_updates` through a seeded
+:class:`~repro.serving.faults.FaultPlan` and asserts the engine either
+retries the repair or degrades to a full recompute — and that everything it
+serves afterwards is bit-identical to a fresh run on the updated graph.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dynamic import UpdateBatch
+from repro.graphs import rmat
+from repro.serving import FaultPlan, QueryEngine, install_injector
+from repro.serving.fastpath import multi_source_distances
+from repro.serving.faults import get_injector
+
+G = rmat(9, 8, seed=7)
+
+
+@pytest.fixture(autouse=True)
+def _restore_injector():
+    yield
+    install_injector(None)
+
+
+def _update_batch() -> UpdateBatch:
+    u, v = int(G.edge_sources[0]), int(G.indices[0])
+    return UpdateBatch(deletes=[(u, v)], inserts=[(5, 200, 0.01)])
+
+
+def _fresh(graph, source: int) -> np.ndarray:
+    return multi_source_distances(graph, [source], algo="rho", param=64)[0]
+
+
+def _warmed_engine(retries: int = 2) -> QueryEngine:
+    eng = QueryEngine(G, "rho", 64, retries=retries)
+    eng.query(0)
+    eng.query(5)
+    return eng
+
+
+def test_transient_repair_fault_is_retried():
+    eng = _warmed_engine()
+    install_injector(FaultPlan.single("engine.update", "exception", at=(0,), times=1))
+    summary = eng.apply_updates(_update_batch())
+    assert summary["repaired"] == 2 and summary["degraded"] == 0
+    assert len(get_injector().fired) == 1
+    for s in (0, 5):
+        assert np.array_equal(eng.query(s), _fresh(eng.graph, s))
+    assert eng.stats()["cache_hits"] >= 2  # repaired entries served warm
+
+
+def test_persistent_repair_fault_degrades_to_recompute():
+    eng = _warmed_engine()
+    install_injector(FaultPlan.single("engine.update", "exception", times=99))
+    summary = eng.apply_updates(_update_batch())
+    assert summary["degraded"] == 2 and summary["repaired"] == 0
+    assert eng.stats()["repair_degraded"] == 2
+    # degraded entries are full recomputes: still exact, still cached
+    for s in (0, 5):
+        assert np.array_equal(eng.query(s), _fresh(eng.graph, s))
+
+
+def test_hang_mid_repair_still_exact():
+    # a hang stalls the repair but must not change what gets cached
+    eng = _warmed_engine()
+    install_injector(
+        FaultPlan.single("engine.update", "hang", times=1, delay=0.05)
+    )
+    summary = eng.apply_updates(_update_batch())
+    assert summary["repaired"] == 2
+    for s in (0, 5):
+        assert np.array_equal(eng.query(s), _fresh(eng.graph, s))
+
+
+def test_corrupted_repair_is_rejected_and_retried():
+    eng = _warmed_engine()
+    install_injector(FaultPlan.single("engine.update", "corrupt", at=(0,), times=1))
+    summary = eng.apply_updates(_update_batch())
+    # the corrupted payload failed validation; the retry repaired cleanly
+    assert summary["repaired"] == 2 and summary["degraded"] == 0
+    for s in (0, 5):
+        assert np.array_equal(eng.query(s), _fresh(eng.graph, s))
+
+
+def test_persistent_corruption_never_reaches_the_cache():
+    eng = _warmed_engine(retries=1)
+    install_injector(FaultPlan.single("engine.update", "corrupt", times=99))
+    eng.apply_updates(_update_batch())
+    # every repair was corrupted and rejected; entries were recomputed fresh
+    # (the recompute path has no engine.update site) — answers stay exact
+    for s in (0, 5):
+        assert np.array_equal(eng.query(s), _fresh(eng.graph, s))
+
+
+def test_faults_never_block_the_graph_swap():
+    """Even a fully failing repair pass still applies the update itself."""
+    eng = _warmed_engine()
+    old_fp = eng.graph.fingerprint
+    install_injector(FaultPlan.single("engine.update", "exception", times=99))
+    summary = eng.apply_updates(_update_batch())
+    assert eng.graph.fingerprint == summary["fingerprint"] != old_fp
+    install_injector(None)
+    # a never-cached source computed on the new graph is exact too
+    assert np.array_equal(eng.query(33), _fresh(eng.graph, 33))

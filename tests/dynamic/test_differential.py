@@ -1,0 +1,165 @@
+"""Differential oracle: repaired distances == fresh run, bit for bit.
+
+For every policy (rho / delta* / bf / dijkstra), every update class
+(decrease-only, increase/delete, mixed, source-touching, no-op), and both
+the scalar and the lockstep batch execution paths, the distances produced
+by :func:`repro.dynamic.incremental_sssp` from a warm pre-update result
+must equal a *fresh* run on the updated graph exactly —
+``np.array_equal``, not ``allclose``.  The repair drains through the same
+monotone write-min fixpoint as a fresh run, so any divergence is a real
+bug, not float noise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.framework import SteppingOptions, batch_stepping_sssp, stepping_sssp
+from repro.core.policies import (
+    BellmanFordPolicy,
+    DeltaStarPolicy,
+    DijkstraPolicy,
+    RhoPolicy,
+)
+from repro.dynamic import UpdateBatch, apply_resolved, incremental_sssp, resolve_updates
+from repro.graphs import rmat, road_grid
+
+from tests.dynamic.test_apply_updates import draw_batch
+
+#: (id, policy factory, stepping options) — dijkstra needs fusion off (a
+#: fused drain would run past the exact-distance frontier it relies on).
+POLICIES = [
+    ("rho", lambda: RhoPolicy(64), None),
+    ("delta-star", lambda: DeltaStarPolicy(0.5), None),
+    ("bf", lambda: BellmanFordPolicy(), None),
+    ("dijkstra", lambda: DijkstraPolicy(), SteppingOptions(fusion=False)),
+]
+
+GRAPHS = {
+    "rmat-und": rmat(9, 8, seed=7),
+    "rmat-dir": rmat(9, 8, directed=True, seed=8),
+    "road": road_grid(18, seed=9),
+}
+
+
+def _first_edge(g, k: int = 0) -> tuple[int, int, float]:
+    return int(g.edge_sources[k]), int(g.indices[k]), float(g.weights[k])
+
+
+def _missing_edge(g, u: int = 2) -> tuple[int, int]:
+    v = (u + 5) % g.n
+    row = set(g.neighbors(u).tolist())
+    while v in row or v == u:
+        v = (v + 1) % g.n
+    return u, v
+
+
+def _golden_batches(g, source: int) -> list:
+    """One representative batch per update class."""
+    u0, v0, w0 = _first_edge(g, 0)
+    u1, v1, w1 = _first_edge(g, min(g.m - 1, g.m // 2))
+    mu, mv = _missing_edge(g)
+    return [
+        # decrease-only: fresh insert + reweight down
+        UpdateBatch(inserts=[(mu, mv, 0.01)], reweights=[(u0, v0, w0 / 2)]),
+        # increase/delete: drop an edge, raise another
+        UpdateBatch(deletes=[(u0, v0)], reweights=[(u1, v1, w1 * 4)]),
+        # mixed, with a duplicate (last-wins) and a no-op delete
+        UpdateBatch(
+            inserts=[(mu, mv, 0.2), (mu, mv, 0.3)],
+            deletes=[(u1, v1), (mv, (mv + 1) % g.n) if g.directed else (u0, v0)],
+            reweights=[(u0, v0, w0)] if g.directed else [],
+        ),
+        # touching the source vertex on both sides
+        UpdateBatch(
+            inserts=[(source, (source + 7) % g.n, 0.05)],
+            deletes=[(source, int(g.neighbors(source)[0]))]
+            if g.out_degree(source) else [],
+        ),
+        # pure no-op (delete of a missing edge)
+        UpdateBatch(deletes=[_missing_edge(g, 11)]),
+    ]
+
+
+@pytest.mark.parametrize("gname", sorted(GRAPHS))
+@pytest.mark.parametrize("pname,factory,opts", POLICIES, ids=[p[0] for p in POLICIES])
+def test_golden_batches_scalar(gname, pname, factory, opts):
+    g = GRAPHS[gname]
+    source = 0
+    warm = stepping_sssp(g, source, factory(), options=opts, seed=1)
+    for batch in _golden_batches(g, source):
+        resolved = resolve_updates(g, batch)
+        g2 = apply_resolved(g, resolved)
+        fresh = stepping_sssp(g2, source, factory(), options=opts, seed=1)
+        repaired = incremental_sssp(
+            g2, resolved, warm, policy=factory(), options=opts, seed=1
+        )
+        assert np.array_equal(repaired.dist, fresh.dist), (
+            f"{pname} on {gname}: repair diverged at "
+            f"{np.flatnonzero(repaired.dist != fresh.dist)[:5]}"
+        )
+        if resolved.size == 0:
+            # no-op: the warm result itself must already be the answer
+            assert g2 is g
+            assert np.array_equal(repaired.dist, warm.dist)
+
+
+@pytest.mark.parametrize("pname,factory,opts", POLICIES, ids=[p[0] for p in POLICIES])
+def test_golden_batches_batch_path(pname, factory, opts):
+    """Repair also matches the lockstep multi-source batch engine."""
+    g = GRAPHS["rmat-und"]
+    sources = [0, 5, 17]
+    warm = {
+        s: stepping_sssp(g, s, factory(), options=opts, seed=2) for s in sources
+    }
+    for batch in _golden_batches(g, sources[0]):
+        resolved = resolve_updates(g, batch)
+        g2 = apply_resolved(g, resolved)
+        fresh = batch_stepping_sssp(g2, sources, factory, options=opts, seed=2)
+        for s, fr in zip(sources, fresh):
+            repaired = incremental_sssp(
+                g2, resolved, warm[s], policy=factory(), options=opts, seed=2
+            )
+            assert np.array_equal(repaired.dist, fr.dist), (
+                f"{pname} batch path: repair diverged for source {s}"
+            )
+
+
+@pytest.mark.parametrize("gname", ["rmat-und", "rmat-dir"])
+@pytest.mark.parametrize("pname,factory,opts", POLICIES, ids=[p[0] for p in POLICIES])
+@given(data=st.data())
+@settings(max_examples=12, deadline=None)
+def test_random_batches(gname, pname, factory, opts, data):
+    g = GRAPHS[gname]
+    source = data.draw(st.integers(0, g.n - 1), label="source")
+    batch = draw_batch(data, g, size=data.draw(st.integers(1, 10), label="size"))
+    resolved = resolve_updates(g, batch)
+    g2 = apply_resolved(g, resolved)
+    warm = stepping_sssp(g, source, factory(), options=opts, seed=3)
+    fresh = stepping_sssp(g2, source, factory(), options=opts, seed=3)
+    repaired = incremental_sssp(
+        g2, resolved, warm, policy=factory(), options=opts, seed=3
+    )
+    assert np.array_equal(repaired.dist, fresh.dist)
+
+
+@given(data=st.data())
+@settings(max_examples=10, deadline=None)
+def test_random_batches_chained(data):
+    """Repair stays exact when warm results are themselves repairs."""
+    g = GRAPHS["rmat-dir"]
+    source = 3
+    warm = stepping_sssp(g, source, RhoPolicy(64), seed=4)
+    for _ in range(3):
+        batch = draw_batch(data, g, size=data.draw(st.integers(1, 6), label="size"))
+        resolved = resolve_updates(g, batch)
+        g2 = apply_resolved(g, resolved)
+        repaired = incremental_sssp(
+            g2, resolved, warm, policy=RhoPolicy(64), seed=4
+        )
+        fresh = stepping_sssp(g2, source, RhoPolicy(64), seed=4)
+        assert np.array_equal(repaired.dist, fresh.dist)
+        g, warm = g2, repaired

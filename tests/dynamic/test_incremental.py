@@ -1,0 +1,165 @@
+"""Unit tests for the repair engine's classification, cone, and warm start."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.framework import stepping_sssp
+from repro.core.policies import RhoPolicy
+from repro.dynamic import (
+    UpdateBatch,
+    affected_cone,
+    apply_resolved,
+    incremental_sssp,
+    resolve_updates,
+)
+from repro.graphs import Graph, path, rmat
+from repro.utils.errors import ParameterError
+
+G = rmat(9, 8, seed=7)
+
+
+def _warm(g=G, source: int = 0):
+    return stepping_sssp(g, source, RhoPolicy(64), seed=1)
+
+
+def test_decrease_only_skips_cone_invalidation():
+    warm = _warm()
+    v = (len(G.neighbors(0)) and int(G.neighbors(0)[0]) + 1) % G.n or 5
+    batch = UpdateBatch(inserts=[(0, G.n - 1, 0.001)])
+    resolved = resolve_updates(G, batch)
+    assert not resolved.increases.any()
+    g2 = apply_resolved(G, resolved)
+    rep = incremental_sssp(g2, resolved, warm, policy=RhoPolicy(64), seed=1)
+    assert rep.params["decrease_only"] is True
+    assert rep.params["cone"] == 0
+    fresh = stepping_sssp(g2, 0, RhoPolicy(64), seed=1)
+    assert np.array_equal(rep.dist, fresh.dist)
+
+
+def test_empty_resolved_returns_warm_unchanged():
+    warm = _warm()
+    u, v = 3, 9
+    while v in set(G.neighbors(u).tolist()) or v == u:
+        v = (v + 1) % G.n
+    resolved = resolve_updates(G, UpdateBatch(deletes=[(u, v)]))
+    assert resolved.size == 0
+    rep = incremental_sssp(G, resolved, warm, policy=RhoPolicy(64), seed=1)
+    assert np.array_equal(rep.dist, warm.dist)
+    assert rep.params["seeds"] == 0
+
+
+def test_unreachable_becomes_reachable_via_insert():
+    # 0 -> 1 -> 2, vertex 3 isolated; insert 2 -> 3.
+    g = Graph(
+        indptr=np.array([0, 1, 2, 2, 2], dtype=np.int64),
+        indices=np.array([1, 2], dtype=np.int64),
+        weights=np.array([1.0, 2.0]),
+        directed=True,
+    )
+    warm = _warm(g, 0)
+    assert not np.isfinite(warm.dist[3])
+    resolved = resolve_updates(g, UpdateBatch(inserts=[(2, 3, 0.5)]))
+    g2 = apply_resolved(g, resolved)
+    rep = incremental_sssp(g2, resolved, warm, policy=RhoPolicy(64), seed=1)
+    assert rep.dist[3] == 3.5
+    fresh = stepping_sssp(g2, 0, RhoPolicy(64), seed=1)
+    assert np.array_equal(rep.dist, fresh.dist)
+
+
+def test_reachable_becomes_unreachable_via_delete():
+    # A path 0 -> 1 -> ... cut in the middle strands the whole tail.
+    g = path(20)
+    warm = _warm(g, 0)
+    cut_u, cut_v = 9, 10
+    resolved = resolve_updates(g, UpdateBatch(deletes=[(cut_u, cut_v)]))
+    g2 = apply_resolved(g, resolved)
+    rep = incremental_sssp(g2, resolved, warm, policy=RhoPolicy(64), seed=1)
+    fresh = stepping_sssp(g2, 0, RhoPolicy(64), seed=1)
+    assert np.array_equal(rep.dist, fresh.dist)
+    if g.directed:
+        assert not np.isfinite(rep.dist[15])
+    assert rep.params["cone"] >= 1
+
+
+def test_affected_cone_covers_descendants():
+    # Directed chain 0->1->2->3: deleting 1->2 must invalidate {2, 3}.
+    g = Graph(
+        indptr=np.array([0, 1, 2, 3, 3], dtype=np.int64),
+        indices=np.array([1, 2, 3], dtype=np.int64),
+        weights=np.ones(3),
+        directed=True,
+    )
+    dist = np.array([0.0, 1.0, 2.0, 3.0])
+    resolved = resolve_updates(g, UpdateBatch(deletes=[(1, 2)]))
+    g2 = apply_resolved(g, resolved)
+    aff = affected_cone(g2, dist, 0)
+    assert aff.tolist() == [False, False, True, True]
+
+
+def test_inf_warm_vertices_never_enter_the_cone():
+    g = path(6)
+    warm_dist = np.full(g.n, np.inf)
+    warm_dist[0] = 0.0  # a maximally cold warm start: only the source known
+    resolved = resolve_updates(g, UpdateBatch(deletes=[(2, 3)]))
+    g2 = apply_resolved(g, resolved)
+    rep = incremental_sssp(
+        g2, resolved, warm_dist, policy=RhoPolicy(64), source=0, seed=1
+    )
+    fresh = stepping_sssp(g2, 0, RhoPolicy(64), seed=1)
+    assert np.array_equal(rep.dist, fresh.dist)
+    assert rep.params["cone"] == 0  # inf is always a valid upper bound
+
+
+def test_warm_start_framework_equivalence():
+    """dist_init/seeds with the true fixpoint reproduces it untouched."""
+    warm = _warm()
+    res = stepping_sssp(
+        G, 0, RhoPolicy(64), seed=1,
+        dist_init=warm.dist.copy(), seeds=np.array([0], dtype=np.int64),
+    )
+    assert np.array_equal(res.dist, warm.dist)
+
+
+def test_warm_start_parameter_validation():
+    warm = _warm()
+    with pytest.raises(ParameterError, match="passed together"):
+        stepping_sssp(G, 0, RhoPolicy(64), dist_init=warm.dist.copy())
+    with pytest.raises(ParameterError, match="length"):
+        stepping_sssp(
+            G, 0, RhoPolicy(64),
+            dist_init=np.zeros(3), seeds=np.array([0], dtype=np.int64),
+        )
+
+
+def test_incremental_parameter_validation():
+    warm = _warm()
+    resolved = resolve_updates(G, UpdateBatch(inserts=[(0, G.n - 1, 0.5)]))
+    g2 = apply_resolved(G, resolved)
+    with pytest.raises(ParameterError, match="needs a source"):
+        incremental_sssp(g2, resolved, warm.dist, policy=RhoPolicy(64))
+    with pytest.raises(ParameterError, match="length"):
+        incremental_sssp(
+            g2, resolved, np.zeros(3), policy=RhoPolicy(64), source=0
+        )
+    with pytest.raises(ParameterError, match="expected 0.0"):
+        bad = warm.dist.copy()
+        bad[0] = 1.0
+        incremental_sssp(g2, resolved, bad, policy=RhoPolicy(64), source=0)
+    with pytest.raises(ParameterError, match="out of range"):
+        incremental_sssp(
+            g2, resolved, warm.dist, policy=RhoPolicy(64), source=g2.n + 3
+        )
+
+
+def test_repair_result_metadata():
+    warm = _warm()
+    u, v, w = int(G.edge_sources[0]), int(G.indices[0]), float(G.weights[0])
+    resolved = resolve_updates(G, UpdateBatch(deletes=[(u, v)]))
+    g2 = apply_resolved(G, resolved)
+    rep = incremental_sssp(g2, resolved, warm, policy=RhoPolicy(64), seed=1)
+    assert rep.algorithm == "incremental-rho-stepping"
+    assert rep.params["incremental"] is True
+    assert rep.params["updates"] == resolved.size
+    assert rep.source == 0

@@ -20,7 +20,7 @@ class TestParser:
         sub = next(a for a in parser._actions if a.dest == "command")
         assert set(sub.choices) == {
             "info", "run", "batch", "sweep", "trace", "generate", "partition",
-            "serve", "loadgen",
+            "serve", "loadgen", "stream",
         }
 
     def test_run_requires_known_algorithm(self):
@@ -290,6 +290,46 @@ class TestServingCommands:
     def test_loadgen_rejects_unknown_profile(self, graph_file):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["loadgen", graph_file, "--profile", "spiky"])
+
+    def test_stream_synthetic_verified(self, graph_file, capsys):
+        assert main([
+            "stream", graph_file, "--events", "20", "--update-every", "4",
+            "--batch-size", "3", "--verify",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "stream replay" in out
+        assert "update batches" in out
+        assert "verified" in out
+
+    def test_stream_replays_saved_trace(self, graph_file, tmp_path, capsys):
+        trace = str(tmp_path / "trace.jsonl")
+        assert main([
+            "stream", graph_file, "--events", "12", "--update-every", "3",
+            "--save-trace", trace,
+        ]) == 0
+        capsys.readouterr()
+        assert main(["stream", graph_file, "--trace", trace, "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "mismatches" in out and "verified" in out
+
+    def test_stream_rejects_malformed_trace(self, graph_file, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"op": "compute", "source": 0}\n')
+        assert main(["stream", graph_file, "--trace", str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_stream_metrics_covers_dynamic(self, graph_file, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "m.json"
+        assert main([
+            "stream", graph_file, "--events", "10", "--update-every", "2",
+            "--metrics", str(out_path),
+        ]) == 0
+        snap = json.loads(out_path.read_text())
+        names = " ".join(snap["counters"])
+        assert "dynamic.engine.updates" in names
+        assert "serving.cache.invalidations" in names or "dynamic.engine.repaired" in names
 
     def test_serve_roundtrip_over_tcp_and_ctrl_c(self, graph_file):
         # The serve command blocks by design: drive it as a real subprocess,
