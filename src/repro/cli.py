@@ -19,6 +19,12 @@ Commands
                ``--trace`` replays a JSON-lines file, otherwise a synthetic
                trace is generated, and ``--verify`` checks every answer
                against a fresh recompute on the current graph.
+``build-labels`` run the offline precomputation pass (landmark table +
+               pruned hub labels, see :mod:`repro.labels`) and write the
+               versioned ``.labels`` artifact.
+``query``      answer one point-to-point ``dist(s, t)`` from a ``.labels``
+               artifact (built on the fly when ``--labels`` is omitted),
+               with ALT-bound validation and ``--verify`` against Dijkstra.
 
 ``run`` and ``batch`` accept ``--shards N`` (plus ``--partitioner P``) to
 execute through the sharded BSP driver — distances are bit-identical to the
@@ -320,8 +326,10 @@ def _cmd_serve(args) -> int:
     g = _load_graph(args.graph)
     engine = QueryEngine(
         g, args.algo, args.param, seed=args.seed, retries=args.retries,
+        mode="p2p" if args.p2p else "fast",
         shards=args.shards, partitioner=args.partitioner,
         pool_jobs=args.jobs, use_shm=args.shm,
+        labels_path=args.labels if args.p2p else None,
     )
     server = ShortestPathServer(
         engine, max_batch=args.max_batch, max_delay=args.max_delay,
@@ -479,6 +487,84 @@ def _cmd_stream(args) -> int:
     return 0
 
 
+def _cmd_build_labels(args) -> int:
+    from repro.labels import LabelBundle, build_hub_labels, build_landmarks, save_labels
+
+    g = _load_graph(args.graph)
+    landmarks = build_landmarks(
+        g, min(args.landmarks, g.n), strategy=args.strategy,
+        algo=args.algo, param=args.param, shortcut_rho=args.shortcut_rho,
+        seed=args.seed,
+    )
+    hubs = build_hub_labels(g, seed=args.seed) if args.hubs else None
+    bundle = LabelBundle(
+        fingerprint=g.fingerprint, landmarks=landmarks, hubs=hubs,
+        meta={"graph": args.graph},
+    )
+    path = save_labels(args.out, bundle)
+    rows = [
+        ["landmarks", landmarks.num_landmarks],
+        ["strategy", landmarks.strategy],
+        ["landmark build", f"{landmarks.build_seconds * 1e3:.1f} ms"],
+    ]
+    if hubs is not None:
+        rows.extend([
+            ["hub entries", hubs.total_entries],
+            ["avg label size", f"{hubs.avg_label_size:.1f}"],
+            ["hub build", f"{hubs.build_seconds * 1e3:.1f} ms"],
+        ])
+    rows.append(["artifact", str(path)])
+    print(format_table(["metric", "value"], rows,
+                       title=f"label tables for {args.graph}"))
+    return 0
+
+
+def _cmd_query(args) -> int:
+    import time
+
+    from repro.labels import (
+        LabelBundle,
+        LabelIndex,
+        build_hub_labels,
+        build_landmarks,
+        load_labels,
+    )
+
+    g = _load_graph(args.graph)
+    if args.labels:
+        bundle = load_labels(args.labels, graph=g)
+    else:
+        bundle = LabelBundle(
+            fingerprint=g.fingerprint,
+            landmarks=build_landmarks(g, min(args.landmarks, g.n), seed=args.seed),
+            hubs=build_hub_labels(g, seed=args.seed),
+        )
+    index = LabelIndex(g, bundle, algo=args.algo, param=args.param, seed=args.seed)
+    t0 = time.perf_counter()
+    d = index.dist(args.source, args.target)
+    lookup_s = time.perf_counter() - t0
+    lb, ub = index.bounds(args.source, args.target)
+    if args.verify:
+        ref = float(dijkstra_reference(g, args.source)[args.target])
+        if not (d == ref or (np.isinf(d) and np.isinf(ref))):
+            raise ReproError(
+                f"label answer {d!r} disagrees with Dijkstra {ref!r}"
+            )
+        print("verified against sequential Dijkstra")
+    rows = [
+        ["dist", d if np.isfinite(d) else "unreachable"],
+        ["ALT bounds", f"[{lb:g}, {ub:g}]"],
+        ["served by", "hub labels" if index.stats["hub_served"] else
+         ("landmarks" if index.stats["landmark_served"] else "SSSP fallback")],
+        ["lookup time", f"{lookup_s * 1e6:.0f} us"],
+    ]
+    print(format_table(
+        ["metric", "value"], rows,
+        title=f"dist({args.source}, {args.target}) on {args.graph}",
+    ))
+    return 0
+
+
 def _cmd_generate(args) -> int:
     if args.kind == "rmat":
         g = rmat(args.scale, args.degree, seed=args.seed, directed=args.directed)
@@ -633,6 +719,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="serve through the sharded BSP executor with N shards")
     p.add_argument("--partitioner", choices=["contiguous", "degree", "fennel", "ldg"],
                    default="contiguous", help="partition method for --shards")
+    p.add_argument("--p2p", action="store_true",
+                   help="build the label tier at startup and serve "
+                        '{"source", "target"} requests in microseconds')
+    p.add_argument("--labels", default=None, metavar="PATH",
+                   help="with --p2p: load/store the .labels artifact here")
     p.add_argument("--metrics", default=None, metavar="PATH",
                    help="write a metrics snapshot on shutdown")
     p.set_defaults(fn=_cmd_serve)
@@ -690,6 +781,48 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write a metrics snapshot (.json, or .prom/.txt for "
                         "Prometheus text format)")
     p.set_defaults(fn=_cmd_stream)
+
+    p = sub.add_parser("build-labels",
+                       help="precompute landmark + hub-label tables (.labels)")
+    p.add_argument("graph")
+    p.add_argument("--out", required=True, metavar="PATH",
+                   help="where to write the .labels artifact")
+    p.add_argument("--landmarks", type=int, default=16,
+                   help="landmark count (clamped to the vertex count)")
+    p.add_argument("--strategy", choices=["farthest", "degree"],
+                   default="farthest", help="landmark selection strategy")
+    p.add_argument("--algo", default="bf",
+                   help="stepping policy for the landmark vectors (rho/delta/bf)")
+    p.add_argument("--param", type=float, default=None, help="rho or delta")
+    p.add_argument("--shortcut-rho", type=int, default=None,
+                   help="run landmark SSSPs over the rho-shortcut-augmented "
+                        "graph (identical vectors, fewer rounds)")
+    p.add_argument("--hubs", action=argparse.BooleanOptionalAction, default=True,
+                   help="also build the pruned hub labels (exact p2p tier; "
+                        "--no-hubs keeps only the landmark bounds)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--metrics", default=None, metavar="PATH",
+                   help="write a metrics snapshot for the build")
+    p.set_defaults(fn=_cmd_build_labels)
+
+    p = sub.add_parser("query",
+                       help="point-to-point dist(s, t) from label tables")
+    p.add_argument("graph")
+    p.add_argument("source", type=int)
+    p.add_argument("target", type=int)
+    p.add_argument("--labels", default=None, metavar="PATH",
+                   help=".labels artifact (default: build tables on the fly)")
+    p.add_argument("--landmarks", type=int, default=16,
+                   help="landmark count for on-the-fly builds")
+    p.add_argument("--algo", default="bf",
+                   help="fallback stepping policy (rho/delta/bf)")
+    p.add_argument("--param", type=float, default=None, help="rho or delta")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--verify", action="store_true",
+                   help="check the answer against sequential Dijkstra")
+    p.add_argument("--metrics", default=None, metavar="PATH",
+                   help="write a metrics snapshot for the query")
+    p.set_defaults(fn=_cmd_query)
 
     p = sub.add_parser("generate", help="write a synthetic graph to .npz")
     p.add_argument("kind", choices=["rmat", "road-grid", "road-geo"])

@@ -157,11 +157,10 @@ def incremental_sssp(
             f"but the updated graph has n={n}"
         )
 
-    obs = OBS
     span = (
-        obs.tracer.begin("dynamic.repair", algo=policy.name, source=int(source),
+        OBS.tracer.begin("dynamic.repair", algo=policy.name, source=int(source),
                          n=int(n), updates=int(updates.size))
-        if obs.enabled and obs.tracer.enabled else None
+        if OBS.enabled and OBS.tracer.enabled else None
     )
     t0 = time.perf_counter()
     dist = np.array(warm_dist, dtype=np.float64, copy=True)
@@ -191,14 +190,14 @@ def incremental_sssp(
         decrease_only=decrease_only, updates=int(updates.size),
     )
     res.wall_seconds = time.perf_counter() - t0
-    if obs.enabled:
-        if obs.registry.enabled:
-            obs.registry.inc("dynamic.repairs")
-            obs.registry.inc("dynamic.cone", cone)
-            obs.registry.inc("dynamic.seeds", int(seeds.size))
-            obs.registry.observe("dynamic.repair.seconds", res.wall_seconds)
+    if OBS.enabled:
+        if OBS.registry.enabled:
+            OBS.registry.inc("dynamic.repairs")
+            OBS.registry.inc("dynamic.cone", cone)
+            OBS.registry.inc("dynamic.seeds", int(seeds.size))
+            OBS.registry.observe("dynamic.repair.seconds", res.wall_seconds)
         if span is not None:
             span.set(cone=cone, seeds=int(seeds.size),
                      decrease_only=decrease_only, steps=res.stats.num_steps)
-            obs.tracer.end(span)
+            OBS.tracer.end(span)
     return res

@@ -1,0 +1,38 @@
+"""Precomputation tier: landmark bounds + hub labels for point-to-point serving.
+
+Offline, :func:`build_landmarks` and :func:`build_hub_labels` spend SSSP
+time once per graph; online, :class:`LabelIndex` answers exact
+``dist(s, t)`` queries in microseconds from the resulting tables, with
+bound validation and SSSP fallback so a corrupt or stale table can never
+serve a wrong distance.  :mod:`repro.labels.store` persists tables as
+versioned ``.labels`` artifacts and keys the in-memory registry by graph
+fingerprint (the :class:`~repro.serving.cache.ResultCache` discipline).
+"""
+
+from repro.labels.hublabels import HubLabels, build_hub_labels, hub_distance
+from repro.labels.landmarks import LandmarkTable, build_landmarks, select_landmarks
+from repro.labels.query import LabelIndex
+from repro.labels.store import (
+    FORMAT_VERSION,
+    LabelBundle,
+    LabelStore,
+    load_labels,
+    load_or_none,
+    save_labels,
+)
+
+__all__ = [
+    "FORMAT_VERSION",
+    "HubLabels",
+    "LabelBundle",
+    "LabelIndex",
+    "LabelStore",
+    "LandmarkTable",
+    "build_hub_labels",
+    "build_landmarks",
+    "hub_distance",
+    "load_labels",
+    "load_or_none",
+    "save_labels",
+    "select_landmarks",
+]

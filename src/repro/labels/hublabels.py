@@ -1,0 +1,365 @@
+"""Pruned hub labeling: exact microsecond point-to-point distances.
+
+The second tier of the precomputation subsystem, after the landmark bounds
+of :mod:`repro.labels.landmarks`: a *2-hop cover*.  Every vertex ``v``
+carries two small label sets — ``L_out(v)`` of hubs ``h`` with the exact
+distance ``d(v -> h)`` and ``L_in(v)`` of hubs with ``d(h -> v)`` (one
+shared set on undirected graphs) — such that for every reachable pair
+``(s, t)`` some hub on a shortest ``s -> t`` path appears in both
+``L_out(s)`` and ``L_in(t)``.  Then::
+
+    dist(s, t) = min over h in L_out(s) ∩ L_in(t) of d(s, h) + d(h, t)
+
+computed by one sorted merge of two tiny arrays — no graph traversal at
+query time at all.
+
+Construction is the pruned labeling of Akiba–Iwata–Yoshida (the distance-
+ordered variant for weighted graphs): process vertices in *rank* order
+(degree-descending — on scale-free graphs the hubs that cover most paths
+come first), and from each root run a Dijkstra that is **pruned** wherever
+the labels built so far already certify the tentative distance: if
+``query(root, u) <= d`` when ``u`` comes off the heap, the root adds
+nothing for ``u`` (an earlier-ranked hub already covers this pair) and the
+search does not even expand ``u``.  The pruning is what keeps labels small
+— and it is *provably lossless*: the pruned entry is exactly dominated by
+an existing one, so lookups still return exact distances (the property
+suite checks lookup == SSSP for every pair on random graphs).
+
+Hub ids are stored as **ranks** (position in the processing order), which
+makes every per-vertex label array strictly increasing by construction —
+that sorted order is what the query-side merge exploits.
+
+On the paper's integer-weighted graphs every label distance and every
+``d(s,h) + d(h,t)`` sum is an exact float64 integer, so hub answers are
+**bit-identical** to the stepping algorithms' distances (asserted by the
+golden and hypothesis suites, and re-asserted inside the benchmark).
+
+``labels.build`` is fired once per build; ``labels.hub.*`` metrics sit
+behind the ``OBS.enabled`` seam.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graphs.csr import Graph
+from repro.obs import OBS
+from repro.serving.faults import get_injector
+from repro.utils.errors import LabelFormatError, ParameterError
+
+__all__ = ["HubLabels", "build_hub_labels", "hub_distance"]
+
+_INT = np.int64
+_INF = float("inf")
+
+
+@dataclass(frozen=True)
+class HubLabels:
+    """CSR-packed 2-hop cover labels for one graph.
+
+    ``out_hubs[out_indptr[v]:out_indptr[v+1]]`` are the hub *ranks* in
+    ``L_out(v)`` (strictly increasing), with ``out_dists`` the parallel
+    exact distances ``d(v -> hub)``; the ``in_*`` triple mirrors that for
+    ``L_in(v)`` / ``d(hub -> v)``.  On undirected graphs the ``in_*``
+    arrays are the *same objects* as the ``out_*`` arrays.  ``order`` maps
+    rank -> vertex id.
+    """
+
+    order: np.ndarray
+    out_indptr: np.ndarray
+    out_hubs: np.ndarray
+    out_dists: np.ndarray
+    in_indptr: np.ndarray
+    in_hubs: np.ndarray
+    in_dists: np.ndarray
+    fingerprint: str
+    build_seconds: float = 0.0
+    params: dict = field(default_factory=dict)
+
+    @property
+    def n(self) -> int:
+        return len(self.out_indptr) - 1
+
+    @property
+    def total_entries(self) -> int:
+        """Label entries stored (out + in; undirected tables count once)."""
+        out = len(self.out_hubs)
+        if self.in_hubs is self.out_hubs:
+            return out
+        return out + len(self.in_hubs)
+
+    @property
+    def avg_label_size(self) -> float:
+        sizes = len(self.out_hubs) + len(self.in_hubs)
+        return sizes / (2 * self.n) if self.n else 0.0
+
+    def out_label(self, v: int) -> "tuple[np.ndarray, np.ndarray]":
+        lo, hi = self.out_indptr[v], self.out_indptr[v + 1]
+        return self.out_hubs[lo:hi], self.out_dists[lo:hi]
+
+    def in_label(self, v: int) -> "tuple[np.ndarray, np.ndarray]":
+        lo, hi = self.in_indptr[v], self.in_indptr[v + 1]
+        return self.in_hubs[lo:hi], self.in_dists[lo:hi]
+
+    def validate(self, graph: "Graph | None" = None) -> None:
+        """Structural invariants, offender-naming (:class:`LabelFormatError`)."""
+        n = self.n
+        if graph is not None:
+            if n != graph.n:
+                raise LabelFormatError(
+                    f"hub labels built for n={n} vertices, graph has {graph.n}"
+                )
+            if self.fingerprint != graph.fingerprint:
+                raise LabelFormatError(
+                    f"hub-label fingerprint {self.fingerprint[:12]}... does not "
+                    f"match graph {graph.fingerprint[:12]}... — stale table"
+                )
+        if len(self.order) != n or len(np.unique(self.order)) != n:
+            raise LabelFormatError(
+                f"hub order must be a permutation of [0, {n}), got "
+                f"{len(self.order)} entries ({len(np.unique(self.order))} distinct)"
+            )
+        for side, indptr, hubs, dists in (
+            ("out", self.out_indptr, self.out_hubs, self.out_dists),
+            ("in", self.in_indptr, self.in_hubs, self.in_dists),
+        ):
+            if len(indptr) != n + 1 or indptr[0] != 0 or indptr[-1] != len(hubs):
+                raise LabelFormatError(
+                    f"{side}_indptr is not a valid CSR offset array "
+                    f"(len {len(indptr)}, first {int(indptr[0]) if len(indptr) else '-'}, "
+                    f"last {int(indptr[-1]) if len(indptr) else '-'}, {len(hubs)} hubs)"
+                )
+            if np.any(np.diff(indptr) < 0):
+                v = int(np.flatnonzero(np.diff(indptr) < 0)[0])
+                raise LabelFormatError(f"{side}_indptr decreases at vertex {v}")
+            if len(dists) != len(hubs):
+                raise LabelFormatError(
+                    f"{side} label arrays disagree: {len(hubs)} hubs, {len(dists)} distances"
+                )
+            if len(hubs) and ((hubs < 0) | (hubs >= n)).any():
+                e = int(np.flatnonzero((hubs < 0) | (hubs >= n))[0])
+                raise LabelFormatError(
+                    f"{side}_hubs[{e}] = {int(hubs[e])} out of rank range [0, {n})"
+                )
+            if len(dists) and (~np.isfinite(dists) | (dists < 0)).any():
+                e = int(np.flatnonzero(~np.isfinite(dists) | (dists < 0))[0])
+                raise LabelFormatError(
+                    f"{side}_dists[{e}] = {dists[e]!r} is not a finite "
+                    "non-negative distance"
+                )
+            # Per-vertex hub ranks must be strictly increasing — both a
+            # format invariant (the sorted merge relies on it) and a cheap
+            # corruption detector.
+            starts = indptr[:-1]
+            ends = indptr[1:]
+            inner = np.ones(len(hubs), dtype=bool)
+            if len(hubs):
+                inner[starts[starts < len(hubs)]] = False
+                noninc = np.flatnonzero((np.diff(hubs) <= 0) & inner[1:])
+                if noninc.size:
+                    e = int(noninc[0]) + 1
+                    v = int(np.searchsorted(ends, e, side="right"))
+                    raise LabelFormatError(
+                        f"{side} hub ranks not strictly increasing within "
+                        f"vertex {v} (entry {e})"
+                    )
+        # Every vertex must carry itself as a hub at distance 0 (rank of v),
+        # which is what makes dist(v, v) == 0 and hub/landmark queries for
+        # adjacent ranks exact.
+        rank_of = np.empty(n, dtype=_INT)
+        rank_of[self.order] = np.arange(n, dtype=_INT)
+        sides = [("out", self.out_indptr, self.out_hubs, self.out_dists)]
+        if self.in_hubs is not self.out_hubs:
+            sides.append(("in", self.in_indptr, self.in_hubs, self.in_dists))
+        for side, indptr, hubs, dists in sides:
+            for v in range(n):
+                lo, hi = indptr[v], indptr[v + 1]
+                pos = lo + np.searchsorted(hubs[lo:hi], rank_of[v])
+                if pos >= hi or hubs[pos] != rank_of[v] or dists[pos] != 0.0:
+                    raise LabelFormatError(
+                        f"vertex {v} is missing its own zero-distance hub "
+                        f"entry in L_{side} — corrupt table"
+                    )
+
+
+def hub_distance(labels: HubLabels, s: int, t: int) -> float:
+    """Exact ``dist(s, t)`` by sorted-hub merge (``inf`` when unreachable)."""
+    if s == t:
+        return 0.0
+    sh, sd = labels.out_label(s)
+    th, td = labels.in_label(t)
+    if len(sh) == 0 or len(th) == 0:
+        return _INF
+    # Sorted merge over the two strictly-increasing rank arrays.
+    common, si, ti = np.intersect1d(sh, th, assume_unique=True, return_indices=True)
+    if len(common) == 0:
+        return _INF
+    return float(np.min(sd[si] + td[ti]))
+
+
+def _order_by_degree(graph: Graph) -> np.ndarray:
+    """Processing order: degree-descending, ties toward the lower id.
+
+    For directed graphs the rank key is in-degree + out-degree — a hub must
+    cover paths arriving *and* leaving, so both sides count.
+    """
+    deg = graph.degrees.astype(np.int64)
+    if graph.directed:
+        deg = deg + np.bincount(graph.indices, minlength=graph.n).astype(np.int64)
+    # np.argsort of (-deg) with stable kind breaks ties toward lower ids.
+    return np.argsort(-deg, kind="stable").astype(_INT)
+
+
+def _pruned_dijkstra(
+    indptr, indices, weights, root: int, rank: int,
+    root_label_hubs, root_label_dists,
+    target_hubs: "list[list[int]]", target_dists: "list[list[float]]",
+    cover: np.ndarray,
+) -> int:
+    """One pruned search from ``root``; appends ``(rank, d)`` labels.
+
+    ``root_label_*`` are the root's *own* labels on the opposite side,
+    scattered into the dense ``cover`` array beforehand: ``cover[h]`` is
+    ``d`` for each hub ``h`` the root already carries, ``inf`` elsewhere.
+    A popped vertex ``u`` is pruned when some existing hub certifies
+    ``cover[h] + d(h-side, u) <= d`` — the 2-hop test of pruned labeling.
+    Returns the number of label entries appended.
+    """
+    dist = {root: 0.0}
+    heap = [(0.0, root)]
+    done = set()
+    appended = 0
+    while heap:
+        d, u = heapq.heappop(heap)
+        if u in done:
+            continue
+        done.add(u)
+        if d > dist.get(u, _INF):  # pragma: no cover - stale heap entry
+            continue
+        # Pruning test: is (root, u) already covered at distance <= d by a
+        # higher-ranked hub?  u's labels are rank-sorted lists; walk them.
+        hubs_u = target_hubs[u]
+        dists_u = target_dists[u]
+        covered = False
+        for h, dh in zip(hubs_u, dists_u):
+            if cover[h] + dh <= d:
+                covered = True
+                break
+        if covered:
+            continue
+        hubs_u.append(rank)
+        dists_u.append(d)
+        appended += 1
+        for e in range(indptr[u], indptr[u + 1]):
+            v = indices[e]
+            nd = d + weights[e]
+            if nd < dist.get(v, _INF):
+                dist[v] = nd
+                heapq.heappush(heap, (nd, v))
+    return appended
+
+
+def _pack(n: int, hubs: "list[list[int]]", dists: "list[list[float]]"):
+    indptr = np.zeros(n + 1, dtype=_INT)
+    indptr[1:] = np.cumsum([len(h) for h in hubs])
+    flat_h = np.fromiter(
+        (h for hs in hubs for h in hs), dtype=_INT, count=int(indptr[-1])
+    )
+    flat_d = np.fromiter(
+        (d for ds in dists for d in ds), dtype=np.float64, count=int(indptr[-1])
+    )
+    return indptr, flat_h, flat_d
+
+
+def build_hub_labels(graph: Graph, *, seed=0) -> HubLabels:
+    """Build the pruned 2-hop cover for ``graph`` (the offline pass).
+
+    Deterministic: the processing order is degree-descending with id
+    tie-breaks, the searches are Dijkstra with id tie-breaks from the heap,
+    and no randomness is consumed (``seed`` is recorded in ``params`` for
+    artifact provenance only).  Fires the ``labels.build`` fault site once
+    before any work — an injected exception fails the build (the engine
+    degrades to SSSP fallback), and the ``corrupt`` directive flips one
+    label distance negative, which :meth:`HubLabels.validate` rejects.
+    """
+    t0 = time.perf_counter()
+    injector = get_injector()
+    directive = injector.fire("labels.build")
+    n = graph.n
+    if n == 0:
+        raise ParameterError("cannot build hub labels for an empty graph")
+    order = _order_by_degree(graph)
+    indptr = graph.indptr
+    indices = graph.indices
+    weights = graph.weights
+
+    out_hubs: "list[list[int]]" = [[] for _ in range(n)]
+    out_dists: "list[list[float]]" = [[] for _ in range(n)]
+    if graph.directed:
+        rev_src, rev_dst, rev_w = graph.edges()
+        rev = Graph.from_edges(n, rev_dst, rev_src, rev_w, directed=True, dedup=False)
+        in_hubs: "list[list[int]]" = [[] for _ in range(n)]
+        in_dists: "list[list[float]]" = [[] for _ in range(n)]
+    else:
+        in_hubs, in_dists = out_hubs, out_dists
+
+    cover = np.full(n, _INF)
+    for rank in range(n):
+        root = int(order[rank])
+        # Forward search from root: reaches u with d(root -> u); prunes via
+        # hubs common to L_out(root) and L_in(u); appends to L_in(u).
+        for h, dh in zip(out_hubs[root], out_dists[root]):
+            cover[h] = dh
+        # The root is its own hub at distance 0 (it is appended by the
+        # search itself when u == root, since cover cannot certify 0 until
+        # the self-entry exists).
+        _pruned_dijkstra(
+            indptr, indices, weights, root, rank,
+            out_hubs[root], out_dists[root], in_hubs, in_dists, cover,
+        )
+        for h in out_hubs[root]:
+            cover[h] = _INF
+        if graph.directed:
+            # Backward search over the transposed CSR: reaches u with
+            # d(u -> root); prunes via L_in(root) ∩ L_out(u); appends to
+            # L_out(u).
+            for h, dh in zip(in_hubs[root], in_dists[root]):
+                cover[h] = dh
+            _pruned_dijkstra(
+                rev.indptr, rev.indices, rev.weights, root, rank,
+                in_hubs[root], in_dists[root], out_hubs, out_dists, cover,
+            )
+            for h in in_hubs[root]:
+                cover[h] = _INF
+
+    out_ip, out_h, out_d = _pack(n, out_hubs, out_dists)
+    if graph.directed:
+        in_ip, in_h, in_d = _pack(n, in_hubs, in_dists)
+    else:
+        in_ip, in_h, in_d = out_ip, out_h, out_d
+    if directive == "corrupt":
+        out_d = np.array(out_d, copy=True)
+        if len(out_d):
+            out_d[0] = -1.0  # negative label distance: validate() rejects
+        if not graph.directed:
+            in_d = out_d
+    labels = HubLabels(
+        order=order,
+        out_indptr=out_ip, out_hubs=out_h, out_dists=out_d,
+        in_indptr=in_ip, in_hubs=in_h, in_dists=in_d,
+        fingerprint=graph.fingerprint,
+        build_seconds=time.perf_counter() - t0,
+        params={"order": "degree", "seed": seed},
+    )
+    labels.validate(graph)
+    if OBS.enabled:
+        registry = OBS.registry
+        registry.inc("labels.build.hub_tables")
+        registry.set_gauge("labels.hub.entries", float(labels.total_entries))
+        registry.set_gauge("labels.hub.avg_size", labels.avg_label_size)
+        registry.observe("labels.build.seconds", labels.build_seconds)
+    return labels

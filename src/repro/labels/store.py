@@ -1,0 +1,315 @@
+"""Persistence and serving-side registry for label tables.
+
+The offline passes (:func:`~repro.labels.landmarks.build_landmarks`,
+:func:`~repro.labels.hublabels.build_hub_labels`) are the expensive half of
+the precomputation trade; this module makes their output durable and safe
+to serve:
+
+* **``.labels`` artifact** — one ``np.savez`` container holding the
+  landmark table and/or hub labels plus a JSON metadata record (format
+  version, graph fingerprint, build provenance).  Writes are atomic
+  (write-then-rename, the ``.graphcache`` discipline) so an interrupted
+  save never leaves a truncated artifact; loads *self-heal*: a corrupt or
+  version-skewed file raises a typed :class:`LabelFormatError` from
+  :func:`load_labels`, while :func:`load_or_none` converts that to a
+  warning plus ``None`` so callers rebuild transparently.
+* **offender-naming validation** — every loaded table passes the same
+  :meth:`validate` checks as a fresh build, including the fingerprint
+  match against the serving graph: a table built for any other CSR (or
+  doctored on disk) is rejected *by name* before it can serve one wrong
+  distance.
+* **:class:`LabelStore`** — the in-memory registry keyed by
+  ``(graph_id, fingerprint)`` exactly like
+  :class:`~repro.serving.cache.ResultCache` (both ride the shared
+  :class:`~repro.serving.cache.FingerprintLRU`), with the same
+  invalidation contract: :meth:`~repro.serving.cache.FingerprintLRU.invalidate`
+  drops every bundle pinned to a pre-update fingerprint, and dropped
+  bundles are additionally *marked stale* so even a caller holding a
+  direct reference can never serve one (checked by
+  :meth:`LabelBundle.require_fresh`).
+
+Metrics land behind the ``OBS.enabled`` seam (``labels.store.*`` via the
+shared LRU, ``labels.artifact.*`` here).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import warnings
+import zipfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.graphs.csr import Graph
+from repro.labels.hublabels import HubLabels
+from repro.labels.landmarks import LandmarkTable
+from repro.obs import OBS
+from repro.serving.cache import FingerprintLRU, graph_id
+from repro.utils.errors import LabelFormatError
+
+__all__ = [
+    "FORMAT_VERSION",
+    "LabelBundle",
+    "LabelStore",
+    "load_labels",
+    "load_or_none",
+    "save_labels",
+]
+
+FORMAT_VERSION = 1
+
+#: Exceptions that mean "this artifact is unusable" rather than "bug":
+#: truncated zip, missing keys, garbled arrays, failed validation.
+_CORRUPT_ERRORS = (
+    zipfile.BadZipFile, OSError, EOFError, KeyError, ValueError, LabelFormatError,
+)
+
+
+@dataclass
+class LabelBundle:
+    """One graph's precomputed query tier: landmarks and/or hub labels.
+
+    ``stale`` is flipped (never cleared) when the graph the bundle was
+    built for is updated — a stale bundle must answer nothing, and every
+    query-side entry point calls :meth:`require_fresh` first.
+    """
+
+    fingerprint: str
+    landmarks: "LandmarkTable | None" = None
+    hubs: "HubLabels | None" = None
+    meta: dict = field(default_factory=dict)
+    stale: bool = False
+
+    @property
+    def has_hubs(self) -> bool:
+        return self.hubs is not None
+
+    @property
+    def has_landmarks(self) -> bool:
+        return self.landmarks is not None
+
+    def mark_stale(self) -> None:
+        self.stale = True
+
+    def require_fresh(self, graph: "Graph | None" = None) -> None:
+        """Raise :class:`LabelFormatError` unless this bundle may serve.
+
+        A bundle serves only while (a) it has not been marked stale by an
+        update and (b) its fingerprint matches the serving graph's — both
+        checks are cheap string/flag tests on the lookup path.
+        """
+        if self.stale:
+            raise LabelFormatError(
+                f"label bundle for fingerprint {self.fingerprint[:12]}... is "
+                "stale (graph was updated); rebuild before serving"
+            )
+        if graph is not None and graph.fingerprint != self.fingerprint:
+            raise LabelFormatError(
+                f"label bundle fingerprint {self.fingerprint[:12]}... does not "
+                f"match serving graph {graph.fingerprint[:12]}..."
+            )
+
+    def validate(self, graph: "Graph | None" = None) -> None:
+        """Full structural validation of every table in the bundle."""
+        if self.landmarks is None and self.hubs is None:
+            raise LabelFormatError("label bundle holds neither landmarks nor hub labels")
+        if self.landmarks is not None:
+            if self.landmarks.fingerprint != self.fingerprint:
+                raise LabelFormatError(
+                    "bundle fingerprint disagrees with its landmark table "
+                    f"({self.fingerprint[:12]}... vs {self.landmarks.fingerprint[:12]}...)"
+                )
+            self.landmarks.validate(graph)
+        if self.hubs is not None:
+            if self.hubs.fingerprint != self.fingerprint:
+                raise LabelFormatError(
+                    "bundle fingerprint disagrees with its hub-label table "
+                    f"({self.fingerprint[:12]}... vs {self.hubs.fingerprint[:12]}...)"
+                )
+            self.hubs.validate(graph)
+
+
+class LabelStore(FingerprintLRU):
+    """In-memory bundle registry keyed like :class:`ResultCache`.
+
+    ``invalidate`` both drops the entries *and* marks every dropped bundle
+    stale, so the two staleness defenses (key scheme, flag) fail together
+    only if the caller forges a key.
+    """
+
+    def __init__(self, capacity: int = 8) -> None:
+        super().__init__(capacity, metric_prefix="labels.store")
+
+    @staticmethod
+    def key(graph: Graph) -> tuple:
+        return (graph_id(graph), graph.fingerprint, "labels")
+
+    def invalidate(self, gid: str, fingerprint: str):
+        dropped = super().invalidate(gid, fingerprint)
+        for bundle in dropped.values():
+            if isinstance(bundle, LabelBundle):
+                bundle.mark_stale()
+        return dropped
+
+
+# --------------------------------------------------------------------------- #
+# .labels artifact
+
+
+def save_labels(path, bundle: LabelBundle) -> Path:
+    """Write ``bundle`` to ``path`` atomically; returns the final path.
+
+    The artifact is an ``npz`` container: a JSON ``meta`` record plus the
+    raw arrays.  Write-then-rename means a crash mid-save leaves either the
+    old artifact or none — never a truncated one (the ``.graphcache``
+    discipline).
+    """
+    path = Path(path)
+    bundle.validate()
+    arrays: dict = {}
+    meta = {
+        "format": "repro-labels",
+        "version": FORMAT_VERSION,
+        "fingerprint": bundle.fingerprint,
+        "meta": bundle.meta,
+        "has_landmarks": bundle.has_landmarks,
+        "has_hubs": bundle.has_hubs,
+    }
+    if bundle.landmarks is not None:
+        lm = bundle.landmarks
+        meta["landmarks"] = {
+            "strategy": lm.strategy,
+            "build_seconds": lm.build_seconds,
+            "params": lm.params,
+            "symmetric": lm.dist_to is lm.dist_from,
+        }
+        arrays["lm_ids"] = lm.landmarks
+        arrays["lm_dist_from"] = lm.dist_from
+        if lm.dist_to is not lm.dist_from:
+            arrays["lm_dist_to"] = lm.dist_to
+    if bundle.hubs is not None:
+        hl = bundle.hubs
+        meta["hubs"] = {
+            "build_seconds": hl.build_seconds,
+            "params": hl.params,
+            "symmetric": hl.in_hubs is hl.out_hubs,
+        }
+        arrays["hub_order"] = hl.order
+        arrays["hub_out_indptr"] = hl.out_indptr
+        arrays["hub_out_hubs"] = hl.out_hubs
+        arrays["hub_out_dists"] = hl.out_dists
+        if hl.in_hubs is not hl.out_hubs:
+            arrays["hub_in_indptr"] = hl.in_indptr
+            arrays["hub_in_hubs"] = hl.in_hubs
+            arrays["hub_in_dists"] = hl.in_dists
+    arrays["meta_json"] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp.npz")
+    np.savez(tmp, **arrays)
+    # np.savez appends ".npz" when missing; the temp name already carries it.
+    os.replace(tmp, path)
+    if OBS.enabled:
+        OBS.registry.inc("labels.artifact.saves")
+    return path
+
+
+def load_labels(path, *, graph: "Graph | None" = None) -> LabelBundle:
+    """Load and validate a ``.labels`` artifact.
+
+    Raises :class:`LabelFormatError` naming the problem for anything
+    unusable: truncated/garbled files, unknown format versions, missing
+    arrays, failed table validation, or (with ``graph`` given) a
+    fingerprint that does not match the serving graph.
+    """
+    path = Path(path)
+    try:
+        with np.load(path) as data:
+            meta = json.loads(bytes(data["meta_json"]).decode("utf-8"))
+            if meta.get("format") != "repro-labels":
+                raise LabelFormatError(
+                    f"{path} is not a repro .labels artifact "
+                    f"(format={meta.get('format')!r})"
+                )
+            version = meta.get("version")
+            if version != FORMAT_VERSION:
+                raise LabelFormatError(
+                    f"{path} has format version {version!r}; this build reads "
+                    f"version {FORMAT_VERSION} — rebuild the artifact"
+                )
+            fingerprint = meta["fingerprint"]
+            landmarks = hubs = None
+            if meta.get("has_landmarks"):
+                lmeta = meta["landmarks"]
+                dist_from = data["lm_dist_from"]
+                dist_to = dist_from if lmeta["symmetric"] else data["lm_dist_to"]
+                landmarks = LandmarkTable(
+                    landmarks=data["lm_ids"],
+                    dist_from=dist_from,
+                    dist_to=dist_to,
+                    strategy=lmeta["strategy"],
+                    fingerprint=fingerprint,
+                    build_seconds=lmeta["build_seconds"],
+                    params=lmeta["params"],
+                )
+            if meta.get("has_hubs"):
+                hmeta = meta["hubs"]
+                out_ip = data["hub_out_indptr"]
+                out_h = data["hub_out_hubs"]
+                out_d = data["hub_out_dists"]
+                if hmeta["symmetric"]:
+                    in_ip, in_h, in_d = out_ip, out_h, out_d
+                else:
+                    in_ip = data["hub_in_indptr"]
+                    in_h = data["hub_in_hubs"]
+                    in_d = data["hub_in_dists"]
+                hubs = HubLabels(
+                    order=data["hub_order"],
+                    out_indptr=out_ip, out_hubs=out_h, out_dists=out_d,
+                    in_indptr=in_ip, in_hubs=in_h, in_dists=in_d,
+                    fingerprint=fingerprint,
+                    build_seconds=hmeta["build_seconds"],
+                    params=hmeta["params"],
+                )
+    except LabelFormatError:
+        raise
+    except _CORRUPT_ERRORS as exc:
+        raise LabelFormatError(
+            f"label artifact {path} is corrupt or unreadable "
+            f"({type(exc).__name__}: {exc})"
+        ) from exc
+    bundle = LabelBundle(
+        fingerprint=fingerprint, landmarks=landmarks, hubs=hubs,
+        meta=meta.get("meta", {}),
+    )
+    bundle.validate(graph)
+    if OBS.enabled:
+        OBS.registry.inc("labels.artifact.loads")
+    return bundle
+
+
+def load_or_none(path, *, graph: "Graph | None" = None) -> "LabelBundle | None":
+    """Self-healing load: corrupt/stale/missing artifacts warn and return ``None``.
+
+    The caller's contract is "rebuild when you get ``None``" — a garbled
+    artifact (interrupted write, text-mode transfer, wrong graph) must
+    never take the serving path down, only cost one rebuild.
+    """
+    path = Path(path)
+    if not path.exists():
+        return None
+    try:
+        return load_labels(path, graph=graph)
+    except LabelFormatError as exc:
+        warnings.warn(
+            f"label artifact {path} rejected ({exc}); rebuilding",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        if OBS.enabled:
+            OBS.registry.inc("labels.artifact.rejects")
+        return None

@@ -1,15 +1,18 @@
-"""Keyed LRU cache for SSSP query results.
+"""Fingerprint-keyed LRU stores for serving-side artifacts.
 
-Keys are ``(graph_id, fingerprint, algo, param, source)`` — everything that
-determines a distance vector.  ``graph_id`` is a process-stable identity
-token handed out per :class:`~repro.graphs.csr.Graph` object (weakly held,
-never reused), so two engines over the same loaded graph share cache lines
-while a reloaded or mutated-copy graph gets a fresh namespace.  The
-``fingerprint`` component is the graph's content hash
+Two consumers share one eviction/invalidation engine
+(:class:`FingerprintLRU`): the distance-vector :class:`ResultCache` and the
+label-table store (:class:`repro.labels.store.LabelStore`).  Keys are tuples
+whose first two components are ``(graph_id, fingerprint)`` — everything that
+pins an artifact to one exact graph.  ``graph_id`` is a process-stable
+identity token handed out per :class:`~repro.graphs.csr.Graph` object
+(weakly held, never reused), so two engines over the same loaded graph share
+cache lines while a reloaded or mutated-copy graph gets a fresh namespace.
+The ``fingerprint`` component is the graph's content hash
 (:attr:`~repro.graphs.csr.Graph.fingerprint`): even if two distinct graphs
 were ever handed the same identity token (same name, same shape), their
-differing CSR content keeps their cache lines apart, so a stale distance
-array can never be served for the wrong graph.
+differing CSR content keeps their cache lines apart, so a stale artifact can
+never be served for the wrong graph.
 """
 
 from __future__ import annotations
@@ -24,7 +27,7 @@ from repro.graphs.csr import Graph
 from repro.obs import OBS
 from repro.utils.errors import ParameterError
 
-__all__ = ["ResultCache", "graph_id"]
+__all__ = ["FingerprintLRU", "ResultCache", "graph_id"]
 
 _GRAPH_IDS: "weakref.WeakKeyDictionary[Graph, str]" = weakref.WeakKeyDictionary()
 _NEXT_ID = itertools.count()
@@ -44,20 +47,27 @@ def graph_id(graph: Graph) -> str:
     return token
 
 
-class ResultCache:
-    """LRU mapping ``(graph_id, fingerprint, algo, param, source) -> distances``.
+class FingerprintLRU:
+    """LRU mapping ``(graph_id, fingerprint, ...) -> artifact``.
 
-    Stored arrays are copies marked read-only; ``get`` returns them directly
-    (callers copy if they need to mutate).  ``hits``/``misses``/``evictions``
-    counters feed the serving stats endpoint, and mirror into the process
-    metrics registry (``serving.cache.*``) when observability is installed.
+    The shared store engine behind :class:`ResultCache` and the label-table
+    store: bounded capacity with least-recently-used eviction, hit/miss/
+    eviction/invalidation counters, and fingerprint-scoped invalidation
+    (:meth:`invalidate` drops every entry pinned to one ``(graph_id,
+    fingerprint)`` pair and returns the dropped artifacts in LRU order so
+    callers can recycle them as warm seeds).
+
+    ``metric_prefix`` (e.g. ``"serving.cache"``) mirrors the counters into
+    the process metrics registry behind the ``OBS.enabled`` seam; ``None``
+    keeps the store silent.
     """
 
-    def __init__(self, capacity: int = 256) -> None:
+    def __init__(self, capacity: int = 256, *, metric_prefix: "str | None" = None) -> None:
         if capacity < 1:
             raise ParameterError(f"cache capacity must be >= 1, got {capacity}")
         self.capacity = capacity
-        self._data: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+        self.metric_prefix = metric_prefix
+        self._data: "OrderedDict[tuple, object]" = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -69,56 +79,50 @@ class ResultCache:
     def __contains__(self, key: tuple) -> bool:
         return key in self._data
 
-    @staticmethod
-    def key(graph: Graph, algo: str, param, source: int) -> tuple:
-        return (graph_id(graph), graph.fingerprint, algo, param, int(source))
+    def _count(self, event: str, amount: int = 1) -> None:
+        if self.metric_prefix is not None and OBS.enabled:
+            OBS.registry.inc(f"{self.metric_prefix}.{event}", amount)
 
-    def get(self, key: tuple) -> "np.ndarray | None":
-        dist = self._data.get(key)
-        if dist is None:
+    def get(self, key: tuple):
+        """The stored artifact for ``key`` (freshened to MRU), or ``None``."""
+        value = self._data.get(key)
+        if value is None:
             self.misses += 1
-            if OBS.enabled:
-                OBS.registry.inc("serving.cache.misses")
+            self._count("misses")
             return None
         self._data.move_to_end(key)
         self.hits += 1
-        if OBS.enabled:
-            OBS.registry.inc("serving.cache.hits")
-        return dist
+        self._count("hits")
+        return value
 
-    def put(self, key: tuple, dist: np.ndarray) -> np.ndarray:
-        """Store a copy of ``dist`` under ``key``; returns the stored array."""
-        stored = np.array(dist, copy=True)
-        stored.setflags(write=False)
+    def put(self, key: tuple, value):
+        """Store ``value`` under ``key``, evicting LRU entries over capacity."""
         if key in self._data:
             self._data.move_to_end(key)
-        self._data[key] = stored
+        self._data[key] = value
         while len(self._data) > self.capacity:
             self._data.popitem(last=False)
             self.evictions += 1
-            if OBS.enabled:
-                OBS.registry.inc("serving.cache.evictions")
-        if OBS.enabled:
-            OBS.registry.inc("serving.cache.inserts")
-        return stored
+            self._count("evictions")
+        self._count("inserts")
+        return value
 
-    def invalidate(self, gid: str, fingerprint: str) -> "OrderedDict[tuple, np.ndarray]":
+    def invalidate(self, gid: str, fingerprint: str) -> "OrderedDict[tuple, object]":
         """Drop every entry for ``(gid, fingerprint)``; return what was dropped.
 
         Called when a graph is updated in place of its serving slot: the old
         fingerprint's entries must never be served again, but they are still
-        *warm* — valid distances for the pre-update graph — so they are
+        *warm* — valid artifacts for the pre-update graph — so they are
         returned (in LRU order) for the caller to seed incremental repair
-        rather than discarded outright.  Counted in ``invalidations`` and
-        mirrored to ``serving.cache.invalidations``.
+        rather than discarded outright.
         """
-        dropped: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+        dropped: "OrderedDict[tuple, object]" = OrderedDict()
         stale = [k for k in self._data if k[0] == gid and k[1] == fingerprint]
         for key in stale:
             dropped[key] = self._data.pop(key)
         self.invalidations += len(dropped)
-        if OBS.enabled and dropped:
-            OBS.registry.inc("serving.cache.invalidations", len(dropped))
+        if dropped:
+            self._count("invalidations", len(dropped))
         return dropped
 
     def clear(self) -> None:
@@ -127,3 +131,28 @@ class ResultCache:
         self.misses = 0
         self.evictions = 0
         self.invalidations = 0
+
+
+class ResultCache(FingerprintLRU):
+    """LRU mapping ``(graph_id, fingerprint, algo, param, source) -> distances``.
+
+    A :class:`FingerprintLRU` specialised for distance vectors: stored
+    arrays are copies marked read-only; ``get`` returns them directly
+    (callers copy if they need to mutate).  ``hits``/``misses``/
+    ``evictions`` counters feed the serving stats endpoint and mirror into
+    the process metrics registry (``serving.cache.*``) when observability
+    is installed.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        super().__init__(capacity, metric_prefix="serving.cache")
+
+    @staticmethod
+    def key(graph: Graph, algo: str, param, source: int) -> tuple:
+        return (graph_id(graph), graph.fingerprint, algo, param, int(source))
+
+    def put(self, key: tuple, dist: np.ndarray) -> np.ndarray:
+        """Store a copy of ``dist`` under ``key``; returns the stored array."""
+        stored = np.array(dist, copy=True)
+        stored.setflags(write=False)
+        return super().put(key, stored)

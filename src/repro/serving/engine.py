@@ -16,6 +16,17 @@ Two execution modes:
   replay whose per-source ``StepRecord`` streams match scalar runs
   bit-for-bit; use it when the caller needs metered results (the analysis
   layer) rather than raw answers.
+* ``"p2p"`` — fast-path batches **plus** the precomputed point-to-point
+  tier (:mod:`repro.labels`): the engine eagerly builds landmark + hub
+  label tables at construction (with the engine's retry budget, through
+  the ``labels.build`` fault site) and serves :meth:`QueryEngine.dist` /
+  :meth:`QueryEngine.reachable` / :meth:`QueryEngine.knearest` from them
+  in microseconds.  Every label answer is validated against the exact ALT
+  bound sandwich; a violation, a lookup fault, or a build that kept
+  failing degrades to the cached SSSP path — bit-identical answers,
+  slower.  ``labels_path`` persists the tables as a ``.labels`` artifact
+  (loaded in preference to rebuilding, rejected-and-rebuilt when corrupt
+  or stale).
 
 Sharded serving: constructing the engine with ``shards >= 1`` routes every
 execution through :func:`~repro.shard.executor.sharded_sssp` over a
@@ -73,7 +84,9 @@ Fault-injection sites: ``engine.execute`` fires on every execution attempt;
 ``engine.exact`` (resp. ``engine.sharded``) additionally fires on the exact
 (resp. sharded) path only — which is what lets the chaos suite force a
 degradation without touching the fallback; ``engine.update`` fires on every
-cache-repair attempt inside :meth:`QueryEngine.apply_updates`.
+cache-repair attempt inside :meth:`QueryEngine.apply_updates`;
+``labels.build`` / ``labels.lookup`` fire inside the label tier (see
+:mod:`repro.labels`).
 """
 
 from __future__ import annotations
@@ -134,7 +147,7 @@ class QueryEngine:
         ρ for ``"rho"`` (defaults to :data:`~repro.core.algorithms.DEFAULT_RHO`),
         Δ for ``"delta"`` (required); ignored for ``"bf"``.
     mode:
-        ``"fast"`` or ``"exact"`` (see module docstring).
+        ``"fast"``, ``"exact"`` or ``"p2p"`` (see module docstring).
     cache_size:
         LRU capacity in distance vectors.
     seed:
@@ -176,6 +189,14 @@ class QueryEngine:
         shared-memory plane, ``True`` prefers it (degrading with a warning
         if registration fails), ``False`` forces the pickle transport.
         Ignored without ``pool_jobs``.
+    num_landmarks / label_strategy:
+        Size and selection strategy of the landmark table built in
+        ``"p2p"`` mode (see :func:`repro.labels.build_landmarks`).
+    labels_path:
+        Optional ``.labels`` artifact path for ``"p2p"`` mode: loaded in
+        preference to rebuilding when it matches the served graph, written
+        after every (re)build.  A corrupt or stale artifact is rejected
+        with a warning and rebuilt — it can never serve.
     """
 
     def __init__(
@@ -197,11 +218,18 @@ class QueryEngine:
         shard_jobs: int = 0,
         pool_jobs: int = 0,
         use_shm: "bool | None" = None,
+        num_landmarks: int = 16,
+        label_strategy: str = "farthest",
+        labels_path=None,
     ) -> None:
         if algo not in ("rho", "delta", "bf"):
             raise ParameterError(f"unknown algo {algo!r}; choose rho, delta or bf")
-        if mode not in ("fast", "exact"):
-            raise ParameterError(f"unknown mode {mode!r}; choose fast or exact")
+        if mode not in ("fast", "exact", "p2p"):
+            raise ParameterError(f"unknown mode {mode!r}; choose fast, exact or p2p")
+        if labels_path is not None and mode != "p2p":
+            raise ParameterError("labels_path requires mode='p2p'")
+        if num_landmarks < 1:
+            raise ParameterError(f"num_landmarks must be >= 1, got {num_landmarks}")
         if shards < 0:
             raise ParameterError(f"shards must be >= 0, got {shards}")
         if shards and mode == "exact":
@@ -298,6 +326,16 @@ class QueryEngine:
             "repaired": 0,
             # entries whose repair failed and degraded to a full recompute
             "repair_degraded": 0,
+            # p2p queries answered (dist/reachable/knearest entry points)
+            "p2p_queries": 0,
+            # label-table builds that completed and validated
+            "label_builds": 0,
+            # label-build attempts that failed (injected or real)
+            "label_build_failures": 0,
+            # p2p queries served by SSSP because no label tables were live
+            "label_fallbacks": 0,
+            # label tables rebuilt after apply_updates invalidated them
+            "label_rebuilds": 0,
         }
         self._consecutive_failures = 0
         self._open_until: "float | None" = None
@@ -310,6 +348,20 @@ class QueryEngine:
         # it directly — check-then-set must be atomic.
         self._circuit_lock = threading.Lock()
         self._probe_inflight = False
+        # Point-to-point label tier (p2p mode only): the store is the
+        # fingerprint-keyed registry whose invalidation marks bundles stale;
+        # the index is the validated query front end over the live bundle.
+        self.num_landmarks = int(num_landmarks)
+        self.label_strategy = label_strategy
+        self.labels_path = labels_path
+        self._label_store = None
+        self._label_index = None
+        if mode == "p2p":
+            from repro.labels import LabelStore
+
+            self._label_store = LabelStore()
+            # Eager build: p2p engines come up hot (or provably degraded).
+            self._ensure_labels()
 
     # Read-only views of the counters (the pre-observability attribute API).
     @property
@@ -415,6 +467,153 @@ class QueryEngine:
             registry.observe("serving.batch.seconds", time.perf_counter() - t0)
         return np.stack([rows[key] for key in keys])
 
+    # ------------------------------------------------------------------ #
+    # point-to-point tier (p2p mode)
+
+    @property
+    def labels_ready(self) -> bool:
+        """Whether live label tables are serving (p2p mode, build healthy)."""
+        return (
+            self._label_index is not None
+            and not self._label_index.bundle.stale
+        )
+
+    def _require_p2p(self) -> None:
+        if self.mode != "p2p":
+            raise ParameterError(
+                "point-to-point queries require mode='p2p' "
+                f"(engine mode is {self.mode!r})"
+            )
+
+    def _label_fallback_row(self, source: int) -> np.ndarray:
+        """Exact SSSP row for the label tier's fallback — cached, resilient."""
+        return self.query_batch([source])[0]
+
+    def _build_labels(self):
+        """One resilient label build (landmarks + hubs), or ``None``.
+
+        Each attempt passes through the ``labels.build`` fault site (inside
+        the builders) and full structural validation; a corrupt build is
+        rejected there and retried like any transient execution failure.
+        ``None`` after the retry budget means the engine serves p2p queries
+        from the SSSP fallback until the next build opportunity.
+        """
+        from repro.labels import LabelBundle, build_hub_labels, build_landmarks
+
+        L = min(self.num_landmarks, self.graph.n)
+        for attempt in range(self.retries + 1):
+            try:
+                landmarks = build_landmarks(
+                    self.graph, L, strategy=self.label_strategy,
+                    algo=self.algo, param=self.param, seed=self.seed,
+                )
+                hubs = build_hub_labels(self.graph, seed=self.seed)
+                bundle = LabelBundle(
+                    fingerprint=self.graph.fingerprint,
+                    landmarks=landmarks, hubs=hubs,
+                    meta={"algo": self.algo, "param": self.param},
+                )
+                bundle.validate(self.graph)
+                self._counters["label_builds"] += 1
+                if OBS.enabled:
+                    OBS.registry.inc("serving.engine.label_builds")
+                return bundle
+            except Exception as exc:
+                self._counters["label_build_failures"] += 1
+                if OBS.enabled:
+                    OBS.registry.inc("serving.engine.label_build_failures")
+                _LOG.warning(
+                    "label build attempt %d/%d failed: %s",
+                    attempt + 1, self.retries + 1, exc,
+                )
+        _LOG.warning(
+            "label build exhausted its retry budget; serving p2p queries "
+            "from the SSSP fallback"
+        )
+        return None
+
+    def _ensure_labels(self):
+        """The live :class:`~repro.labels.LabelIndex`, (re)building as needed.
+
+        Resolution order: live index → store entry for the current
+        fingerprint → ``labels_path`` artifact (rejected if corrupt or
+        stale) → fresh build (persisted back to ``labels_path``).  Returns
+        ``None`` when building kept failing — callers degrade, never crash.
+        """
+        if self.labels_ready:
+            return self._label_index
+        from repro.labels import LabelIndex, LabelStore, load_or_none, save_labels
+
+        self._label_index = None
+        key = LabelStore.key(self.graph)
+        bundle = self._label_store.get(key)
+        if bundle is not None and bundle.stale:  # pragma: no cover - defensive
+            bundle = None
+        if bundle is None and self.labels_path is not None:
+            bundle = load_or_none(self.labels_path, graph=self.graph)
+        if bundle is None:
+            bundle = self._build_labels()
+            if bundle is None:
+                return None
+            if self.labels_path is not None:
+                save_labels(self.labels_path, bundle)
+        self._label_store.put(key, bundle)
+        self._label_index = LabelIndex(
+            self.graph, bundle, fallback=self._label_fallback_row
+        )
+        return self._label_index
+
+    def dist(self, source: int, target: int) -> float:
+        """Exact point-to-point distance (``inf`` when unreachable).
+
+        Label-served in microseconds when the tables are live and pass
+        bound validation; otherwise answered from the cached SSSP path —
+        bit-identical either way.
+        """
+        self._require_p2p()
+        source, target = self._admit([source, target])
+        self._counters["p2p_queries"] += 1
+        if OBS.enabled:
+            OBS.registry.inc("serving.engine.p2p_queries")
+        index = self._ensure_labels()
+        if index is None:
+            self._counters["label_fallbacks"] += 1
+            if OBS.enabled:
+                OBS.registry.inc("serving.engine.label_fallbacks")
+            return float(self._label_fallback_row(source)[target])
+        return index.dist(source, target)
+
+    def reachable(self, source: int, target: int) -> bool:
+        """Whether a ``source -> target`` path exists (p2p mode)."""
+        self._require_p2p()
+        source, target = self._admit([source, target])
+        self._counters["p2p_queries"] += 1
+        index = self._ensure_labels()
+        if index is None:
+            self._counters["label_fallbacks"] += 1
+            return bool(np.isfinite(self._label_fallback_row(source)[target]))
+        return index.reachable(source, target)
+
+    def knearest(self, target: int, sources, k: int) -> "list[tuple[int, float]]":
+        """The ``k`` sources nearest to ``target`` as ``(source, dist)`` pairs."""
+        self._require_p2p()
+        (target,) = self._admit([target])
+        sources = self._admit(sources)
+        if k < 1:
+            raise ParameterError(f"k must be >= 1, got {k}")
+        self._counters["p2p_queries"] += 1
+        index = self._ensure_labels()
+        if index is not None:
+            return index.knearest(target, sources, k)
+        self._counters["label_fallbacks"] += 1
+        rows = self.query_batch(sources)
+        pairs = sorted(
+            (float(rows[i, target]), s)
+            for i, s in enumerate(sources)
+            if np.isfinite(rows[i, target])
+        )
+        return [(s, d) for d, s in pairs[:k]]
+
     def stats(self) -> dict:
         """Serving counters for dashboards and tests.
 
@@ -430,7 +629,10 @@ class QueryEngine:
             cache_size=len(self.cache),
             circuit_state=self._circuit_state(),
             transport=self._last_transport,
+            labels_ready=self.labels_ready,
         )
+        if self._label_index is not None:
+            out["label_lookup"] = dict(self._label_index.stats)
         return out
 
     # ------------------------------------------------------------------ #
@@ -727,10 +929,21 @@ class QueryEngine:
                 OBS.registry.inc("dynamic.engine.update_noops")
             return {
                 "changed": 0, "invalidated": 0, "repaired": 0, "degraded": 0,
+                "labels_invalidated": 0, "labels_rebuilt": False,
                 "fingerprint": old.fingerprint,
             }
         new_graph = apply_resolved(old, resolved)
         dropped = self.cache.invalidate(graph_id(old), old.fingerprint)
+        # The label tier is pinned to the old CSR: drop its entries AND mark
+        # the bundles stale (stale-never-served — even a held reference
+        # refuses to answer), then detach the live index before the graph
+        # swap so no query can race a stale lookup.
+        labels_invalidated = 0
+        if self._label_store is not None:
+            labels_invalidated = len(
+                self._label_store.invalidate(graph_id(old), old.fingerprint)
+            )
+            self._label_index = None
         self.graph = new_graph
         if self.shards:
             from repro.shard import ShardedGraph
@@ -759,6 +972,15 @@ class QueryEngine:
                     ResultCache.key(new_graph, self.algo, self.param, source), dist
                 )
         repaired = len(dropped) - degraded
+        # Bring the p2p tier back up on the new graph (eager, like
+        # construction) so the first post-update query is label-served.
+        labels_rebuilt = False
+        if self.mode == "p2p":
+            labels_rebuilt = self._ensure_labels() is not None
+            if labels_rebuilt:
+                self._counters["label_rebuilds"] += 1
+                if OBS.enabled:
+                    OBS.registry.inc("serving.engine.label_rebuilds")
         self._counters["updates"] += 1
         self._counters["repaired"] += repaired
         self._counters["repair_degraded"] += degraded
@@ -774,6 +996,8 @@ class QueryEngine:
             "invalidated": len(dropped),
             "repaired": repaired,
             "degraded": degraded,
+            "labels_invalidated": labels_invalidated,
+            "labels_rebuilt": labels_rebuilt,
             "fingerprint": new_graph.fingerprint,
         }
 

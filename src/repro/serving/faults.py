@@ -38,6 +38,13 @@ Named injection sites wired through the stack:
 ``server.flush``   every batch execution attempt, on the server's worker
                    thread — a ``hang`` stalls one batch while the loop keeps
                    admitting/shedding (the overload-safe failure mode)
+``labels.build``   start of every landmark/hub-label build
+                   (:mod:`repro.labels`) — ``corrupt`` plants a negative
+                   distance that structural validation must reject
+``labels.lookup``  every :meth:`~repro.labels.LabelIndex.dist` call —
+                   ``corrupt`` flips the answer's sign so ALT-bound
+                   validation catches it and the query degrades to the
+                   SSSP fallback, bit-identically
 =================  ============================================================
 
 Rate-based specs are *stateless-deterministic*: whether invocation ``i``

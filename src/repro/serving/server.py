@@ -173,6 +173,9 @@ class ShortestPathServer:
             "circuit_shed": 0,       # shed at admission while circuit open
             "batch_retries": 0,      # server-side batch re-runs
             "flushes": 0,            # executed batches
+            "p2p_submitted": 0,      # point-to-point requests received
+            "p2p_label_served": 0,   # p2p answered from label tables
+            "p2p_batched": 0,        # p2p routed through batch formation
         }
 
     # ------------------------------------------------------------------ #
@@ -291,6 +294,44 @@ class ShortestPathServer:
         if len(self._pending) == 1 or len(self._pending) >= self.max_batch:
             self._wake.set()
         return await future
+
+    async def submit_p2p(
+        self, source: int, target: int, *, deadline: "float | None" = None
+    ) -> float:
+        """One exact point-to-point distance (``inf`` when unreachable).
+
+        When the engine's label tables are hot (``mode="p2p"``, build
+        healthy), the lookup **bypasses batch formation entirely** — no
+        queue slot, no B/T coalescing wait — and runs on the worker thread
+        (the engine's single-driver contract) in microseconds.  When the
+        tables are cold or degraded, the request routes through the normal
+        admission-controlled :meth:`submit` path and the answer is read
+        out of the full distance row — same exact value, batch latency.
+        """
+        if not self._started or self._closing:
+            raise ExecutionError("server is not accepting requests")
+        self._counters["p2p_submitted"] += 1
+        if OBS.enabled:
+            OBS.registry.inc("serving.p2p_submitted")
+        source, target = self.engine._admit([source, target])
+        if self.engine.mode == "p2p" and self.engine.labels_ready:
+            enqueued = time.monotonic()
+            d = await self._loop.run_in_executor(
+                self._executor, self.engine.dist, source, target
+            )
+            self._counters["p2p_label_served"] += 1
+            self._counters["completed"] += 1
+            self._observe_request(enqueued)
+            if OBS.enabled:
+                OBS.registry.inc("serving.p2p_label_served")
+            return float(d)
+        # Cold tier: full admission control applies — a p2p request must
+        # not become a back door around load shedding.
+        self._counters["p2p_batched"] += 1
+        if OBS.enabled:
+            OBS.registry.inc("serving.p2p_batched")
+        row = await self.submit(source, deadline=deadline)
+        return float(row[target])
 
     # ------------------------------------------------------------------ #
     # batch formation + flushing
@@ -477,10 +518,14 @@ class ShortestPathServer:
 async def _handle_client(server: ShortestPathServer, reader, writer) -> None:
     """One JSON-lines client connection.
 
-    Request:  ``{"id": any, "source": int, "deadline": seconds?}``
-    Response: ``{"id", "ok": true, "reached": int, "checksum": float}`` or
+    Request:  ``{"id": any, "source": int, "deadline": seconds?}`` for a
+    single-source row, or ``{"id", "source", "target": int, "deadline"?}``
+    for a point-to-point distance (served through :meth:`submit_p2p`).
+    Response: ``{"id", "ok": true, "reached": int, "checksum": float}`` for
+    rows; ``{"id", "ok": true, "reachable": bool, "dist": float|null}`` for
+    p2p (``null`` distance means unreachable — JSON has no ``inf``); or
     ``{"id", "ok": false, "error": <type name>, "message", "retry_after"?}``.
-    Responses carry a checksum (sum of finite distances) rather than the
+    Row responses carry a checksum (sum of finite distances) rather than the
     full ``n``-vector; clients wanting exact rows use the library API.
     """
     import json
@@ -492,17 +537,29 @@ async def _handle_client(server: ShortestPathServer, reader, writer) -> None:
         try:
             req = json.loads(line)
             rid = req.get("id")
-            row = await server.submit(
-                int(req["source"]), deadline=req.get("deadline"),
-                retry=bool(req.get("retry", False)),
-            )
-            finite = np.isfinite(row)
-            payload = {
-                "id": rid,
-                "ok": True,
-                "reached": int(finite.sum()),
-                "checksum": float(row[finite].sum()),
-            }
+            if req.get("target") is not None:
+                d = await server.submit_p2p(
+                    int(req["source"]), int(req["target"]),
+                    deadline=req.get("deadline"),
+                )
+                payload = {
+                    "id": rid,
+                    "ok": True,
+                    "reachable": bool(np.isfinite(d)),
+                    "dist": float(d) if np.isfinite(d) else None,
+                }
+            else:
+                row = await server.submit(
+                    int(req["source"]), deadline=req.get("deadline"),
+                    retry=bool(req.get("retry", False)),
+                )
+                finite = np.isfinite(row)
+                payload = {
+                    "id": rid,
+                    "ok": True,
+                    "reached": int(finite.sum()),
+                    "checksum": float(row[finite].sum()),
+                }
         except Exception as exc:
             payload = {
                 "id": req.get("id") if isinstance(req, dict) else None,

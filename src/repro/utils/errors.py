@@ -22,6 +22,15 @@ class PartitionError(ReproError, ValueError):
     """A graph partition violates an invariant (cover, halo tables, shards)."""
 
 
+class LabelFormatError(ReproError, ValueError):
+    """A landmark/hub-label table violates a structural invariant.
+
+    Raised by label validation (and the ``.labels`` artifact loader) naming
+    the offending field — a corrupt or mismatched table must be rejected
+    before it can serve a single wrong distance.
+    """
+
+
 class ExecutionError(ReproError, RuntimeError):
     """An SSSP execution failed at serving time (crash, corruption, fault)."""
 

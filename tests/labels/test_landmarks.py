@@ -1,0 +1,146 @@
+"""Landmark selection + ALT bound soundness.
+
+The load-bearing property: for every pair ``(s, t)`` on every random graph,
+``lower_bound(s, t) <= dist(s, t) <= upper_bound(s, t)`` holds *exactly* —
+including the unreachable cases, where a ``+inf`` lower bound must imply a
+``+inf`` true distance (the bound is a proof, not a heuristic).  Weights
+are integers so all float sums are exact (the repo-wide bit-identity
+contract).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import dijkstra_reference
+from repro.graphs import Graph, rmat
+from repro.labels import LandmarkTable, build_landmarks, select_landmarks
+from repro.utils.errors import LabelFormatError, ParameterError
+
+
+@st.composite
+def random_graphs(draw):
+    n = draw(st.integers(2, 30))
+    m = draw(st.integers(1, 120))
+    src = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    dst = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    w = draw(st.lists(st.integers(1, 64), min_size=m, max_size=m))
+    directed = draw(st.booleans())
+    return Graph.from_edges(
+        n, np.array(src), np.array(dst), np.array(w, dtype=float),
+        directed=directed, symmetrize=not directed,
+    )
+
+
+@given(random_graphs(), st.sampled_from(["farthest", "degree"]))
+@settings(max_examples=60, deadline=None)
+def test_alt_bounds_sound_on_random_graphs(g, strategy):
+    table = build_landmarks(g, min(4, g.n), strategy=strategy)
+    for s in range(0, g.n, max(1, g.n // 6)):
+        ref = dijkstra_reference(g, s)
+        targets = np.arange(g.n, dtype=np.int64)
+        lo = table.lower_bounds(s, targets)
+        up = table.upper_bounds(s, targets)
+        # lower <= d <= upper for every target, inf included: a +inf lower
+        # bound asserts unreachability and must never contradict a finite
+        # true distance.
+        assert np.all(lo <= ref), f"lower bound violated from source {s}"
+        assert np.all(ref <= up), f"upper bound violated from source {s}"
+
+
+def test_selection_deterministic_and_distinct():
+    g = rmat(8, 8, seed=3)
+    for strategy in ("farthest", "degree"):
+        a = select_landmarks(g, 8, strategy=strategy, seed=5)
+        b = select_landmarks(g, 8, strategy=strategy, seed=5)
+        assert np.array_equal(a, b)
+        assert len(np.unique(a)) == 8
+        assert a.min() >= 0 and a.max() < g.n
+    # different seeds move the degree sample (farthest is seed-free)
+    c = select_landmarks(g, 8, strategy="degree", seed=6)
+    assert not np.array_equal(
+        select_landmarks(g, 8, strategy="degree", seed=5), c
+    ) or True  # collisions are possible on tiny graphs; determinism is the pin
+
+
+def test_landmark_exact_on_endpoints():
+    # With t itself a landmark the sandwich pinches: lower == upper == d.
+    g = rmat(8, 8, seed=4)
+    table = build_landmarks(g, 6)
+    ref = dijkstra_reference(g, 1)
+    for landmark in table.landmarks:
+        t = int(landmark)
+        lo, up = table.lower_bound(1, t), table.upper_bound(1, t)
+        assert lo == up
+        assert lo == ref[t] or (np.isinf(lo) and np.isinf(ref[t]))
+
+
+def test_shortcut_augmented_vectors_identical():
+    g = rmat(7, 6, seed=5)
+    plain = build_landmarks(g, 5, seed=0)
+    shortcut = build_landmarks(g, 5, seed=0, shortcut_rho=32)
+    assert np.array_equal(plain.landmarks, shortcut.landmarks)
+    assert np.array_equal(plain.dist_from, shortcut.dist_from)
+    assert shortcut.params["shortcut_edges_added"] >= 0
+
+
+def test_directed_uses_both_sides():
+    g = rmat(7, 6, seed=8, directed=True)
+    table = build_landmarks(g, 5)
+    assert table.dist_to is not table.dist_from
+    ref = dijkstra_reference(g, 2)
+    targets = np.arange(g.n, dtype=np.int64)
+    assert np.all(table.lower_bounds(2, targets) <= ref)
+    assert np.all(ref <= table.upper_bounds(2, targets))
+
+
+def test_undirected_shares_storage():
+    g = rmat(7, 6, seed=9)
+    table = build_landmarks(g, 5)
+    assert table.dist_to is table.dist_from
+
+
+def test_validate_names_offenders():
+    g = rmat(6, 6, seed=1)
+    table = build_landmarks(g, 4)
+    # negative distance
+    bad = np.array(table.dist_from, copy=True)
+    bad[0, 1] = -2.0
+    with pytest.raises(LabelFormatError, match="negative"):
+        LandmarkTable(
+            landmarks=table.landmarks, dist_from=bad, dist_to=bad,
+            strategy="farthest", fingerprint=g.fingerprint,
+        ).validate(g)
+    # nonzero self-distance
+    bad = np.array(table.dist_from, copy=True)
+    bad[0, int(table.landmarks[0])] = 7.0
+    with pytest.raises(LabelFormatError, match="self-distance"):
+        LandmarkTable(
+            landmarks=table.landmarks, dist_from=bad, dist_to=bad,
+            strategy="farthest", fingerprint=g.fingerprint,
+        ).validate(g)
+    # wrong fingerprint = stale table
+    with pytest.raises(LabelFormatError, match="fingerprint"):
+        LandmarkTable(
+            landmarks=table.landmarks, dist_from=table.dist_from,
+            dist_to=table.dist_to, strategy="farthest", fingerprint="bogus",
+        ).validate(g)
+    # duplicate landmark ids
+    dup = np.array(table.landmarks, copy=True)
+    dup[1] = dup[0]
+    with pytest.raises(LabelFormatError, match="distinct"):
+        LandmarkTable(
+            landmarks=dup, dist_from=table.dist_from, dist_to=table.dist_to,
+            strategy="farthest", fingerprint=g.fingerprint,
+        ).validate(g)
+
+
+def test_parameter_validation():
+    g = rmat(6, 6, seed=1)
+    with pytest.raises(ParameterError):
+        select_landmarks(g, 0)
+    with pytest.raises(ParameterError):
+        select_landmarks(g, g.n + 1)
+    with pytest.raises(ParameterError):
+        select_landmarks(g, 2, strategy="nope")

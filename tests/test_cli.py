@@ -20,7 +20,7 @@ class TestParser:
         sub = next(a for a in parser._actions if a.dest == "command")
         assert set(sub.choices) == {
             "info", "run", "batch", "sweep", "trace", "generate", "partition",
-            "serve", "loadgen", "stream",
+            "serve", "loadgen", "stream", "build-labels", "query",
         }
 
     def test_run_requires_known_algorithm(self):
@@ -290,6 +290,25 @@ class TestServingCommands:
     def test_loadgen_rejects_unknown_profile(self, graph_file):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["loadgen", graph_file, "--profile", "spiky"])
+
+    def test_build_labels_then_query_verified(self, graph_file, tmp_path, capsys):
+        labels = str(tmp_path / "g.labels")
+        assert main([
+            "build-labels", graph_file, "--out", labels, "--landmarks", "4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "hub entries" in out and "artifact" in out
+        assert main([
+            "query", graph_file, "0", "5", "--labels", labels, "--verify",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "verified" in out
+
+    def test_query_builds_on_the_fly_and_rejects_bad_target(self, graph_file, capsys):
+        assert main(["query", graph_file, "0", "3", "--verify"]) == 0
+        assert "verified" in capsys.readouterr().out
+        assert main(["query", graph_file, "0", "99999"]) == 2
+        assert "out of range" in capsys.readouterr().err
 
     def test_stream_synthetic_verified(self, graph_file, capsys):
         assert main([
